@@ -1,0 +1,2 @@
+"""Benchmark harness: one bench per table and figure in the paper, plus
+ablations of the design choices DESIGN.md calls out."""

@@ -1,0 +1,43 @@
+"""Ablation — toggle vs sticky injection modes.
+
+The paper's framework supports both: a one-cycle flip (toggle) and a
+fault held for many cycles (sticky).  A sticky fault defeats the
+"overwritten before use" masking path, so its vanish rate must be lower
+— quantifying how much of the architectural derating comes from
+transience.
+"""
+
+from repro.analysis import render_table2  # noqa: F401  (format helpers live there)
+from repro.rtl import InjectionMode
+from repro.sfi import CampaignConfig, Outcome, SfiExperiment
+from repro.sfi.outcomes import OUTCOME_ORDER
+
+from benchmarks.conftest import publish, scaled
+
+
+def test_ablation_toggle_vs_sticky(benchmark, experiment):
+    flips = scaled(700)
+    sticky_experiment = SfiExperiment(CampaignConfig(
+        suite_size=4, injection_mode=InjectionMode.STICKY, sticky_cycles=64))
+
+    def run():
+        toggle = experiment.run_random_campaign(flips, seed=12)
+        sticky = sticky_experiment.run_random_campaign(flips, seed=12)
+        return toggle, sticky
+
+    toggle, sticky = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Ablation: toggle vs sticky (64-cycle) injection",
+             f"{'Mode':<8}" + "".join(f"{o.value:>15}" for o in OUTCOME_ORDER)]
+    for label, result in (("toggle", toggle), ("sticky", sticky)):
+        fracs = result.fractions()
+        lines.append(f"{label:<8}" + "".join(
+            f"{100 * fracs[o]:>14.2f}%" for o in OUTCOME_ORDER))
+    publish("ablation_modes", "\n".join(lines))
+
+    # A held fault cannot be masked by being overwritten: strictly more
+    # visible outcomes.
+    assert (sticky.fractions()[Outcome.VANISHED]
+            <= toggle.fractions()[Outcome.VANISHED] + 0.005)
+    assert ((1 - sticky.fractions()[Outcome.VANISHED])
+            >= 0.9 * (1 - toggle.fractions()[Outcome.VANISHED]))

@@ -1,0 +1,52 @@
+"""Figure 2 — Accuracy of SFI with increasing number of flips.
+
+For each sample size X, ten independent random samples of X flips are
+run and the standard deviation of each outcome category's count is
+reported as a fraction of its mean; the curve falls as ~1/sqrt(X).  The
+bench runs the experiment at simulator scale and also prints the analytic
+binomial curve at the paper's 2k–20k scale, which the measured points
+must track.
+"""
+
+from repro.analysis import render_fig2
+from repro.sfi import Outcome, sample_size_experiment
+from repro.stats import binomial_stdev_over_mean
+
+from benchmarks.conftest import publish, scaled
+
+
+def test_fig2_sample_size_accuracy(benchmark, experiment):
+    sizes = [scaled(50, 10), scaled(100, 20), scaled(200, 40), scaled(400, 80)]
+    samples = 6
+
+    def run():
+        return sample_size_experiment(experiment, sizes,
+                                      samples_per_size=samples, seed=7)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = render_fig2(points)
+    vanished_rate = points[-1].means[Outcome.VANISHED] / points[-1].flips
+    corrected_rate = points[-1].means[Outcome.CORRECTED] / points[-1].flips
+    text += ("\n\nAnalytic curve at paper scale (stdev/mean, Binomial):\n"
+             f"{'flips':>8}{'Vanished':>12}{'Corrected':>12}{'Checkstop':>12}")
+    for flips in (2_000, 4_000, 6_000, 8_000, 10_000, 12_000, 14_000,
+                  16_000, 18_000, 20_000):
+        text += (f"\n{flips:>8}"
+                 f"{binomial_stdev_over_mean(max(0.5, vanished_rate), flips):>12.4f}"
+                 f"{binomial_stdev_over_mean(max(0.005, corrected_rate), flips):>12.4f}"
+                 f"{binomial_stdev_over_mean(0.009, flips):>12.4f}")
+    text += ("\n(at ~10k flips the rare-category error is ~10%, the "
+             "paper's observed stabilisation point)")
+    publish("fig2_sample_size", text)
+
+    # Shape: estimation error shrinks as the sample grows...
+    for outcome in (Outcome.VANISHED, Outcome.CORRECTED):
+        first = points[0].stdev_over_mean[outcome]
+        last = points[-1].stdev_over_mean[outcome]
+        assert last <= first + 0.02, f"{outcome}: {first} -> {last}"
+    # ...and the common category is always estimated far better than the
+    # rare ones (the reason checkstop needs the most flips).
+    for point in points:
+        assert (point.stdev_over_mean[Outcome.VANISHED]
+                < point.stdev_over_mean[Outcome.CORRECTED] + 1e-9)

@@ -1,0 +1,40 @@
+"""Figure 4 — Contribution of each unit to total recoveries, hangs and
+checkstops.
+
+Figure 3's per-unit rates weighted by each unit's latch-bit count.
+Expected shape: the LSU (largest latch population) contributes the most
+recoveries; the Recovery Unit and the pervasive Core logic dominate the
+checkstop/hang contributions.
+"""
+
+from repro.analysis import contribution_table, render_fig4
+from repro.sfi import Outcome
+
+from benchmarks.conftest import publish
+
+
+def test_fig4_unit_contributions(benchmark, experiment, unit_campaigns):
+    unit_bits = experiment.latch_map.unit_bit_counts()
+
+    def run():
+        return contribution_table(unit_campaigns, unit_bits)
+
+    contributions = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("fig4_unit_contribution", render_fig4(contributions))
+
+    recoveries = contributions[Outcome.CORRECTED]
+    assert sum(recoveries.values()) > 0.99
+    # "the contribution towards recoveries is highest from the LSU" —
+    # partly because "the LSU has the highest number of latch bits".
+    assert max(recoveries, key=recoveries.get) == "LSU"
+    assert unit_bits["LSU"] == max(unit_bits.values())
+    # "all units have a nonzero contribution to the recoveries due to the
+    # existence of checking hardware".
+    nonzero_units = sum(1 for value in recoveries.values() if value > 0)
+    assert nonzero_units >= 5
+    # RUT + pervasive Core dominate checkstops/hangs when any occurred.
+    hard_fail = {unit: contributions[Outcome.CHECKSTOP].get(unit, 0)
+                 + contributions[Outcome.HANG].get(unit, 0)
+                 for unit in unit_bits}
+    if any(hard_fail.values()):
+        assert hard_fail["CORE"] + hard_fail["RUT"] >= 0.3

@@ -1,0 +1,38 @@
+"""Figure 5 — SER of the different types of latches.
+
+Per-latch-type campaigns (MODE/GPTR scan-only configuration latches vs
+REGFILE/FUNC read-write latches).  Expected shape: scan-only latches have
+the larger system-level impact — their state persists through execution,
+while a flip in a read-write latch may simply be over-written — which is
+the paper's motivation for hardening scan-only latches.
+"""
+
+from repro.analysis import render_kind_results
+from repro.rtl import LatchKind
+from repro.sfi import Outcome, per_kind_campaigns
+
+from benchmarks.conftest import publish, scaled
+
+
+def test_fig5_latch_types(benchmark, experiment):
+    flips = scaled(450)
+
+    def run():
+        return per_kind_campaigns(experiment, flips, seed=5)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("fig5_latch_types", render_kind_results(results))
+
+    vanish = {kind: results[kind].fractions()[Outcome.VANISHED]
+              for kind in LatchKind}
+    # Read-write latches vanish ~95%+ ("a flip in a read-write latch is
+    # more likely to vanish"); scan-only latches vanish less.
+    assert vanish[LatchKind.FUNC] > 0.93
+    assert vanish[LatchKind.REGFILE] > 0.90
+    scan_only = (vanish[LatchKind.MODE] + vanish[LatchKind.GPTR]) / 2
+    read_write = (vanish[LatchKind.FUNC] + vanish[LatchKind.REGFILE]) / 2
+    assert scan_only < read_write
+    # MODE corruption that matters is unrecoverable (config checkstops),
+    # not correctable — persistence is what makes it intrusive.
+    mode = results[LatchKind.MODE].fractions()
+    assert mode[Outcome.CHECKSTOP] >= mode[Outcome.CORRECTED]

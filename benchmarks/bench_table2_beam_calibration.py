@@ -1,0 +1,43 @@
+"""Table 2 — Error state proportions for SFI and proton-beam experiments.
+
+The calibration that validates the methodology (§2.2): a whole-core
+random SFI campaign and a simulated beam irradiation of the same machine
+must report closely matching vanished/corrected/checkstop proportions.
+"""
+
+import pytest
+
+from repro.analysis import render_table2
+from repro.beam import BeamExperiment, FluxModel
+from repro.sfi import CampaignConfig, Outcome
+
+from benchmarks.conftest import publish, scaled
+
+
+@pytest.fixture(scope="module")
+def beam():
+    return BeamExperiment(CampaignConfig(suite_size=4),
+                          flux=FluxModel(sram_cross_section=1.3))
+
+
+def test_table2_sfi_vs_beam(benchmark, experiment, beam):
+    flips = scaled(1200)
+    events = scaled(1000)
+
+    def run():
+        sfi_result = experiment.run_random_campaign(flips, seed=2)
+        beam_result = beam.run_events(events, seed=2)
+        return sfi_result, beam_result
+
+    sfi_result, beam_result = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish("table2_beam_calibration", render_table2(sfi_result, beam_result))
+
+    sfi_fracs = sfi_result.fractions()
+    beam_fracs = beam_result.fractions()
+    # Shape: overwhelming architectural masking, a few percent corrected,
+    # and SFI ~ beam (the paper's |delta| on vanished was 0.41%).
+    assert sfi_fracs[Outcome.VANISHED] > 0.90
+    assert beam_fracs[Outcome.VANISHED] > 0.90
+    assert 0.005 < sfi_fracs[Outcome.CORRECTED] < 0.10
+    assert abs(sfi_fracs[Outcome.VANISHED] - beam_fracs[Outcome.VANISHED]) < 0.03
+    assert sfi_fracs[Outcome.CHECKSTOP] < 0.03

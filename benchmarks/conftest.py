@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Each bench regenerates one table or figure from the paper.  Campaign
+sizes scale with the REPRO_BENCH_SCALE environment variable (default 1.0;
+set e.g. 0.2 for a quick smoke run).  Rendered tables are printed and
+written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.sfi import CampaignConfig, SfiExperiment, per_unit_campaigns
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(count: int, minimum: int = 20) -> int:
+    """Apply the global bench scale to a flip/event count."""
+    return max(minimum, int(count * BENCH_SCALE))
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered artefact and persist it under benchmarks/results/."""
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def experiment() -> SfiExperiment:
+    """The prepared machine shared by the SFI benches."""
+    return SfiExperiment(CampaignConfig(suite_size=4))
+
+
+@pytest.fixture(scope="session")
+def unit_campaigns(experiment):
+    """Per-unit campaigns shared by the Figure 3 and Figure 4 benches."""
+    return per_unit_campaigns(experiment, scaled(400, minimum=250), seed=2008)

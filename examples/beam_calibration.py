@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""SFI vs proton-beam calibration (the paper's §2.2, Table 2).
+
+Runs a whole-core random SFI campaign and a simulated proton-beam
+irradiation of the same machine (the beam also strikes the SRAM arrays
+SFI's latch campaigns exclude, and cannot aim or observe internals), then
+compares the outcome proportions — the validation that makes SFI a
+trustworthy stand-in for two days of beam time.
+
+Usage:
+    python examples/beam_calibration.py [--flips N] [--events N]
+"""
+
+import argparse
+
+from repro import BeamExperiment, CampaignConfig, FluxModel, SfiExperiment
+from repro.analysis import render_table2
+from repro.sfi.outcomes import Outcome
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flips", type=int, default=500)
+    parser.add_argument("--events", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    print(f"SFI campaign: {args.flips} latch-bit flips...")
+    sfi = SfiExperiment(CampaignConfig(suite_size=4))
+    sfi_result = sfi.run_random_campaign(args.flips, seed=args.seed)
+
+    print(f"Beam irradiation: {args.events} single-upset events "
+          f"(latches + SRAM arrays)...")
+    beam = BeamExperiment(CampaignConfig(suite_size=4),
+                          flux=FluxModel(sram_cross_section=1.3))
+    beam_result = beam.run_events(args.events, seed=args.seed)
+
+    print()
+    print(render_table2(sfi_result, beam_result))
+
+    sfi_vanish = sfi_result.fractions()[Outcome.VANISHED]
+    beam_vanish = beam_result.fractions()[Outcome.VANISHED]
+    print(f"\n|SFI - beam| vanished delta: "
+          f"{abs(sfi_vanish - beam_vanish):.2%} "
+          f"(paper: |95.48% - 95.89%| = 0.41%)")
+    print("The close match validates SFI against the real-world "
+          "experiment (paper, §2.2).")
+
+    array_records = [r for r in beam_result.records if r.unit == "ARRAY"]
+    print(f"\nBeam-only visibility: {len(array_records)} of "
+          f"{beam_result.total} events struck SRAM arrays "
+          f"(caches / ECC checkpoint) that latch-targeted SFI never samples.")
+
+
+if __name__ == "__main__":
+    main()

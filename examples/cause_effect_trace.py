@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Cause-and-effect tracing (the paper's third headline capability).
+
+"SFI makes three types of information accessible for the first time:
+... Cause and effect tracing of system errors (effect) to the
+originating bit flip (cause) in a full-system environment."
+
+This example runs a campaign, then narrates the full causal chain of
+every flip that had a visible effect — which latch bit flipped, which
+checker caught it (at what instruction address and after how many
+cycles), how recovery proceeded, and what the final destiny was —
+followed by campaign-level detection-latency statistics.
+
+Usage:
+    python examples/cause_effect_trace.py [--flips N] [--show K]
+"""
+
+import argparse
+
+from repro import CampaignConfig, SfiExperiment
+from repro.analysis import render_cause_effect, render_trace_summary, summarize_traces
+from repro.sfi.outcomes import Outcome
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flips", type=int, default=400)
+    parser.add_argument("--show", type=int, default=5,
+                        help="number of traces to print")
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args()
+
+    experiment = SfiExperiment(CampaignConfig(suite_size=4))
+    print(f"Injecting {args.flips} random flips...\n")
+    result = experiment.run_random_campaign(args.flips, seed=args.seed)
+
+    visible = [record for record in result.records
+               if record.outcome is not Outcome.VANISHED]
+    print(f"{len(visible)} of {result.total} flips had a visible effect.\n")
+
+    shown = 0
+    for outcome in (Outcome.CHECKSTOP, Outcome.HANG, Outcome.SDC,
+                    Outcome.CORRECTED):
+        for record in visible:
+            if record.outcome is outcome and shown < args.show:
+                print(render_cause_effect(record))
+                print()
+                shown += 1
+
+    print(render_trace_summary(summarize_traces(result)))
+    print("\nEvery effect above is attributable to its originating bit — "
+          "the feedback designers use to target protection (paper, §4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Latch-type SER analysis and a hardening what-if (the paper's §3.2,
+Figure 5).
+
+Classifies outcomes per latch type (scan-only MODE/GPTR configuration
+latches versus read-write REGFILE/FUNC latches), confirming the paper's
+finding that scan-only latches have the larger system-level impact
+because their state persists through execution.  Then quantifies the
+paper's recommendation — "the results motivate the hardening of scan-only
+latches in the core" — as a what-if on the measured campaign.
+
+Usage:
+    python examples/latch_hardening_study.py [--flips-per-kind N]
+"""
+
+import argparse
+
+from repro import CampaignConfig, SfiExperiment, per_kind_campaigns
+from repro.analysis import render_kind_results
+from repro.rtl import LatchKind
+from repro.sfi import harden_rings
+from repro.sfi.outcomes import Outcome
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flips-per-kind", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=6)
+    args = parser.parse_args()
+
+    experiment = SfiExperiment(CampaignConfig(suite_size=4))
+    print(f"Injecting {args.flips_per_kind} flips into each latch type...\n")
+    results = per_kind_campaigns(experiment, args.flips_per_kind,
+                                 seed=args.seed)
+    print("Figure 5: SER of different types of latches")
+    print(render_kind_results(results))
+
+    scan_only = (results[LatchKind.MODE].fractions()[Outcome.VANISHED]
+                 + results[LatchKind.GPTR].fractions()[Outcome.VANISHED]) / 2
+    read_write = (results[LatchKind.REGFILE].fractions()[Outcome.VANISHED]
+                  + results[LatchKind.FUNC].fractions()[Outcome.VANISHED]) / 2
+    print(f"\nScan-only latches vanish {scan_only:.1%} of the time; "
+          f"read-write latches {read_write:.1%} — flips in read-write "
+          f"latches may be over-written, scan-only state persists (§3.2).")
+
+    # What-if: harden the scan-only rings.
+    print("\nWhat-if: harden every MODE and GPTR latch...")
+    whole_core = experiment.run_random_campaign(600, seed=args.seed + 1)
+    ring_bits = {ring: len(experiment.latch_map.indices_for_ring(ring))
+                 for ring in experiment.latch_map.rings()}
+    report = harden_rings(whole_core, {"MODE", "GPTR"}, ring_bits)
+    print(f"  hardened {report.hardened_bits:,} of "
+          f"{report.population_bits:,} latch bits "
+          f"({report.hardened_bits / report.population_bits:.1%})")
+    print(f"  unmasked-fault rate: "
+          f"{1 - report.baseline[Outcome.VANISHED]:.2%} -> "
+          f"{1 - report.hardened[Outcome.VANISHED]:.2%}")
+    print(f"  checkstop rate: {report.baseline[Outcome.CHECKSTOP]:.2%} -> "
+          f"{report.hardened[Outcome.CHECKSTOP]:.2%}")
+    print(f"  bad-outcome reduction: {report.bad_outcome_reduction():.0%} "
+          f"from hardening ~{report.hardened_bits / report.population_bits:.0%} "
+          f"of the latches — a cheap, targeted win.")
+
+    # Drill down to individual latches: a dense macro campaign on the
+    # recovery unit's commit datapath ranks its hottest latches.
+    from repro.analysis import latch_vulnerabilities, render_vulnerabilities
+    from repro.sfi import macro_campaign
+    print("\nMacro what-if: per-latch vulnerability of the RUT commit "
+          "datapath (rut.cmt*)...")
+    macro = macro_campaign(experiment, "rut.cmt", trials_per_site=2,
+                           seed=args.seed + 2)
+    print(render_vulnerabilities(latch_vulnerabilities(macro), top=8))
+
+
+if __name__ == "__main__":
+    main()

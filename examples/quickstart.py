@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: run a random SFI campaign on the emulated POWER6-class core.
+
+Builds the full-system model, loads it onto the (modelled) Awan
+acceleration engine, runs the AVP workload suite fault-free to establish
+references, then injects random latch-bit flips and classifies each one —
+the core loop of the paper's Figure 1.
+
+Usage:
+    python examples/quickstart.py [--flips N] [--seed S]
+"""
+
+import argparse
+import time
+
+from repro import CampaignConfig, SfiExperiment
+from repro.sfi.outcomes import OUTCOME_ORDER
+from repro.stats import wilson_interval
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--flips", type=int, default=400,
+                        help="number of bit flips to inject")
+    parser.add_argument("--seed", type=int, default=2008)
+    args = parser.parse_args()
+
+    print("Preparing the machine (model load, AVP suite, references)...")
+    start = time.perf_counter()
+    experiment = SfiExperiment(CampaignConfig(suite_size=4))
+    latch_map = experiment.latch_map
+    print(f"  {len(latch_map):,} injectable latch bits across "
+          f"{len(latch_map.units())} units "
+          f"({time.perf_counter() - start:.1f}s)")
+    for unit, bits in sorted(latch_map.unit_bit_counts().items()):
+        print(f"    {unit:5s} {bits:6,} bits")
+
+    print(f"\nInjecting {args.flips} random bit flips...")
+    start = time.perf_counter()
+    result = experiment.run_random_campaign(args.flips, seed=args.seed)
+    elapsed = time.perf_counter() - start
+    print(f"  {args.flips} injections in {elapsed:.1f}s "
+          f"({1000 * elapsed / args.flips:.0f} ms each)\n")
+
+    print(f"{'Outcome':<16}{'count':>8}{'fraction':>10}   95% CI")
+    counts = result.counts()
+    for outcome in OUTCOME_ORDER:
+        low, high = wilson_interval(counts[outcome], result.total)
+        print(f"{outcome.value:<16}{counts[outcome]:>8}"
+              f"{counts[outcome] / result.total:>10.2%}"
+              f"   [{low:.2%}, {high:.2%}]")
+
+    stats = experiment.emulator.stats
+    print(f"\nEngine accounting: {stats.cycles_run:,} cycles, "
+          f"{stats.host_interactions:,} host interactions, "
+          f"{stats.checkpoints_loaded} checkpoint reloads")
+    print(f"Modelled emulator time: {stats.total_seconds:.1f}s "
+          f"({stats.host_seconds / stats.total_seconds:.0%} host overhead)")
+
+
+if __name__ == "__main__":
+    main()

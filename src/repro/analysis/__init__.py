@@ -1,0 +1,71 @@
+"""Analysis and reporting: derating, per-unit contribution normalisation,
+and text renderers for every table and figure in the paper."""
+
+from repro.analysis.contribution import contribution_table, unit_contributions
+from repro.analysis.derating import (
+    derating_factor,
+    effective_ser_reduction,
+    per_unit_derating,
+    unmasked_rate,
+)
+from repro.analysis.tracing import (
+    TraceSummary,
+    detection_event,
+    detection_latency,
+    render_cause_effect,
+    render_trace_summary,
+    summarize_traces,
+)
+from repro.analysis.vulnerability import (
+    LatchVulnerability,
+    latch_vulnerabilities,
+    render_vulnerabilities,
+)
+from repro.analysis.ser import (
+    SerBudget,
+    budget_from_campaign,
+    mtbf_hours,
+    render_budgets,
+    unit_budgets,
+)
+from repro.analysis.report import (
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_kind_results,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "LatchVulnerability",
+    "latch_vulnerabilities",
+    "render_vulnerabilities",
+    "SerBudget",
+    "budget_from_campaign",
+    "mtbf_hours",
+    "render_budgets",
+    "unit_budgets",
+    "TraceSummary",
+    "detection_event",
+    "detection_latency",
+    "render_cause_effect",
+    "render_trace_summary",
+    "summarize_traces",
+    "contribution_table",
+    "derating_factor",
+    "effective_ser_reduction",
+    "per_unit_derating",
+    "render_fig2",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_kind_results",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "unit_contributions",
+    "unmasked_rate",
+]

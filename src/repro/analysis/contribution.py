@@ -1,0 +1,39 @@
+"""Per-unit contribution normalisation (Figure 4).
+
+Figure 3's per-unit outcome *rates* cannot be compared directly because
+"each unit has a different number of latches"; Figure 4 weights each
+unit's rate by its latch-bit count to obtain the unit's share of the
+total recoveries, hangs and checkstops the whole core would see.
+"""
+
+from __future__ import annotations
+
+from repro.sfi.outcomes import Outcome
+from repro.sfi.results import CampaignResult
+from repro.stats.sampling_theory import Stratum, stratum_contributions
+
+
+def unit_contributions(results_by_unit: dict[str, CampaignResult],
+                       unit_bits: dict[str, int],
+                       outcome: Outcome) -> dict[str, float]:
+    """Each unit's share of the expected total events of ``outcome``."""
+    strata = []
+    for unit, result in results_by_unit.items():
+        if unit not in unit_bits:
+            raise KeyError(f"no latch-bit count for unit {unit!r}")
+        strata.append(Stratum(
+            name=unit,
+            population=unit_bits[unit],
+            sample_size=result.total,
+            proportion=result.fractions()[outcome],
+        ))
+    return stratum_contributions(strata)
+
+
+def contribution_table(results_by_unit: dict[str, CampaignResult],
+                       unit_bits: dict[str, int],
+                       outcomes: tuple = (Outcome.CORRECTED, Outcome.HANG,
+                                          Outcome.CHECKSTOP)) -> dict:
+    """Figure 4's full data: contribution per outcome per unit."""
+    return {outcome: unit_contributions(results_by_unit, unit_bits, outcome)
+            for outcome in outcomes}

@@ -1,0 +1,39 @@
+"""Derating analysis.
+
+"Microarchitectural derating" is the fraction of raw bit flips that the
+architecture masks — the headline quantity SFI makes measurable at scale
+(§3.1: "On an average, 95% of the injected faults are masked").
+"""
+
+from __future__ import annotations
+
+from repro.sfi.outcomes import Outcome
+from repro.sfi.results import CampaignResult
+
+
+def derating_factor(result: CampaignResult) -> float:
+    """Fraction of injected flips masked by the architecture."""
+    return result.fractions()[Outcome.VANISHED]
+
+
+def unmasked_rate(result: CampaignResult) -> float:
+    """Fraction of flips with any architecturally visible effect."""
+    return 1.0 - derating_factor(result)
+
+
+def per_unit_derating(results_by_unit: dict[str, CampaignResult]) -> dict[str, float]:
+    """Derating per micro-architectural unit (Figure 3's masked row)."""
+    return {unit: derating_factor(result)
+            for unit, result in results_by_unit.items()}
+
+
+def effective_ser_reduction(raw_failure_rate: float,
+                            derating: float) -> float:
+    """Apply an architectural derating factor to a raw per-bit SER.
+
+    The designers' use-case from the conclusions: "use this derating to
+    their advantage" when budgeting protection.
+    """
+    if not 0 <= derating <= 1:
+        raise ValueError("derating must be within [0, 1]")
+    return raw_failure_rate * (1.0 - derating)

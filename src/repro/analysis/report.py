@@ -1,0 +1,173 @@
+"""Text renderers that regenerate the paper's tables and figures.
+
+Every bench prints through these, so the reproduced artefacts share one
+format: rows/series matching the published table or figure, with the
+paper's values alongside where they are known.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import InstrClass
+from repro.rtl.latch import LatchKind
+from repro.sfi.experiments import SampleSizePoint
+from repro.sfi.outcomes import OUTCOME_ORDER, Outcome
+from repro.sfi.results import CampaignResult
+from repro.workload.mix import TABLE1_CLASSES
+
+#: Published values for comparison columns.
+PAPER_TABLE1_AVP = {
+    InstrClass.LOAD: 0.294, InstrClass.STORE: 0.236,
+    InstrClass.FIXED_POINT: 0.167, InstrClass.FLOATING_POINT: 0.0,
+    InstrClass.COMPARISON: 0.049, InstrClass.BRANCH: 0.146,
+}
+PAPER_TABLE1_SPEC = {  # (low, high, average)
+    InstrClass.LOAD: (0.189, 0.356, 0.278),
+    InstrClass.STORE: (0.064, 0.317, 0.141),
+    InstrClass.FIXED_POINT: (0.062, 0.359, 0.222),
+    InstrClass.FLOATING_POINT: (0.0, 0.091, 0.012),
+    InstrClass.COMPARISON: (0.048, 0.151, 0.088),
+    InstrClass.BRANCH: (0.069, 0.288, 0.154),
+}
+PAPER_TABLE2 = {"SFI": {Outcome.VANISHED: 0.9548, Outcome.CORRECTED: 0.0362,
+                        Outcome.CHECKSTOP: 0.0090},
+                "Proton Beam": {Outcome.VANISHED: 0.9589,
+                                Outcome.CORRECTED: 0.0351,
+                                Outcome.CHECKSTOP: 0.0060}}
+PAPER_TABLE3 = {"Raw": {Outcome.VANISHED: 0.988, Outcome.CORRECTED: 0.0,
+                        Outcome.HANG: 0.012, Outcome.CHECKSTOP: 0.0},
+                "Check": {Outcome.VANISHED: 0.959, Outcome.CORRECTED: 0.015,
+                          Outcome.HANG: 0.011, Outcome.CHECKSTOP: 0.015}}
+
+
+def _pct(value: float) -> str:
+    return f"{100 * value:6.2f}%"
+
+
+def render_table1(avp_mix: dict, avp_cpi: float,
+                  spec_mixes: dict[str, dict], spec_cpis: dict[str, float]) -> str:
+    """Table 1: AVP vs SPECInt2000 instruction mix (top 90%) and CPI."""
+    lines = ["Table 1: Comparison of the AVP to SPECInt 2000 (measured)",
+             f"{'Class':<16}{'SPEC Low':>10}{'SPEC High':>10}{'SPEC Avg':>10}"
+             f"{'AVP':>10}   {'paper AVP':>10}"]
+    for cls in TABLE1_CLASSES:
+        values = [mix.get(cls, 0.0) for mix in spec_mixes.values()]
+        low, high = min(values), max(values)
+        avg = sum(values) / len(values)
+        lines.append(
+            f"{cls.value:<16}{_pct(low):>10}{_pct(high):>10}{_pct(avg):>10}"
+            f"{_pct(avp_mix.get(cls, 0.0)):>10}   "
+            f"{_pct(PAPER_TABLE1_AVP[cls]):>10}")
+    cpis = list(spec_cpis.values())
+    lines.append(
+        f"{'CPI':<16}{min(cpis):>10.2f}{max(cpis):>10.2f}"
+        f"{sum(cpis) / len(cpis):>10.2f}{avp_cpi:>10.2f}   {'(n/a)':>10}")
+    return "\n".join(lines)
+
+
+def render_table2(sfi: CampaignResult, beam: CampaignResult) -> str:
+    """Table 2: error-state proportions for SFI and the proton beam."""
+    lines = ["Table 2: Error state proportions, SFI vs Proton Beam",
+             f"{'Category':<14}{'SFI':>10}{'Beam':>10}   "
+             f"{'paper SFI':>10}{'paper Beam':>11}"]
+    lines.append(f"{'Total flips':<14}{sfi.total:>10}{beam.total:>10}   "
+                 f"{'10014':>10}{'5679':>11}")
+    sfi_fracs, beam_fracs = sfi.fractions(), beam.fractions()
+    for outcome in (Outcome.VANISHED, Outcome.CORRECTED, Outcome.CHECKSTOP):
+        lines.append(
+            f"{outcome.value:<14}{_pct(sfi_fracs[outcome]):>10}"
+            f"{_pct(beam_fracs[outcome]):>10}   "
+            f"{_pct(PAPER_TABLE2['SFI'][outcome]):>10}"
+            f"{_pct(PAPER_TABLE2['Proton Beam'][outcome]):>11}")
+    for outcome in (Outcome.HANG, Outcome.SDC):
+        lines.append(
+            f"{outcome.value:<14}{_pct(sfi_fracs[outcome]):>10}"
+            f"{_pct(beam_fracs[outcome]):>10}   "
+            f"{'-':>10}{'-':>11}")
+    return "\n".join(lines)
+
+
+def render_table3(raw: CampaignResult, check: CampaignResult) -> str:
+    """Table 3: effect of low-level hardware checkers (Raw vs Check)."""
+    lines = ["Table 3: Effect of hardware checkers",
+             f"{'Type':<8}{'Vanish':>9}{'Rec':>9}{'Hangs':>9}{'Chk':>9}"
+             f"{'SDC':>9}"]
+    for label, result in (("Raw", raw), ("Check", check)):
+        fracs = result.fractions()
+        lines.append(
+            f"{label:<8}{_pct(fracs[Outcome.VANISHED]):>9}"
+            f"{_pct(fracs[Outcome.CORRECTED]):>9}"
+            f"{_pct(fracs[Outcome.HANG]):>9}"
+            f"{_pct(fracs[Outcome.CHECKSTOP]):>9}"
+            f"{_pct(fracs[Outcome.SDC]):>9}")
+    lines.append("paper:  Raw   98.8% / 0% / 1.2% / 0%    "
+                 "Check 95.9% / 1.5% / 1.1% / 1.5%")
+    return "\n".join(lines)
+
+
+def render_fig2(points: list[SampleSizePoint]) -> str:
+    """Figure 2: stdev as a fraction of the mean vs number of flips."""
+    lines = ["Figure 2: Accuracy of SFI with increasing number of flips",
+             f"{'flips':>8}" + "".join(f"{o.value:>14}" for o in OUTCOME_ORDER)]
+    for point in points:
+        row = f"{point.flips:>8}"
+        for outcome in OUTCOME_ORDER:
+            row += f"{point.stdev_over_mean[outcome]:>14.3f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_fig3(results_by_unit: dict[str, CampaignResult],
+                unit_order: tuple = ("IFU", "IDU", "FXU", "FPU", "LSU",
+                                     "RUT", "CORE")) -> str:
+    """Figure 3: SER outcome percentages per micro-architectural unit."""
+    lines = ["Figure 3: SER of different micro-architecture units",
+             f"{'Unit':<7}" + "".join(f"{o.value:>15}" for o in OUTCOME_ORDER)]
+    for unit in unit_order:
+        if unit not in results_by_unit:
+            continue
+        fracs = results_by_unit[unit].fractions()
+        lines.append(f"{unit:<7}"
+                     + "".join(f"{_pct(fracs[o]):>15}" for o in OUTCOME_ORDER))
+    return "\n".join(lines)
+
+
+def render_fig4(contributions: dict, unit_order: tuple = ("IFU", "IDU", "FXU",
+                                                          "FPU", "LSU", "RUT",
+                                                          "CORE")) -> str:
+    """Figure 4: per-unit contribution to recoveries/hangs/checkstops."""
+    outcomes = list(contributions)
+    lines = ["Figure 4: Contribution of each unit to total outcome events",
+             f"{'Unit':<7}" + "".join(f"{o.value:>15}" for o in outcomes)]
+    for unit in unit_order:
+        row = f"{unit:<7}"
+        for outcome in outcomes:
+            row += f"{_pct(contributions[outcome].get(unit, 0.0)):>15}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_fig5(results_by_ring: dict[str, CampaignResult],
+                ring_order: tuple = ("MODE", "GPTR", "REGFILE", "FUNC")) -> str:
+    """Figure 5: SER of the different latch types (scan rings)."""
+    lines = ["Figure 5: SER of different types of latches",
+             f"{'Ring':<9}" + "".join(f"{o.value:>15}" for o in OUTCOME_ORDER)]
+    for ring in ring_order:
+        if ring not in results_by_ring:
+            continue
+        fracs = results_by_ring[ring].fractions()
+        lines.append(f"{ring:<9}"
+                     + "".join(f"{_pct(fracs[o]):>15}" for o in OUTCOME_ORDER))
+    return "\n".join(lines)
+
+
+def render_kind_results(results_by_kind: dict[LatchKind, CampaignResult]) -> str:
+    """Equal-count per-latch-type view (Figure 5 companion)."""
+    lines = [f"{'Kind':<9}" + "".join(f"{o.value:>15}" for o in OUTCOME_ORDER)]
+    for kind in (LatchKind.MODE, LatchKind.GPTR, LatchKind.REGFILE,
+                 LatchKind.FUNC):
+        if kind not in results_by_kind:
+            continue
+        fracs = results_by_kind[kind].fractions()
+        lines.append(f"{kind.value:<9}"
+                     + "".join(f"{_pct(fracs[o]):>15}" for o in OUTCOME_ORDER))
+    return "\n".join(lines)

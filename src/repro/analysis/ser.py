@@ -1,0 +1,101 @@
+"""SER / FIT budgeting from measured derating.
+
+The conclusions' designer workflow: "understand the derating of these
+errors by various layers ... and use this derating to their advantage"
+when apportioning soft-error protection.  Given a raw per-latch-bit
+upset rate (from technology data or beam flux) and campaign-measured
+derating, these helpers produce the effective failure-rate budget per
+unit and per failure class — the numbers an RAS architect actually signs
+off on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sfi.outcomes import Outcome
+from repro.sfi.results import CampaignResult
+
+#: 1 FIT = one failure per 1e9 device-hours.
+HOURS_PER_BILLION = 1e9
+
+
+@dataclass(frozen=True)
+class SerBudget:
+    """Effective failure rates (FIT) for one latch population."""
+
+    name: str
+    latch_bits: int
+    raw_fit: float              # upsets/1e9h for the whole population
+    corrected_fit: float        # detected-and-corrected events
+    hang_fit: float
+    checkstop_fit: float
+    sdc_fit: float
+
+    @property
+    def unrecoverable_fit(self) -> float:
+        """Events a system operator would see as an outage or corruption."""
+        return self.hang_fit + self.checkstop_fit + self.sdc_fit
+
+    @property
+    def derating(self) -> float:
+        if self.raw_fit == 0:
+            return 1.0
+        visible = (self.corrected_fit + self.hang_fit + self.checkstop_fit
+                   + self.sdc_fit)
+        return 1.0 - visible / self.raw_fit
+
+
+def budget_from_campaign(name: str, result: CampaignResult,
+                         latch_bits: int,
+                         fit_per_bit: float) -> SerBudget:
+    """Convert campaign outcome fractions into a FIT budget.
+
+    ``fit_per_bit`` is the raw per-bit upset rate (FIT/bit) — e.g. from
+    accelerated-beam cross-sections at the deployment altitude.
+    """
+    if latch_bits < 0 or fit_per_bit < 0:
+        raise ValueError("latch_bits and fit_per_bit must be non-negative")
+    raw = latch_bits * fit_per_bit
+    fractions = result.fractions()
+    return SerBudget(
+        name=name,
+        latch_bits=latch_bits,
+        raw_fit=raw,
+        corrected_fit=raw * fractions[Outcome.CORRECTED],
+        hang_fit=raw * fractions[Outcome.HANG],
+        checkstop_fit=raw * fractions[Outcome.CHECKSTOP],
+        sdc_fit=raw * fractions[Outcome.SDC],
+    )
+
+
+def unit_budgets(results_by_unit: dict[str, CampaignResult],
+                 unit_bits: dict[str, int],
+                 fit_per_bit: float) -> list[SerBudget]:
+    """Per-unit FIT budgets from targeted campaigns (Figure 3 data)."""
+    budgets = []
+    for unit, result in results_by_unit.items():
+        budgets.append(budget_from_campaign(unit, result,
+                                            unit_bits[unit], fit_per_bit))
+    return sorted(budgets, key=lambda b: b.unrecoverable_fit, reverse=True)
+
+
+def mtbf_hours(fit: float) -> float:
+    """Mean time between failures (hours) for a FIT rate."""
+    if fit <= 0:
+        return float("inf")
+    return HOURS_PER_BILLION / fit
+
+
+def render_budgets(budgets: list[SerBudget]) -> str:
+    """Designer-facing FIT budget table."""
+    lines = [f"{'population':<12}{'bits':>8}{'raw FIT':>10}{'corr FIT':>10}"
+             f"{'unrec FIT':>11}{'derating':>10}  {'MTBF(unrec)':>18}"]
+    for budget in budgets:
+        mtbf = mtbf_hours(budget.unrecoverable_fit)
+        mtbf_text = "inf" if mtbf == float("inf") else f"{mtbf:,.0f}h"
+        lines.append(
+            f"{budget.name:<12}{budget.latch_bits:>8}{budget.raw_fit:>10.1f}"
+            f"{budget.corrected_fit:>10.2f}{budget.unrecoverable_fit:>11.3f}"
+            f"{budget.derating:>10.1%}  {mtbf_text:>18}")
+    return "\n".join(lines)

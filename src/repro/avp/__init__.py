@@ -1,0 +1,25 @@
+"""Architectural Verification Program: pseudo-random self-checking
+testcases, the golden-model reference, and the end-of-run architected
+state check that detects SDC."""
+
+from repro.avp.generator import AVP_WEIGHTS, AvpGenerator, MixWeights
+from repro.avp.runner import (
+    AvpBaselineError,
+    ReferenceRun,
+    establish_reference,
+    memory_matches_golden,
+)
+from repro.avp.suite import make_suite
+from repro.avp.testcase import AvpTestcase
+
+__all__ = [
+    "AVP_WEIGHTS",
+    "AvpBaselineError",
+    "AvpGenerator",
+    "AvpTestcase",
+    "MixWeights",
+    "ReferenceRun",
+    "establish_reference",
+    "make_suite",
+    "memory_matches_golden",
+]

@@ -1,0 +1,61 @@
+"""Running AVP testcases on the modelled core.
+
+The runner establishes the fault-free reference execution (cycle count and
+final state) for a testcase on a given machine, and provides the
+architected-state check the AVP performs at the end of a run: the final
+memory image (which contains the stored-out live registers) must match the
+golden ISS image.  A mismatch is the paper's "incorrect architected state"
+/ SDC category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.core import Power6Core
+
+from repro.avp.testcase import AvpTestcase
+
+
+class AvpBaselineError(RuntimeError):
+    """The fault-free reference run misbehaved (a model bug, not a fault)."""
+
+
+@dataclass
+class ReferenceRun:
+    """Fault-free execution record for one testcase on one core config."""
+
+    testcase: AvpTestcase
+    cycles: int
+    committed: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / max(1, self.committed)
+
+
+def establish_reference(core: Power6Core, testcase: AvpTestcase,
+                        max_cycles: int = 200_000) -> ReferenceRun:
+    """Run ``testcase`` fault-free and validate the machine against the
+    golden model.  Raises :class:`AvpBaselineError` on any deviation."""
+    core.load_program(testcase.program)
+    cycles = core.run(max_cycles=max_cycles)
+    if not core.halted:
+        raise AvpBaselineError(
+            f"testcase seed={testcase.seed} did not halt in {max_cycles} cycles")
+    if not core.error_free():
+        raise AvpBaselineError(
+            f"testcase seed={testcase.seed}: checkers fired on fault-free run")
+    if core.memory.nonzero_words() != testcase.golden_memory:
+        raise AvpBaselineError(
+            f"testcase seed={testcase.seed}: fault-free memory image mismatch")
+    if core.committed != testcase.instructions_retired:
+        raise AvpBaselineError(
+            f"testcase seed={testcase.seed}: committed {core.committed} != "
+            f"golden {testcase.instructions_retired}")
+    return ReferenceRun(testcase=testcase, cycles=cycles, committed=core.committed)
+
+
+def memory_matches_golden(core: Power6Core, testcase: AvpTestcase) -> bool:
+    """AVP end-of-run architected-state check (memory image compare)."""
+    return core.memory.nonzero_words() == testcase.golden_memory

@@ -1,0 +1,20 @@
+"""AVP suites: pools of testcases used by injection campaigns.
+
+The real AVP executes "numerous small testcases"; a campaign cycles
+through a pool so that injections sample many program behaviours rather
+than one fixed trace.
+"""
+
+from __future__ import annotations
+
+from repro.avp.generator import AvpGenerator, MixWeights
+from repro.avp.testcase import AvpTestcase
+
+
+def make_suite(count: int, seed: int = 2008,
+               weights: MixWeights | None = None) -> list[AvpTestcase]:
+    """Generate ``count`` testcases deterministically from ``seed``."""
+    if count < 1:
+        raise ValueError("suite needs at least one testcase")
+    generator = AvpGenerator(weights) if weights else AvpGenerator()
+    return [generator.generate(seed * 1_000_003 + i) for i in range(count)]

@@ -1,0 +1,38 @@
+"""AVP testcase container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.iss import ArchState
+from repro.isa.opcodes import InstrClass
+from repro.isa.program import Program
+
+
+@dataclass
+class AvpTestcase:
+    """One self-checking pseudo-random testcase.
+
+    The golden results are computed at generation time on the ISS; after a
+    (possibly fault-injected) run, the final memory image is compared
+    against ``golden_memory`` to detect incorrect architected state — the
+    paper's "BAD ARCH STATE" category.
+    """
+
+    seed: int
+    program: Program
+    golden_memory: dict[int, int]
+    golden_state: ArchState
+    instructions_retired: int
+    class_counts: dict[InstrClass, int] = field(default_factory=dict)
+
+    @property
+    def static_size(self) -> int:
+        return len(self.program.words)
+
+    def dynamic_mix(self) -> dict[InstrClass, float]:
+        """Dynamic instruction-class fractions (of all retired)."""
+        total = sum(self.class_counts.values())
+        if not total:
+            return {c: 0.0 for c in InstrClass}
+        return {c: self.class_counts.get(c, 0) / total for c in InstrClass}

@@ -1,0 +1,7 @@
+"""Proton-beam irradiation simulator: the real-world calibration
+reference SFI is validated against (Table 2)."""
+
+from repro.beam.experiment import BeamExperiment
+from repro.beam.flux import FluxModel
+
+__all__ = ["BeamExperiment", "FluxModel"]

@@ -1,0 +1,161 @@
+"""Proton-beam irradiation experiment (simulated).
+
+The calibration reference for Table 2: upsets strike the *whole physical
+bit population* — every latch bit plus the SRAM arrays (caches and the
+recovery unit's ECC checkpoint) — at uncontrolled random times, and only
+the system-level response is observable.  Both the beam and SFI drive the
+same chip model here, exactly as both drove the same physical POWER6 in
+the paper, so comparing their outcome proportions is meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.sfi.campaign import CampaignConfig, SfiExperiment
+from repro.sfi.classify import classify
+from repro.sfi.results import CampaignResult, InjectionRecord
+from repro.rtl.latch import LatchKind
+
+from repro.beam.flux import FluxModel
+
+
+@dataclass(frozen=True)
+class _ArraySite:
+    """One strikeable SRAM bit."""
+
+    array: object
+    index: int
+    bit: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.array.name}[{self.index}].{self.bit}"
+
+
+class BeamExperiment:
+    """Irradiation of the running machine."""
+
+    def __init__(self, config: CampaignConfig | None = None,
+                 flux: FluxModel | None = None) -> None:
+        # The beam rides on the same prepared machine as SFI.
+        self.sfi = SfiExperiment(config)
+        self.flux = flux or FluxModel()
+        self.latch_map = self.sfi.latch_map
+        self._array_sites: list[_ArraySite] = []
+        for array in self.sfi.core.arrays():
+            bits_per_word = array.bit_count // len(array)
+            for index in range(len(array)):
+                for bit in range(bits_per_word):
+                    self._array_sites.append(_ArraySite(array, index, bit))
+
+    @property
+    def latch_bits(self) -> int:
+        return len(self.latch_map)
+
+    @property
+    def array_bits(self) -> int:
+        return len(self._array_sites)
+
+    def _pick_site(self, rng: random.Random):
+        """Cross-section-weighted choice over the physical population.
+
+        Returns ``("latch", index)`` or ``("array", site)``.
+        """
+        latch_weight = float(self.latch_bits)
+        array_weight = self.array_bits * self.flux.sram_cross_section
+        if rng.random() * (latch_weight + array_weight) < latch_weight:
+            return "latch", rng.randrange(self.latch_bits)
+        return "array", self._array_sites[rng.randrange(len(self._array_sites))]
+
+    def run_events(self, count: int, seed: int = 0) -> CampaignResult:
+        """Collect ``count`` single-upset beam events and classify them.
+
+        Each event is one workload execution struck once at a random
+        cycle — the per-event view the paper's beam analysis reports
+        (5,600+ categorised bit-flip events).
+        """
+        rng = random.Random(f"beam:{seed}")
+        sfi = self.sfi
+        result = CampaignResult(
+            population_bits=self.latch_bits + self.array_bits)
+        for i in range(count):
+            testcase_index = i % len(sfi.suite)
+            reference = sfi.references[testcase_index]
+            strike_cycle = rng.randrange(reference.cycles)
+            kind, site = self._pick_site(rng)
+            sfi.emulator.reload(sfi._ckpt_name(testcase_index))
+            if strike_cycle:
+                sfi.emulator.clock(strike_cycle)
+            if kind == "latch":
+                fault = sfi.emulator.inject(site)
+                site_name = fault.name
+                unit = self.latch_map.unit_of(site)
+                latch_kind = fault.latch.kind
+                ring = fault.latch.ring
+            else:
+                site.array.flip(site.index, site.bit)
+                site_name = site.name
+                unit = "ARRAY"
+                latch_kind = LatchKind.FUNC
+                ring = "ARRAY"
+            budget = (reference.cycles - strike_cycle) + sfi.config.drain_cycles
+            sfi.host.run_until_quiesce(budget)
+            outcome = classify(sfi.core, reference.testcase,
+                               sfi.config.classify_options)
+            result.add(InjectionRecord(
+                site_index=-1 if kind == "array" else site,
+                site_name=site_name,
+                unit=unit,
+                kind=latch_kind,
+                ring=ring,
+                testcase_seed=reference.testcase.seed,
+                inject_cycle=strike_cycle,
+                outcome=outcome,
+            ))
+        return result
+
+    def irradiate(self, runs: int, seed: int = 0) -> tuple[CampaignResult, int]:
+        """Full flux model: each run receives a Poisson number of upsets
+        (possibly zero, possibly several).  Returns the per-*run*
+        classification and the total number of upsets delivered."""
+        rng = random.Random(f"beamflux:{seed}")
+        sfi = self.sfi
+        result = CampaignResult(
+            population_bits=self.latch_bits + self.array_bits)
+        upsets = 0
+        for i in range(runs):
+            testcase_index = i % len(sfi.suite)
+            reference = sfi.references[testcase_index]
+            count = self.flux.sample_upset_count(rng)
+            cycles = self.flux.sample_upset_cycles(count, reference.cycles, rng)
+            sfi.emulator.reload(sfi._ckpt_name(testcase_index))
+            elapsed = 0
+            names = []
+            for strike_cycle in cycles:
+                if strike_cycle > elapsed:
+                    sfi.emulator.clock(strike_cycle - elapsed)
+                    elapsed = strike_cycle
+                kind, site = self._pick_site(rng)
+                upsets += 1
+                if kind == "latch":
+                    names.append(sfi.emulator.inject(site).name)
+                else:
+                    site.array.flip(site.index, site.bit)
+                    names.append(site.name)
+            budget = (reference.cycles - elapsed) + sfi.config.drain_cycles
+            sfi.host.run_until_quiesce(budget)
+            outcome = classify(sfi.core, reference.testcase,
+                               sfi.config.classify_options)
+            result.add(InjectionRecord(
+                site_index=-1,
+                site_name="+".join(names) or "(no upset)",
+                unit="BEAM",
+                kind=LatchKind.FUNC,
+                ring="BEAM",
+                testcase_seed=reference.testcase.seed,
+                inject_cycle=cycles[0] if cycles else 0,
+                outcome=outcome,
+            ))
+        return result, upsets

@@ -1,0 +1,48 @@
+"""Particle-flux model for the beam experiment.
+
+A proton beam delivers upsets as a Poisson process over the physical bit
+population of the chip.  Unlike SFI, the beam cannot be aimed: strikes
+land anywhere — functional latches, scan-only latches, and the SRAM
+arrays (caches, the recovery unit's checkpoint) that SFI's latch
+campaigns exclude.  Cross-sections differ per structure type; the ratio
+is a model parameter.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FluxModel:
+    """Upset-arrival model for one irradiation run.
+
+    ``mean_upsets_per_run`` is the expected number of upsets during one
+    workload execution window (beam intensity x run length x total
+    cross-section).  ``sram_cross_section`` scales the relative
+    per-bit sensitivity of SRAM cells versus latches.
+    """
+
+    mean_upsets_per_run: float = 1.0
+    sram_cross_section: float = 1.3
+
+    def sample_upset_count(self, rng: random.Random) -> int:
+        """Number of upsets in one run (Poisson via inversion)."""
+        lam = self.mean_upsets_per_run
+        if lam <= 0:
+            return 0
+        # Knuth's method is fine for the small lambdas used here.
+        threshold = math.exp(-lam)
+        count = 0
+        product = rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return count
+
+    def sample_upset_cycles(self, count: int, run_cycles: int,
+                            rng: random.Random) -> list[int]:
+        """Uniform arrival cycles for ``count`` upsets, sorted."""
+        return sorted(rng.randrange(run_cycles) for _ in range(count))

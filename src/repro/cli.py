@@ -1,0 +1,292 @@
+"""Command-line interface for the SFI reproduction.
+
+Installed as ``repro-sfi`` (see ``pyproject.toml``), also runnable as
+``python -m repro.cli``.  Subcommands map onto the paper's experiment
+modes::
+
+    repro-sfi info                         # model inventory
+    repro-sfi campaign --flips 1000        # whole-core random SFI
+    repro-sfi units --flips-per-unit 400   # Figures 3 & 4
+    repro-sfi kinds --flips-per-kind 400   # Figure 5
+    repro-sfi beam --events 1000           # Table 2's beam side
+    repro-sfi workload                     # Table 1
+    repro-sfi trace --flips 300 --show 5   # cause-and-effect narratives
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.analysis import (
+    contribution_table,
+    render_cause_effect,
+    render_fig3,
+    render_fig4,
+    render_kind_results,
+    render_table1,
+    render_trace_summary,
+    summarize_traces,
+)
+from repro.rtl import InjectionMode
+from repro.sfi import (
+    CampaignConfig,
+    ClassifyOptions,
+    SfiExperiment,
+    per_kind_campaigns,
+    per_unit_campaigns,
+)
+from repro.sfi.outcomes import OUTCOME_ORDER, Outcome
+from repro.stats import wilson_interval
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--suite-size", type=int, default=4,
+                        help="AVP testcases in the workload pool")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
+
+
+def _config(args, **overrides) -> CampaignConfig:
+    kwargs = dict(suite_size=args.suite_size)
+    if getattr(args, "raw", False):
+        kwargs["checker_mask"] = 0
+        kwargs["classify_options"] = ClassifyOptions(latent_as_vanished=True)
+    if getattr(args, "sticky", False):
+        kwargs["injection_mode"] = InjectionMode.STICKY
+    kwargs.update(overrides)
+    return CampaignConfig(**kwargs)
+
+
+def _result_payload(result) -> dict:
+    counts = result.counts()
+    payload = {"total": result.total, "outcomes": {}}
+    for outcome in OUTCOME_ORDER:
+        low, high = wilson_interval(counts[outcome], max(1, result.total))
+        payload["outcomes"][outcome.value] = {
+            "count": counts[outcome],
+            "fraction": counts[outcome] / max(1, result.total),
+            "ci95": [low, high],
+        }
+    return payload
+
+
+def _print_result(result, as_json: bool) -> None:
+    if as_json:
+        json.dump(_result_payload(result), sys.stdout, indent=2)
+        print()
+        return
+    counts = result.counts()
+    print(f"{'Outcome':<16}{'count':>8}{'fraction':>10}   95% CI")
+    for outcome in OUTCOME_ORDER:
+        low, high = wilson_interval(counts[outcome], max(1, result.total))
+        print(f"{outcome.value:<16}{counts[outcome]:>8}"
+              f"{counts[outcome] / max(1, result.total):>10.2%}"
+              f"   [{low:.2%}, {high:.2%}]")
+
+
+# ----------------------------------------------------------------------
+# Subcommands.
+
+def cmd_info(args) -> int:
+    experiment = SfiExperiment(_config(args))
+    latch_map = experiment.latch_map
+    if args.json:
+        json.dump({
+            "latch_bits": len(latch_map),
+            "units": latch_map.unit_bit_counts(),
+            "rings": {ring: len(latch_map.indices_for_ring(ring))
+                      for ring in latch_map.rings()},
+            "references": [{"seed": r.testcase.seed, "cycles": r.cycles,
+                            "instructions": r.committed, "cpi": r.cpi}
+                           for r in experiment.references],
+        }, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"Injectable latch bits: {len(latch_map):,}")
+    print("Per unit:")
+    for unit, bits in sorted(latch_map.unit_bit_counts().items()):
+        print(f"  {unit:5s} {bits:7,}")
+    print("Per scan ring:")
+    for ring in latch_map.rings():
+        print(f"  {ring:8s} {len(latch_map.indices_for_ring(ring)):7,}")
+    print("Workload references:")
+    for reference in experiment.references:
+        print(f"  seed {reference.testcase.seed}: "
+              f"{reference.committed} instructions, "
+              f"{reference.cycles} cycles (CPI {reference.cpi:.2f})")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    config = _config(args)
+    start = time.perf_counter()
+    if args.workers > 1:
+        from repro.sfi.parallel import run_parallel_campaign
+        from repro.sfi.sampling import random_sample
+        import random as random_module
+        probe = SfiExperiment(config)
+        sites = random_sample(probe.latch_map, args.flips,
+                              random_module.Random(args.seed ^ 0x5F1))
+        result = run_parallel_campaign(config, sites, seed=args.seed,
+                                       workers=args.workers,
+                                       population_bits=len(probe.latch_map))
+    else:
+        experiment = SfiExperiment(config)
+        result = experiment.run_random_campaign(args.flips, seed=args.seed)
+    elapsed = time.perf_counter() - start
+    if not args.json:
+        print(f"{result.total} injections in {elapsed:.1f}s "
+              f"({1000 * elapsed / max(1, result.total):.0f} ms each)")
+    _print_result(result, args.json)
+    return 0
+
+
+def cmd_units(args) -> int:
+    experiment = SfiExperiment(_config(args))
+    results = per_unit_campaigns(experiment, args.flips_per_unit,
+                                 seed=args.seed)
+    if args.json:
+        json.dump({unit: _result_payload(result)
+                   for unit, result in results.items()}, sys.stdout, indent=2)
+        print()
+        return 0
+    print(render_fig3(results))
+    print()
+    print(render_fig4(contribution_table(
+        results, experiment.latch_map.unit_bit_counts())))
+    return 0
+
+
+def cmd_kinds(args) -> int:
+    experiment = SfiExperiment(_config(args))
+    results = per_kind_campaigns(experiment, args.flips_per_kind,
+                                 seed=args.seed)
+    if args.json:
+        json.dump({kind.value: _result_payload(result)
+                   for kind, result in results.items()}, sys.stdout, indent=2)
+        print()
+        return 0
+    print(render_kind_results(results))
+    return 0
+
+
+def cmd_beam(args) -> int:
+    from repro.beam import BeamExperiment, FluxModel
+    beam = BeamExperiment(_config(args),
+                          flux=FluxModel(sram_cross_section=args.sram_sigma))
+    result = beam.run_events(args.events, seed=args.seed)
+    if not args.json:
+        print(f"{result.total} beam events over "
+              f"{beam.latch_bits:,} latch + {beam.array_bits:,} array bits")
+    _print_result(result, args.json)
+    return 0
+
+
+def cmd_workload(args) -> int:
+    from repro.avp import AvpGenerator
+    from repro.workload import (
+        SPEC_COMPONENTS,
+        measure_cpi,
+        measure_opcode_mix,
+        top90_class_mix,
+    )
+    avp_programs = [AvpGenerator().generate(seed).program
+                    for seed in range(args.seed, args.seed + args.programs)]
+    avp_mix = top90_class_mix(measure_opcode_mix(avp_programs))
+    avp_cpi = measure_cpi(avp_programs[:2])
+    spec_mixes = {}
+    spec_cpis = {}
+    for component in SPEC_COMPONENTS:
+        programs = component.programs(count=args.programs)
+        spec_mixes[component.name] = top90_class_mix(
+            measure_opcode_mix(programs))
+        spec_cpis[component.name] = measure_cpi(programs[:1])
+    if args.json:
+        json.dump({
+            "avp": {cls.value: share for cls, share in avp_mix.items()},
+            "avp_cpi": avp_cpi,
+            "spec": {name: {cls.value: share for cls, share in mix.items()}
+                     for name, mix in spec_mixes.items()},
+            "spec_cpi": spec_cpis,
+        }, sys.stdout, indent=2)
+        print()
+        return 0
+    print(render_table1(avp_mix, avp_cpi, spec_mixes, spec_cpis))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    experiment = SfiExperiment(_config(args))
+    result = experiment.run_random_campaign(args.flips, seed=args.seed)
+    visible = [record for record in result.records
+               if record.outcome is not Outcome.VANISHED]
+    for record in visible[:args.show]:
+        print(render_cause_effect(record))
+        print()
+    print(render_trace_summary(summarize_traces(result)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sfi",
+        description="Statistical Fault Injection (DSN 2008) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="model inventory and references")
+    _add_common(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("campaign", help="whole-core random SFI campaign")
+    _add_common(p)
+    p.add_argument("--flips", type=int, default=500)
+    p.add_argument("--raw", action="store_true",
+                   help="mask every hardware checker (Table 3's Raw mode)")
+    p.add_argument("--sticky", action="store_true",
+                   help="sticky injection mode instead of toggle")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel simulation copies (paper §2.2)")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("units", help="per-unit campaigns (Figures 3 & 4)")
+    _add_common(p)
+    p.add_argument("--flips-per-unit", type=int, default=300)
+    p.set_defaults(func=cmd_units)
+
+    p = sub.add_parser("kinds", help="per-latch-type campaigns (Figure 5)")
+    _add_common(p)
+    p.add_argument("--flips-per-kind", type=int, default=300)
+    p.set_defaults(func=cmd_kinds)
+
+    p = sub.add_parser("beam", help="proton-beam simulation (Table 2)")
+    _add_common(p)
+    p.add_argument("--events", type=int, default=500)
+    p.add_argument("--sram-sigma", type=float, default=1.3,
+                   help="SRAM:latch cross-section ratio")
+    p.set_defaults(func=cmd_beam)
+
+    p = sub.add_parser("workload", help="AVP vs SPECInt mixes (Table 1)")
+    _add_common(p)
+    p.add_argument("--programs", type=int, default=3)
+    p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser("trace", help="cause-and-effect traces")
+    _add_common(p)
+    p.add_argument("--flips", type=int, default=300)
+    p.add_argument("--show", type=int, default=5)
+    p.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

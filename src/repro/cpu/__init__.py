@@ -1,0 +1,22 @@
+"""The P6-lite core model: a latch-accurate, cycle-based POWER6-class
+in-order core with hardware checkers, checkpoint-retry recovery, watchdog
+hang detection and checkstop logic."""
+
+from repro.cpu.checkers import CHECKSTOP_ONLY, Checker
+from repro.cpu.chip import Power6Chip
+from repro.cpu.events import EventKind, EventLog, MachineEvent
+from repro.cpu.core import CoreSnapshot, Power6Core
+from repro.cpu.params import UNIT_NAMES, CoreParams
+
+__all__ = [
+    "CHECKSTOP_ONLY",
+    "Checker",
+    "CoreParams",
+    "CoreSnapshot",
+    "EventKind",
+    "EventLog",
+    "MachineEvent",
+    "Power6Chip",
+    "Power6Core",
+    "UNIT_NAMES",
+]

@@ -1,0 +1,96 @@
+"""Direct-mapped cache with latch-based tags and SRAM data arrays.
+
+Tag and valid bits are latches (injectable by SFI); the data store is a
+parity-protected SRAM array (injectable by the beam simulator).  A parity
+error on either path is *correctable*: the line is invalidated and
+refetched from memory, which is how clean-cache parity errors are handled
+on POWER6-class machines.
+"""
+
+from __future__ import annotations
+
+from repro.isa.memory import Memory
+from repro.rtl.latch import LatchKind
+from repro.rtl.module import HwModule
+
+from repro.cpu.arrays import SramArray
+
+
+class DirectMappedCache(HwModule):
+    """A read-allocate, write-through direct-mapped cache."""
+
+    def __init__(self, name: str, lines: int, words_per_line: int,
+                 ring: str) -> None:
+        super().__init__(name)
+        if lines & (lines - 1) or words_per_line & (words_per_line - 1):
+            raise ValueError("cache geometry must be powers of two")
+        self.lines = lines
+        self.words_per_line = words_per_line
+        self.offset_bits = (words_per_line * 4 - 1).bit_length()
+        self.index_bits = (lines - 1).bit_length()
+        self.tag_width = 32 - self.offset_bits - self.index_bits
+        self.tags = self.add_bank("tag", lines, self.tag_width,
+                                  kind=LatchKind.FUNC, protected=True, ring=ring)
+        self.valids = self.add_latch("valid", lines, kind=LatchKind.FUNC,
+                                     protected=False, ring=ring)
+        self.array = SramArray(f"{name}.data", lines * words_per_line)
+
+    def _split(self, addr: int) -> tuple[int, int, int]:
+        offset_words = (addr >> 2) & (self.words_per_line - 1)
+        index = (addr >> self.offset_bits) & (self.lines - 1)
+        tag = (addr >> (self.offset_bits + self.index_bits)) & ((1 << self.tag_width) - 1)
+        return tag, index, offset_words
+
+    def lookup(self, addr: int) -> tuple[str, int]:
+        """Probe the cache.
+
+        Returns ``(status, word)`` where status is one of:
+
+        * ``"hit"``      - valid line, matching tag, clean parity;
+        * ``"miss"``     - no valid matching line;
+        * ``"tag_err"``  - tag latch parity error on the indexed line;
+        * ``"data_err"`` - data array parity error on the accessed word.
+
+        The caller decides what each status means (errors invalidate and
+        refetch; they are correctable events).
+        """
+        tag, index, offset = self._split(addr)
+        tag_latch = self.tags[index]
+        if not ((self.valids.value >> index) & 1):
+            return "miss", 0
+        if not tag_latch.parity_ok():
+            return "tag_err", 0
+        if tag_latch.value != tag:
+            return "miss", 0
+        word, parity_ok = self.array.read(index * self.words_per_line + offset)
+        if not parity_ok:
+            # The (corrupt) word is still returned so that a masked checker
+            # consumes the bad data, as the real hardware would.
+            return "data_err", word
+        return "hit", word
+
+    def fill(self, addr: int, memory: Memory) -> None:
+        """Refill the line containing ``addr`` from backing memory."""
+        tag, index, _ = self._split(addr)
+        line_base = addr & ~((1 << self.offset_bits) - 1)
+        for i in range(self.words_per_line):
+            self.array.write(index * self.words_per_line + i,
+                             memory.load_word(line_base + 4 * i))
+        self.tags[index].write(tag)
+        self.valids.write(self.valids.value | (1 << index))
+
+    def write_through(self, addr: int, value: int) -> None:
+        """Update the cached copy on a store hit (memory is written by the
+        caller); a miss is not allocated."""
+        tag, index, offset = self._split(addr)
+        tag_latch = self.tags[index]
+        if (((self.valids.value >> index) & 1)
+                and tag_latch.parity_ok() and tag_latch.value == tag):
+            self.array.write(index * self.words_per_line + offset, value)
+
+    def invalidate_line(self, addr: int) -> None:
+        _, index, _ = self._split(addr)
+        self.valids.write(self.valids.value & ~(1 << index))
+
+    def invalidate_all(self) -> None:
+        self.valids.write(0)

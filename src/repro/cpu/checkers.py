@@ -1,0 +1,61 @@
+"""Hardware checker identifiers and the error-reporting fabric.
+
+Each checker models a concrete piece of POWER6-style error-detection
+hardware (parity checks on latches at their point of use, illegal-opcode
+and illegal-FSM-state detectors, ECC on the recovery unit's checkpoint,
+store-queue parity at drain time).  Checkers are individually maskable
+through MODE latches, which is how the paper's Table 3 experiment
+("Raw" vs "Check") is performed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Checker(enum.IntEnum):
+    """Checker identifiers; the value is the FIR bit position."""
+
+    IFU_IFAR_PARITY = 0
+    IFU_ICACHE_PARITY = 1
+    IFU_FBUF_PARITY = 2
+    IDU_ILLEGAL_OPCODE = 3
+    IDU_REGREAD_PARITY = 4
+    IDU_CR_LR_PARITY = 5
+    FXU_OPERAND_PARITY = 6
+    FXU_RESULT_PARITY = 7
+    FPU_OPERAND_PARITY = 8
+    FPU_RESULT_PARITY = 9
+    LSU_EA_PARITY = 10
+    LSU_DCACHE_PARITY = 11
+    LSU_STQ_PARITY = 12
+    RUT_COMMIT_PARITY = 13
+    RUT_CKPT_ECC = 14
+    CORE_FSM_ILLEGAL = 15
+    LSU_ERAT_PARITY = 16
+    LSU_ERAT_MULTIHIT = 17
+    IFU_ERAT_PARITY = 18
+    IFU_ERAT_MULTIHIT = 19
+    CORE_HANG_DETECT = 20
+    NEST_MC_PARITY = 21
+    NEST_IO_PARITY = 22
+
+    @property
+    def unit(self) -> str:
+        return self.name.split("_", 1)[0].replace("CORE", "CORE")
+
+
+#: Checkers whose detection can only lead to checkstop (the error is past
+#: the recovery checkpoint, inside the recovery machinery itself, or an
+#: inconsistency — like a translation multi-hit — that retry cannot cure).
+CHECKSTOP_ONLY = frozenset({Checker.LSU_STQ_PARITY, Checker.LSU_ERAT_MULTIHIT,
+                            Checker.IFU_ERAT_MULTIHIT, Checker.NEST_MC_PARITY})
+
+NUM_CHECKERS = len(Checker)
+
+
+class ErrorSeverity(enum.Enum):
+    """How the error-handling fabric treats a raised checker."""
+
+    RECOVERABLE = "recoverable"
+    CHECKSTOP = "checkstop"

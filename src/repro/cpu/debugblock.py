@@ -1,0 +1,33 @@
+"""Debug/instrumentation latch blocks.
+
+Real units carry large populations of latches with no influence on
+architected execution: performance counters, trace-capture staging, spare
+and ECO latches, debug muxes.  They are a major source of the architectural
+derating the paper measures — a strike there is real but functionally
+masked.  The block materialises its counters lazily (their values never
+feed functional logic), which keeps the cycle loop fast without changing
+any observable outcome.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.latch import LatchKind
+from repro.rtl.module import HwModule
+
+
+class DebugBlock(HwModule):
+    """A block of functionally dead latches attached to a unit."""
+
+    def __init__(self, name: str, bits: int, ring: str) -> None:
+        super().__init__(name)
+        remaining = bits
+        index = 0
+        # A mix of counter-shaped (32b), trace-shaped (64b is modelled as
+        # two 32b words) and spare (8b) latches.
+        shapes = [32, 32, 8, 32, 16, 8]
+        while remaining > 0:
+            width = min(shapes[index % len(shapes)], remaining)
+            self.add_latch(f"dbg{index}", width, kind=LatchKind.FUNC,
+                           protected=False, ring=ring)
+            remaining -= width
+            index += 1

@@ -1,0 +1,89 @@
+"""Machine event log: the cause-and-effect tracing substrate.
+
+One of the paper's three headline capabilities is "cause and effect
+tracing of system errors (effect) to the originating bit flip (cause) in
+a full-system environment".  The event log records every RAS-visible
+transition with its cycle — error detections (which checker, at what
+PC), recovery sequencing, corrected events, hang/checkstop assertion,
+instruction-stream landmarks — so a campaign record can narrate the
+full causal chain from the flip to the final outcome.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """RAS-visible machine events."""
+
+    INJECTION = "injection"
+    ERROR_DETECTED = "error-detected"
+    ERROR_MASKED = "error-masked"          # checker disabled; data flowed
+    CORRECTED_LOCAL = "corrected-local"    # in-place fix (cache/ERAT/ECC)
+    RECOVERY_START = "recovery-start"
+    RECOVERY_RESTORED = "recovery-restored"
+    RECOVERY_DONE = "recovery-done"
+    HANG_DETECTED = "hang"
+    CHECKSTOP = "checkstop"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class MachineEvent:
+    """One timestamped event."""
+
+    cycle: int
+    kind: EventKind
+    detail: str
+
+    def __str__(self) -> str:
+        return f"cycle {self.cycle:>7}: {self.kind.value:<18} {self.detail}"
+
+
+class EventLog:
+    """Bounded in-order event recorder attached to a core."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self.events: list[MachineEvent] = []
+        self.dropped = 0
+
+    def record(self, cycle: int, kind: EventKind, detail: str = "") -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(MachineEvent(cycle, kind, detail))
+
+    def clear(self) -> None:
+        self.events = []
+        self.dropped = 0
+
+    def of_kind(self, kind: EventKind) -> list[MachineEvent]:
+        return [event for event in self.events if event.kind is kind]
+
+    def first_of(self, kind: EventKind) -> MachineEvent | None:
+        for event in self.events:
+            if event.kind is kind:
+                return event
+        return None
+
+    def snapshot(self) -> tuple:
+        return (tuple(self.events), self.dropped)
+
+    def restore(self, snap: tuple) -> None:
+        self.events = list(snap[0])
+        self.dropped = snap[1]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def render(self) -> str:
+        lines = [str(event) for event in self.events]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} further events dropped)")
+        return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Core periphery ("nest"): memory controller and I/O bridge.
+
+The paper's stated future work: "fault injections in the periphery of
+the core, such as the I/O subsystem, memory subsystem and so on."  This
+optional extension (enable with ``CoreParams(include_nest=True)``) adds
+two periphery units to the injectable population:
+
+* a **memory controller** that buffers the store stream behind a
+  parity-protected write queue and ECC-staging datapath — corruption
+  there is past every core checkpoint, so detection means checkstop and
+  silent corruption means wrong data in DRAM;
+* an **I/O bridge** holding DMA descriptor and doorbell latches that are
+  dormant under the AVP but armed: a flipped DMA-enable bit makes the
+  bridge execute a spurious descriptor and scribble over memory — the
+  classic periphery SDC the paper wants to chase next.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.module import HwModule
+
+from repro.cpu.checkers import Checker
+from repro.cpu.debugblock import DebugBlock
+
+
+class MemoryController(HwModule):
+    """Write-queue memory controller between the store stream and DRAM."""
+
+    def __init__(self, core, params) -> None:
+        super().__init__("nest.mc")
+        self.core = core
+        ring = "NEST"
+        n = params.mc_queue_entries
+        self.entries = n
+        self.wq_valid = self.add_latch("wq_valid", n, ring=ring)
+        self.wq_byte = self.add_latch("wq_byte", n, ring=ring)
+        self.wq_addr = self.add_bank("wq_addr", n, 32, protected=True, ring=ring)
+        self.wq_data = self.add_bank("wq_data", n, 32, protected=True, ring=ring)
+        self.ecc_stage = self.add_latch("ecc_stage", 32, ring=ring)
+        self.sched_ptr = self.add_latch("sched_ptr", 3, ring=ring)
+        self.refresh_ctr = self.add_latch("refresh_ctr", 12, ring=ring)
+
+    def can_accept(self) -> bool:
+        mask = (1 << self.entries) - 1
+        return (self.wq_valid.value & mask) != mask
+
+    def empty(self) -> bool:
+        return not self.wq_valid.value
+
+    def enqueue(self, addr_latch, data_latch, is_byte: bool) -> bool:
+        """Accept one store from the core's store queue (parity travels)."""
+        valid = self.wq_valid.value
+        for i in range(self.entries):
+            if not (valid >> i) & 1:
+                self.wq_addr[i].value = addr_latch.value
+                self.wq_addr[i].par = addr_latch.par
+                self.wq_data[i].value = data_latch.value
+                self.wq_data[i].par = data_latch.par
+                if is_byte:
+                    self.wq_byte.write(self.wq_byte.value | (1 << i))
+                else:
+                    self.wq_byte.write(self.wq_byte.value & ~(1 << i))
+                self.wq_valid.write(valid | (1 << i))
+                return True
+        return False
+
+    def cycle(self) -> None:
+        """Retire one write per cycle; the refresh engine ticks along."""
+        self.refresh_ctr.write((self.refresh_ctr.value + 1) & 0xFFF)
+        valid = self.wq_valid.value
+        if not valid:
+            return
+        slot = next(i for i in range(self.entries) if (valid >> i) & 1)
+        addr_latch, data_latch = self.wq_addr[slot], self.wq_data[slot]
+        if not addr_latch.parity_ok() or not data_latch.parity_ok():
+            # Data already left every core checkpoint: fail-stop.
+            if self.core.raise_error(Checker.NEST_MC_PARITY):
+                self.wq_valid.write(valid & ~(1 << slot))
+                return
+        self.ecc_stage.write(data_latch.value)
+        addr = addr_latch.value
+        if (self.wq_byte.value >> slot) & 1:
+            self.core.memory.store_byte(addr, self.ecc_stage.value & 0xFF)
+        else:
+            self.core.memory.store_word(addr & ~3, self.ecc_stage.value)
+        self.wq_valid.write(valid & ~(1 << slot))
+
+
+class IoBridge(HwModule):
+    """Host bridge: MMIO doorbells and a (normally idle) DMA engine."""
+
+    def __init__(self, core, params) -> None:
+        super().__init__("nest.io")
+        self.core = core
+        ring = "NEST"
+        self.dma_ctl = self.add_latch("dma_ctl", 8, ring=ring)  # bit0: go
+        self.dma_src = self.add_latch("dma_src", 32, protected=True, ring=ring)
+        self.dma_dst = self.add_latch("dma_dst", 32, protected=True, ring=ring)
+        self.dma_len = self.add_latch("dma_len", 8, ring=ring)
+        self.dma_state = self.add_latch("dma_state", 2, ring=ring)
+        self.doorbells = self.add_latch("doorbells", 16, ring=ring)
+        self.intr_mask = self.add_latch("intr_mask", 16, ring=ring)
+        self.mmio_window = self.add_bank("mmio", 8, 32, ring=ring)
+
+    def cycle(self) -> None:
+        if not self.dma_ctl.value & 1:
+            return
+        # A spuriously armed DMA engine: check descriptor integrity first
+        # (real bridges parity-check descriptors before moving data).
+        if not self.dma_src.parity_ok() or not self.dma_dst.parity_ok():
+            if self.core.raise_error(Checker.NEST_IO_PARITY):
+                self.dma_ctl.write(self.dma_ctl.value & ~1)
+                return
+        length = self.dma_len.value & 0xFF
+        src = self.dma_src.value & ~3
+        dst = self.dma_dst.value & ~3
+        for i in range(min(4, length or 1)):  # 4 words per cycle burst
+            word = self.core.memory.load_word((src + 4 * i) & 0xFFFFFFFC)
+            self.core.memory.store_word((dst + 4 * i) & 0xFFFFFFFC, word)
+        remaining = max(0, length - 4)
+        self.dma_len.write(remaining)
+        self.dma_src.write(src + 16)
+        self.dma_dst.write(dst + 16)
+        if remaining == 0:
+            self.dma_ctl.write(self.dma_ctl.value & ~1)
+
+
+class Nest(HwModule):
+    """Container for the periphery units (one injectable pseudo-unit)."""
+
+    def __init__(self, core, params) -> None:
+        super().__init__("nest")
+        self.core = core
+        self.mc = self.add_child(MemoryController(core, params))
+        self.io = self.add_child(IoBridge(core, params))
+        self.debug = self.add_child(DebugBlock(
+            "nest.debug", params.scaled_debug_bits("NEST"), "NEST"))
+
+    def cycle(self) -> None:
+        self.mc.cycle()
+        self.io.cycle()
+
+    def quiesced(self) -> bool:
+        return self.mc.empty() and not (self.io.dma_ctl.value & 1)

@@ -1,0 +1,74 @@
+"""Parity-protected register files (REGFILE-type latches).
+
+Modelled with POWER6's real structure: the core is 2-way SMT (a second,
+idle thread context doubles the architected register state) and the GPR
+and FPR files are physically duplicated per execution cluster — the
+FXU-side copy feeds arithmetic reads and *lives in the FXU*, while the
+LSU-side copy feeds address/store-data reads and lives in the LSU.  Both
+copies are written at commit.  Only the copy a consumer actually reads
+can detect a flip, and the idle thread's registers are never consumed at
+all — which is why flips in REGFILE latches mostly vanish (Figure 5)
+even though the workload's own registers are hot.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.latch import Latch, LatchKind
+from repro.rtl.module import HwModule
+
+#: Read-port routing: arithmetic-cluster copy vs load/store-cluster copy.
+COPY_EXEC = 0
+COPY_LS = 1
+
+
+class RegisterBank(HwModule):
+    """One physical register-file copy (all SMT thread contexts)."""
+
+    def __init__(self, name: str, count: int, ring: str,
+                 threads: int = 2) -> None:
+        super().__init__(name)
+        self.count = count
+        self.threads = threads
+        self.banks: list[list[Latch]] = []
+        for thread in range(threads):
+            self.banks.append(self.add_bank(
+                f"t{thread}", count, 32, kind=LatchKind.REGFILE,
+                protected=True, ring=ring))
+
+    def latch(self, index: int, thread: int = 0) -> Latch:
+        return self.banks[thread % self.threads][index % self.count]
+
+
+class RegisterFile:
+    """Facade over the physical copies of one architected register file.
+
+    Not a hardware module itself — the copies are owned by (and counted
+    in) the units they physically sit in.
+    """
+
+    def __init__(self, copies: list[RegisterBank]) -> None:
+        if not copies:
+            raise ValueError("a register file needs at least one copy")
+        self.copies = copies
+        self.count = copies[0].count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def read(self, index: int, copy: int = COPY_EXEC) -> tuple[int, bool]:
+        """Read one active-thread register through one physical copy."""
+        latch = self.copies[copy % len(self.copies)].latch(index)
+        return latch.value, latch.parity_ok()
+
+    def write(self, index: int, value: int) -> None:
+        """Commit-side write: every physical copy of the register."""
+        for bank in self.copies:
+            bank.latch(index).write(value)
+
+    def values(self) -> list[int]:
+        """Raw architected values (active thread), for state comparison."""
+        return [self.copies[0].latch(i).value for i in range(self.count)]
+
+    def load_values(self, values: list[int]) -> None:
+        for index, value in enumerate(values):
+            self.write(index, value)

@@ -1,0 +1,199 @@
+"""Recovery Unit (RUT).
+
+Maintains the ECC-protected checkpoint of the architected state that
+retry-recovery restores from, and owns the commit stage every instruction
+flows through.  As on POWER6, the checkpoint storage itself is an SRAM
+array (beam-injectable, not part of the latch population); the RUT's
+*latches* are the commit/staging datapath and sequencing control — hot
+state whose corruption the paper found to be disproportionately harmful.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.module import HwModule
+from repro.rtl.parity import EccStatus
+
+from repro.cpu.arrays import EccArray
+from repro.cpu.checkers import Checker
+from repro.cpu.debugblock import DebugBlock
+from repro.cpu.fxu import Fxu
+
+# Checkpoint word layout.
+CKPT_GPR_BASE = 0
+CKPT_FPR_BASE = 32
+CKPT_CR = 64
+CKPT_LR = 65
+CKPT_PC = 66
+CKPT_CTR = 67
+CKPT_WORDS = 68
+
+
+class Rut(HwModule):
+    """Commit stage, checkpoint array and checkpoint scrubber."""
+
+    def __init__(self, core, params) -> None:
+        super().__init__("rut")
+        self.core = core
+        ring = "RUT"
+        self.cmt_val = self.add_latch("cmt_val", 1, ring=ring)
+        self.cmt_op = self.add_latch("cmt_op", 6, ring=ring)
+        self.cmt_rt = self.add_latch("cmt_rt", 5, ring=ring)
+        self.cmt_res = self.add_latch("cmt_res", 32, protected=True, ring=ring)
+        self.cmt_addr = self.add_latch("cmt_addr", 32, protected=True, ring=ring)
+        self.cmt_npc = self.add_latch("cmt_npc", 32, protected=True, ring=ring)
+        self.cmt_flags = self.add_latch("cmt_flags", 8, ring=ring)
+        # Checkpoint write staging: deliberately unprotected control — the
+        # narrow window through which an undetected flip can poison the
+        # checkpoint (the paper's RUT control-logic sensitivity).
+        self.sta_val = self.add_latch("sta_val", 1, ring=ring)
+        self.sta_idx = self.add_latch("sta_idx", 7, ring=ring)
+        self.sta_data = self.add_latch("sta_data", 32, ring=ring)
+        self.scrub_idx = self.add_latch("scrub_idx", 7, ring=ring)
+        self.next_itag = self.add_latch("next_itag", 6, ring=ring)
+        self.syndrome = self.add_latch("syndrome", 8, ring=ring)
+        self.ckpt = EccArray("rut.ckpt", CKPT_WORDS)
+        self.debug = self.add_child(DebugBlock(
+            "rut.debug", params.scaled_debug_bits("RUT"), ring))
+
+    # ------------------------------------------------------------------
+
+    def pipeline_reset(self) -> None:
+        for latch in (self.cmt_val, self.cmt_op, self.cmt_rt, self.cmt_res,
+                      self.cmt_addr, self.cmt_npc, self.cmt_flags,
+                      self.sta_val, self.sta_idx, self.sta_data,
+                      self.next_itag):
+            latch.reset()
+
+    def init_checkpoint(self, pc: int) -> None:
+        """Seed the checkpoint with the reset architected state."""
+        for idx in range(CKPT_WORDS):
+            self.ckpt.write(idx, 0)
+        self.ckpt.write(CKPT_PC, pc)
+
+    def pending_store(self) -> bool:
+        """True while an architecturally committed store sits in the commit
+        stage (loads must wait for it to reach the store queue)."""
+        return bool(self.cmt_val.value and self.cmt_flags.value & Fxu.F_STORE)
+
+    # ------------------------------------------------------------------
+
+    def accept(self, op_latch, rt_latch, res_latch, flags_latch,
+               addr_latch, npc_latch, itag_latch=None) -> bool:
+        """Execution units hand finished instructions to the commit stage.
+
+        Returns False (and leaves the unit holding the instruction) when
+        the stage is occupied or it is not this instruction's turn — the
+        ITAG comparator enforces program-order retirement across units of
+        different latencies.  Result/address/PC parity travels with the
+        data.
+        """
+        if self.cmt_val.value:
+            return False
+        if itag_latch is not None and (itag_latch.value & 0x3F) != self.next_itag.value:
+            return False
+        self.cmt_op.write(op_latch.value)
+        self.cmt_rt.write(rt_latch.value)
+        self.cmt_res.value, self.cmt_res.par = res_latch.value, res_latch.par
+        if addr_latch is not None:
+            self.cmt_addr.value, self.cmt_addr.par = addr_latch.value, addr_latch.par
+        self.cmt_npc.value, self.cmt_npc.par = npc_latch.value, npc_latch.par
+        self.cmt_flags.write(flags_latch.value)
+        self.cmt_val.write(1)
+        return True
+
+    def commit_cycle(self) -> None:
+        core = self.core
+        if core.pervasive.unit_held("COMMIT"):
+            return
+        # Drain the checkpoint-write staging latch first (one cycle after
+        # the commit that produced it).
+        if self.sta_val.value:
+            # A corrupted index poisons the wrong checkpoint word — the
+            # silent-corruption path through the recovery machinery.
+            self.ckpt.write(self.sta_idx.value % CKPT_WORDS, self.sta_data.value)
+            self.sta_val.write(0)
+        if not self.cmt_val.value:
+            return
+        flags = self.cmt_flags.value
+        if flags & Fxu.F_STORE:
+            if not core.lsu.stq_can_accept():
+                return  # backpressure: hold in commit
+            if not self.cmt_addr.parity_ok() or not self.cmt_res.parity_ok():
+                if core.raise_error(Checker.RUT_COMMIT_PARITY):
+                    return
+            core.lsu.stq_push(self.cmt_addr, self.cmt_res,
+                              bool(flags & Fxu.F_BYTE))
+        elif flags & Fxu.F_WGPR:
+            if not self.cmt_res.parity_ok():
+                if core.raise_error(Checker.RUT_COMMIT_PARITY):
+                    return
+            rt = self.cmt_rt.value
+            core.gprs.write(rt, self.cmt_res.value)
+            self._stage_ckpt(CKPT_GPR_BASE + (rt & 31), self.cmt_res.value)
+        elif flags & Fxu.F_WFPR:
+            if not self.cmt_res.parity_ok():
+                if core.raise_error(Checker.RUT_COMMIT_PARITY):
+                    return
+            rt = self.cmt_rt.value
+            core.fprs.write(rt, self.cmt_res.value)
+            self._stage_ckpt(CKPT_FPR_BASE + (rt & 31), self.cmt_res.value)
+        if flags & Fxu.F_WCR:
+            core.idu.cr.write(self.cmt_res.value & 0xF)
+            self.ckpt.write(CKPT_CR, self.cmt_res.value & 0xF)
+        if flags & Fxu.F_WLR:
+            if not self.cmt_res.parity_ok():
+                if core.raise_error(Checker.RUT_COMMIT_PARITY):
+                    return
+            core.idu.lr.write(self.cmt_res.value)
+            self.ckpt.write(CKPT_LR, self.cmt_res.value)
+        if flags & Fxu.F_WCTR:
+            if not self.cmt_res.parity_ok():
+                if core.raise_error(Checker.RUT_COMMIT_PARITY):
+                    return
+            core.idu.ctr.write(self.cmt_res.value)
+            self.ckpt.write(CKPT_CTR, self.cmt_res.value)
+        if not self.cmt_npc.parity_ok():
+            if core.raise_error(Checker.RUT_COMMIT_PARITY):
+                return
+        self.ckpt.write(CKPT_PC, self.cmt_npc.value)
+        if flags & Fxu.F_HALT:
+            core.halt()
+        core.idu.release_scoreboard(flags, self.cmt_rt.value)
+        self.cmt_val.write(0)
+        self.next_itag.write((self.next_itag.value + 1) & 0x3F)
+        core.note_commit()
+
+    def _stage_ckpt(self, idx: int, data: int) -> None:
+        self.sta_val.write(1)
+        self.sta_idx.write(idx)
+        self.sta_data.write(data)
+
+    def drain_staging(self) -> None:
+        """Complete any in-flight checkpoint write.
+
+        The recovery sequencer calls this before restoring: a commit's
+        checkpoint update must not be lost just because the error arrived
+        one cycle behind it, or checkpoint and architected state diverge.
+        """
+        if self.sta_val.value:
+            self.ckpt.write(self.sta_idx.value % CKPT_WORDS, self.sta_data.value)
+            self.sta_val.write(0)
+
+    # ------------------------------------------------------------------
+
+    def scrub_cycle(self) -> None:
+        """Background checkpoint scrubber (one word per scrub interval)."""
+        core = self.core
+        if core.cycles % core.params.ckpt_scrub_interval:
+            return
+        if not core.pervasive.scrub_enabled():
+            return
+        idx = self.scrub_idx.value
+        if idx >= CKPT_WORDS:
+            idx = 0
+        _, status = self.ckpt.read(idx)
+        if status is EccStatus.CORRECTED:
+            core.raise_corrected(Checker.RUT_CKPT_ECC)
+        elif status is EccStatus.UNCORRECTABLE:
+            core.pervasive.checkstop(Checker.RUT_CKPT_ECC)
+        self.scrub_idx.write((idx + 1) % CKPT_WORDS)

@@ -1,0 +1,23 @@
+"""Hardware-emulation substrate: the modelled Awan acceleration engine,
+the flat latch map (netlist), the controlling communication host and a
+software event-simulation baseline backend."""
+
+from repro.emulator.awan import (
+    AWAN_CYCLES_PER_SECOND,
+    HOST_INTERACTION_SECONDS,
+    AwanEmulator,
+    EngineStats,
+)
+from repro.emulator.host import CommHost
+from repro.emulator.netlist import LatchMap
+from repro.emulator.software_sim import SoftwareSimulator
+
+__all__ = [
+    "AWAN_CYCLES_PER_SECOND",
+    "AwanEmulator",
+    "CommHost",
+    "EngineStats",
+    "HOST_INTERACTION_SECONDS",
+    "LatchMap",
+    "SoftwareSimulator",
+]

@@ -1,0 +1,44 @@
+"""The controlling communication host.
+
+Fault injection and FIR monitoring go through a communication layer
+between the engine and the controlling workstation "at pre-specified
+intervals in the cycle simulation"; minimising this interaction is what
+makes SFI's throughput practical.  ``CommHost`` batches engine work into
+poll windows and exposes the run-until-quiesce primitive campaigns use.
+"""
+
+from __future__ import annotations
+
+from repro.emulator.awan import AwanEmulator
+
+
+class CommHost:
+    """Host-side driver for an :class:`AwanEmulator`."""
+
+    def __init__(self, emulator: AwanEmulator, poll_interval: int = 100) -> None:
+        if poll_interval < 1:
+            raise ValueError("poll_interval must be >= 1")
+        self.emulator = emulator
+        self.poll_interval = poll_interval
+
+    def run_until_quiesce(self, max_cycles: int) -> dict:
+        """Clock the model, polling status every ``poll_interval`` cycles.
+
+        Returns the final status dict.  The poll interval trades host
+        communication overhead against how promptly a terminal state is
+        noticed — exactly the overhead knob the paper describes.
+        """
+        emulator = self.emulator
+        remaining = max_cycles
+        while remaining > 0:
+            chunk = min(self.poll_interval, remaining)
+            run = emulator.clock(chunk)
+            remaining -= chunk
+            status = emulator.read_status()
+            if status["quiesced"] or run < chunk:
+                return status
+        return emulator.read_status()
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance the model without intermediate polling (one batch)."""
+        self.emulator.clock(cycles)

@@ -1,0 +1,83 @@
+"""Flat latch map ("netlist") over a compiled core model.
+
+When a design is loaded onto the Awan accelerator its latches become
+addressable storage in the Boolean-function processors.  This module gives
+every latch *bit* in the model a flat index, plus the filtered views the
+SFI methodology samples from: per micro-architectural unit (Figure 3),
+per scan ring / latch type (Figure 5), or the whole core (Table 2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.rtl.fault import FaultSite
+from repro.rtl.latch import Latch, LatchKind
+
+
+class LatchMap:
+    """Flat, indexable view of every injectable latch bit in a core."""
+
+    def __init__(self, core) -> None:
+        self._core = core
+        self._sites: list[FaultSite] = []
+        self._by_unit: dict[str, list[int]] = defaultdict(list)
+        self._by_ring: dict[str, list[int]] = defaultdict(list)
+        self._by_kind: dict[LatchKind, list[int]] = defaultdict(list)
+        self._by_name: dict[str, int] = {}
+        for latch in core.all_latches():
+            unit = core.unit_of(latch)
+            bits = latch.width + (1 if latch.protected else 0)
+            for bit in range(bits):
+                index = len(self._sites)
+                site = FaultSite(latch, bit)
+                self._sites.append(site)
+                self._by_unit[unit].append(index)
+                self._by_ring[latch.ring].append(index)
+                self._by_kind[latch.kind].append(index)
+                self._by_name[site.name] = index
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def site(self, index: int) -> FaultSite:
+        return self._sites[index]
+
+    def index_of(self, name: str) -> int:
+        """Flat index of a site by its ``unit.latch.bit`` name."""
+        return self._by_name[name]
+
+    def unit_of(self, index: int) -> str:
+        return self._core.unit_of(self._sites[index].latch)
+
+    def kind_of(self, index: int) -> LatchKind:
+        return self._sites[index].latch.kind
+
+    def all_indices(self) -> range:
+        return range(len(self._sites))
+
+    def indices_for_unit(self, unit: str) -> list[int]:
+        if unit not in self._by_unit:
+            raise KeyError(f"unknown unit {unit!r}; have {sorted(self._by_unit)}")
+        return list(self._by_unit[unit])
+
+    def indices_for_ring(self, ring: str) -> list[int]:
+        if ring not in self._by_ring:
+            raise KeyError(f"unknown ring {ring!r}; have {sorted(self._by_ring)}")
+        return list(self._by_ring[ring])
+
+    def indices_for_kind(self, kind: LatchKind) -> list[int]:
+        return list(self._by_kind[kind])
+
+    def units(self) -> list[str]:
+        return sorted(self._by_unit)
+
+    def rings(self) -> list[str]:
+        return sorted(self._by_ring)
+
+    def unit_bit_counts(self) -> dict[str, int]:
+        """Latch bits per unit — the weights Figure 4 normalises by."""
+        return {unit: len(indices) for unit, indices in self._by_unit.items()}
+
+    def latch_of(self, index: int) -> Latch:
+        return self._sites[index].latch

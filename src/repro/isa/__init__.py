@@ -1,0 +1,51 @@
+"""P6-lite instruction set architecture.
+
+A POWER-like 32-bit RISC: the instruction classes map onto the categories
+the paper's Table 1 uses to characterise the AVP workload (Load, Store,
+Fixed Point, Floating Point, Comparison, Branch).
+"""
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.encoding import DecodedInstr, decode, disassemble, encode, sext16
+from repro.isa.iss import ArchState, IllegalInstruction, Iss
+from repro.isa.memory import Memory
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    FPR_OPCODES,
+    FPR_WRITERS,
+    GPR_WRITERS,
+    InstrClass,
+    Opcode,
+    OpInfo,
+    all_opinfo,
+    info_for_mnemonic,
+    is_valid_opcode,
+    op_info,
+)
+from repro.isa.program import Program
+
+__all__ = [
+    "ArchState",
+    "AssemblyError",
+    "BRANCH_OPCODES",
+    "DecodedInstr",
+    "FPR_OPCODES",
+    "FPR_WRITERS",
+    "GPR_WRITERS",
+    "IllegalInstruction",
+    "InstrClass",
+    "Iss",
+    "Memory",
+    "OpInfo",
+    "Opcode",
+    "Program",
+    "all_opinfo",
+    "assemble",
+    "decode",
+    "disassemble",
+    "encode",
+    "info_for_mnemonic",
+    "is_valid_opcode",
+    "op_info",
+    "sext16",
+]

@@ -1,0 +1,137 @@
+"""Pure functional semantics shared by the golden ISS and the pipeline
+functional units.
+
+All integer values are 32-bit unsigned Python ints (``0 <= v < 2**32``).
+Floating point values travel as IEEE-754 single-precision bit patterns so
+that latch-level state remains pure bits.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+WORD_MASK = 0xFFFFFFFF
+
+# Condition-register bit indices (BI field values for ``bc``).
+CR_LT = 0
+CR_GT = 1
+CR_EQ = 2
+CR_SO = 3
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit pattern as a signed integer."""
+    value &= WORD_MASK
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def add32(a: int, b: int) -> int:
+    return (a + b) & WORD_MASK
+
+
+def sub32(a: int, b: int) -> int:
+    return (a - b) & WORD_MASK
+
+
+def mul32(a: int, b: int) -> int:
+    return (a * b) & WORD_MASK
+
+
+def div32(a: int, b: int) -> int:
+    """Signed division truncating toward zero; divide-by-zero yields 0."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return 0
+    return int(sa / sb) & WORD_MASK
+
+
+def and32(a: int, b: int) -> int:
+    return a & b & WORD_MASK
+
+
+def or32(a: int, b: int) -> int:
+    return (a | b) & WORD_MASK
+
+
+def xor32(a: int, b: int) -> int:
+    return (a ^ b) & WORD_MASK
+
+
+def slw32(a: int, amount: int) -> int:
+    return (a << (amount & 31)) & WORD_MASK
+
+
+def srw32(a: int, amount: int) -> int:
+    return (a & WORD_MASK) >> (amount & 31)
+
+
+def sraw32(a: int, amount: int) -> int:
+    return (to_signed(a) >> (amount & 31)) & WORD_MASK
+
+
+def cmp_signed(a: int, b: int) -> int:
+    """Condition-register field for a signed compare."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sa < sb:
+        return 1 << CR_LT
+    if sa > sb:
+        return 1 << CR_GT
+    return 1 << CR_EQ
+
+
+def cmp_unsigned(a: int, b: int) -> int:
+    """Condition-register field for an unsigned compare."""
+    a &= WORD_MASK
+    b &= WORD_MASK
+    if a < b:
+        return 1 << CR_LT
+    if a > b:
+        return 1 << CR_GT
+    return 1 << CR_EQ
+
+
+def _bits_to_float(bits: int) -> float:
+    return struct.unpack(">f", struct.pack(">I", bits & WORD_MASK))[0]
+
+
+def _float_to_bits(value: float) -> int:
+    if math.isnan(value):
+        return 0x7FC00000  # canonical quiet NaN
+    try:
+        return struct.unpack(">I", struct.pack(">f", value))[0]
+    except OverflowError:
+        return 0x7F800000 if value > 0 else 0xFF800000
+
+
+def fadd32(a: int, b: int) -> int:
+    return _float_to_bits(_bits_to_float(a) + _bits_to_float(b))
+
+
+def fsub32(a: int, b: int) -> int:
+    return _float_to_bits(_bits_to_float(a) - _bits_to_float(b))
+
+
+def fmul32(a: int, b: int) -> int:
+    return _float_to_bits(_bits_to_float(a) * _bits_to_float(b))
+
+
+def fdiv32(a: int, b: int) -> int:
+    fb = _bits_to_float(b)
+    fa = _bits_to_float(a)
+    if fb == 0.0:
+        if fa == 0.0 or math.isnan(fa):
+            return 0x7FC00000
+        sign = (a ^ b) & 0x80000000
+        return sign | 0x7F800000
+    return _float_to_bits(fa / fb)
+
+
+def float_bits(value: float) -> int:
+    """Public helper: IEEE-754 single bit pattern for ``value``."""
+    return _float_to_bits(value)
+
+
+def bits_float(bits: int) -> float:
+    """Public helper: float value of an IEEE-754 single bit pattern."""
+    return _bits_to_float(bits)

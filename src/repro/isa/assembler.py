@@ -1,0 +1,160 @@
+"""A small two-pass assembler for the P6-lite ISA.
+
+Supports labels, numeric immediates (decimal and ``0x`` hex), ``d(rN)``
+load/store addressing, comments introduced by ``;`` or ``#``, and a
+``.data ADDR V0 V1 ...`` directive for initialising data memory.
+
+Branch instructions accept either a label or a raw signed word
+displacement.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.encoding import encode
+from repro.isa.opcodes import Opcode, info_for_mnemonic
+from repro.isa.program import Program
+
+_MEMREF_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed assembly input."""
+
+
+def _parse_int(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(f"bad integer literal: {token!r}") from exc
+
+
+def _parse_reg(token: str, prefix: str = "r") -> int:
+    token = token.lower()
+    if not token.startswith(prefix):
+        raise AssemblyError(f"expected {prefix}-register, got {token!r}")
+    num = _parse_int(token[len(prefix):])
+    if not 0 <= num <= 31:
+        raise AssemblyError(f"register number out of range: {token!r}")
+    return num
+
+
+def _split_operands(rest: str) -> list[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def assemble(source: str, base: int = 0) -> Program:
+    """Assemble ``source`` into a :class:`Program` based at ``base``."""
+    labels: dict[str, int] = {}
+    items: list[tuple[str, list[str], int]] = []  # (mnemonic, operands, line_no)
+    data: dict[int, int] = {}
+
+    # Pass 1: strip comments, collect labels and instruction items.
+    pc = 0
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblyError(f"line {line_no}: bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = pc
+            line = line.strip()
+        if not line:
+            continue
+        if line.startswith(".data"):
+            tokens = line.split()
+            if len(tokens) < 3:
+                raise AssemblyError(f"line {line_no}: .data needs ADDR and values")
+            addr = _parse_int(tokens[1])
+            for i, tok in enumerate(tokens[2:]):
+                data[addr + 4 * i] = _parse_int(tok) & 0xFFFFFFFF
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        items.append((mnemonic.lower(), _split_operands(rest), line_no))
+        pc += 1
+
+    # Pass 2: encode.
+    words = []
+    for idx, (mnemonic, ops, line_no) in enumerate(items):
+        try:
+            words.append(_encode_item(mnemonic, ops, idx, labels))
+        except AssemblyError as exc:
+            raise AssemblyError(f"line {line_no}: {exc}") from None
+    return Program(words=words, base=base, data=data)
+
+
+def _branch_disp(target: str, pc_index: int, labels: dict[str, int]) -> int:
+    if target in labels:
+        return labels[target] - pc_index
+    return _parse_int(target)
+
+
+def _encode_item(mnemonic: str, ops: list[str], pc_index: int,
+                 labels: dict[str, int]) -> int:
+    try:
+        info = info_for_mnemonic(mnemonic)
+    except KeyError:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}") from None
+    op = info.opcode
+
+    if op in {Opcode.HALT, Opcode.NOP, Opcode.ATTN, Opcode.BLR}:
+        _expect(ops, 0, mnemonic)
+        return encode(op)
+    if op in {Opcode.LWZ, Opcode.LBZ, Opcode.STW, Opcode.STB, Opcode.LFS, Opcode.STFS}:
+        _expect(ops, 2, mnemonic)
+        prefix = "f" if op in {Opcode.LFS, Opcode.STFS} else "r"
+        rt = _parse_reg(ops[0], prefix)
+        match = _MEMREF_RE.match(ops[1].replace(" ", ""))
+        if not match:
+            raise AssemblyError(f"bad memory operand {ops[1]!r}")
+        imm = _parse_int(match.group(1))
+        ra = _parse_reg(match.group(2))
+        return encode(op, rt=rt, ra=ra, imm=imm)
+    if op in {Opcode.B, Opcode.BL, Opcode.BDNZ}:
+        _expect(ops, 1, mnemonic)
+        return encode(op, imm=_branch_disp(ops[0], pc_index, labels))
+    if op is Opcode.BC:
+        _expect(ops, 3, mnemonic)
+        bi = _parse_int(ops[0])
+        bo = _parse_int(ops[1])
+        if not 0 <= bi <= 3 or bo not in (0, 1):
+            raise AssemblyError(f"bad bc condition fields bi={bi} bo={bo}")
+        return encode(op, rt=bi, ra=bo, imm=_branch_disp(ops[2], pc_index, labels))
+    if op in {Opcode.CMPW, Opcode.CMPLW}:
+        _expect(ops, 2, mnemonic)
+        return encode(op, ra=_parse_reg(ops[0]), rb=_parse_reg(ops[1]))
+    if op is Opcode.CMPWI:
+        _expect(ops, 2, mnemonic)
+        return encode(op, ra=_parse_reg(ops[0]), imm=_parse_int(ops[1]))
+    if op in {Opcode.MTLR, Opcode.MTCTR}:
+        _expect(ops, 1, mnemonic)
+        return encode(op, ra=_parse_reg(ops[0]))
+    if op in {Opcode.MFLR, Opcode.MFCTR}:
+        _expect(ops, 1, mnemonic)
+        return encode(op, rt=_parse_reg(ops[0]))
+    if op in {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV}:
+        _expect(ops, 3, mnemonic)
+        return encode(op, rt=_parse_reg(ops[0], "f"), ra=_parse_reg(ops[1], "f"),
+                      rb=_parse_reg(ops[2], "f"))
+    if info.has_imm:
+        _expect(ops, 3, mnemonic)
+        return encode(op, rt=_parse_reg(ops[0]), ra=_parse_reg(ops[1]),
+                      imm=_parse_int(ops[2]))
+    _expect(ops, 3, mnemonic)
+    return encode(op, rt=_parse_reg(ops[0]), ra=_parse_reg(ops[1]),
+                  rb=_parse_reg(ops[2]))
+
+
+def _expect(ops: list[str], count: int, mnemonic: str) -> None:
+    if len(ops) != count:
+        raise AssemblyError(
+            f"{mnemonic} expects {count} operand(s), got {len(ops)}")

@@ -1,0 +1,116 @@
+"""Binary encoding and decoding of P6-lite instruction words.
+
+Instruction formats (32-bit words):
+
+* X-form  (register-register):  ``op[31:26] rt[25:21] ra[20:16] rb[15:11] 0[10:0]``
+* D-form  (register-immediate): ``op[31:26] rt[25:21] ra[20:16] imm[15:0]``
+
+``imm`` is a signed 16-bit two's-complement field.  Branch displacements are
+encoded in instruction words (i.e. a displacement of ``d`` means the target
+is ``pc + 4 * d``).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.isa.opcodes import Opcode, is_valid_opcode, op_info
+
+WORD_MASK = 0xFFFFFFFF
+IMM_MASK = 0xFFFF
+
+
+class DecodedInstr(NamedTuple):
+    """A decoded instruction word.
+
+    ``imm`` is sign-extended to a Python int.  For X-form instructions the
+    ``imm`` field aliases the raw low 16 bits (rb lives in its top bits),
+    so consumers must use ``rb`` or ``imm`` according to the opcode.
+    """
+
+    op: int
+    rt: int
+    ra: int
+    rb: int
+    imm: int
+    word: int
+
+    @property
+    def valid(self) -> bool:
+        """True when the primary opcode decodes to a defined instruction."""
+        return is_valid_opcode(self.op)
+
+    @property
+    def mnemonic(self) -> str:
+        return op_info(self.op).mnemonic if self.valid else f"undef<{self.op}>"
+
+
+def sext16(value: int) -> int:
+    """Sign-extend a 16-bit field to a Python int."""
+    value &= IMM_MASK
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def encode(op: int, rt: int = 0, ra: int = 0, rb: int = 0, imm: int = 0) -> int:
+    """Encode an instruction word.
+
+    D-form opcodes take ``imm`` (signed, must fit in 16 bits); X-form opcodes
+    take ``rb``.  Passing both a nonzero ``rb`` and ``imm`` is rejected to
+    catch caller mistakes.
+    """
+    if not 0 <= op <= 63:
+        raise ValueError(f"opcode out of range: {op}")
+    if not 0 <= rt <= 31 or not 0 <= ra <= 31 or not 0 <= rb <= 31:
+        raise ValueError(f"register field out of range: rt={rt} ra={ra} rb={rb}")
+    if rb and imm:
+        raise ValueError("instruction cannot carry both rb and imm")
+    if not -0x8000 <= imm <= 0x7FFF:
+        raise ValueError(f"immediate does not fit in 16 bits: {imm}")
+    low = ((rb << 11) | (imm & IMM_MASK)) & IMM_MASK
+    return ((op & 0x3F) << 26) | ((rt & 0x1F) << 21) | ((ra & 0x1F) << 16) | low
+
+
+def decode(word: int) -> DecodedInstr:
+    """Decode a 32-bit instruction word into its fields."""
+    word &= WORD_MASK
+    op = (word >> 26) & 0x3F
+    rt = (word >> 21) & 0x1F
+    ra = (word >> 16) & 0x1F
+    rb = (word >> 11) & 0x1F
+    imm = sext16(word)
+    return DecodedInstr(op, rt, ra, rb, imm, word)
+
+
+def disassemble(word: int) -> str:
+    """Render one instruction word as assembler text."""
+    instr = decode(word)
+    if not instr.valid:
+        return f".word 0x{word:08x}"
+    info = op_info(instr.op)
+    op = Opcode(instr.op)
+    reg = "f" if op in {Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV} else "r"
+    if op in {Opcode.HALT, Opcode.NOP, Opcode.ATTN, Opcode.BLR}:
+        return info.mnemonic
+    if op in {Opcode.LWZ, Opcode.LBZ, Opcode.STW, Opcode.STB}:
+        return f"{info.mnemonic} r{instr.rt}, {instr.imm}(r{instr.ra})"
+    if op in {Opcode.LFS, Opcode.STFS}:
+        return f"{info.mnemonic} f{instr.rt}, {instr.imm}(r{instr.ra})"
+    if op in {Opcode.B, Opcode.BL, Opcode.BDNZ}:
+        return f"{info.mnemonic} {instr.imm}"
+    if op is Opcode.BC:
+        return f"bc {instr.rt}, {instr.ra}, {instr.imm}"
+    if op in {Opcode.CMPW, Opcode.CMPLW}:
+        return f"{info.mnemonic} r{instr.ra}, r{instr.rb}"
+    if op is Opcode.CMPWI:
+        return f"cmpwi r{instr.ra}, {instr.imm}"
+    if op is Opcode.MTLR:
+        return f"mtlr r{instr.ra}"
+    if op is Opcode.MFLR:
+        return f"mflr r{instr.rt}"
+    if op is Opcode.MTCTR:
+        return f"mtctr r{instr.ra}"
+    if op is Opcode.MFCTR:
+        return f"mfctr r{instr.rt}"
+    if info.has_imm:
+        return f"{info.mnemonic} {reg}{instr.rt}, {reg}{instr.ra}, {instr.imm}"
+    return f"{info.mnemonic} {reg}{instr.rt}, {reg}{instr.ra}, {reg}{instr.rb}"

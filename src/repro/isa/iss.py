@@ -1,0 +1,221 @@
+"""Golden-model instruction set simulator (ISS).
+
+This is the architectural reference used by the AVP to compute expected
+results at testcase-generation time and by the SFI classifier to decide
+whether an injected fault produced incorrect architected state.  It shares
+the pure functional semantics in :mod:`repro.isa.alu` with the pipeline's
+execution units but implements its own sequencing, so an end-state match
+between pipeline and ISS is a meaningful cross-check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa import alu
+from repro.isa.encoding import decode
+from repro.isa.memory import Memory
+from repro.isa.opcodes import InstrClass, Opcode, op_info
+from repro.isa.program import Program
+
+NUM_GPRS = 32
+NUM_FPRS = 32
+
+
+class IllegalInstruction(Exception):
+    """Raised when the ISS fetches an undefined instruction word."""
+
+    def __init__(self, pc: int, word: int) -> None:
+        super().__init__(f"illegal instruction 0x{word:08x} at pc=0x{pc:08x}")
+        self.pc = pc
+        self.word = word
+
+
+@dataclass
+class ArchState:
+    """Complete architected state of one hardware thread."""
+
+    gprs: list[int] = field(default_factory=lambda: [0] * NUM_GPRS)
+    fprs: list[int] = field(default_factory=lambda: [0] * NUM_FPRS)
+    cr: int = 0
+    lr: int = 0
+    ctr: int = 0
+    pc: int = 0
+    halted: bool = False
+
+    def copy(self) -> "ArchState":
+        return ArchState(list(self.gprs), list(self.fprs), self.cr, self.lr,
+                         self.ctr, self.pc, self.halted)
+
+    def signature(self) -> tuple:
+        """Hashable digest of the architected state (excludes pc/halted so
+        it can compare states reached through different control paths)."""
+        return (tuple(self.gprs), tuple(self.fprs), self.cr, self.lr, self.ctr)
+
+    def differences(self, other: "ArchState") -> list[str]:
+        """Human-readable list of architected-state mismatches."""
+        diffs = []
+        for i, (a, b) in enumerate(zip(self.gprs, other.gprs)):
+            if a != b:
+                diffs.append(f"r{i}: 0x{a:08x} != 0x{b:08x}")
+        for i, (a, b) in enumerate(zip(self.fprs, other.fprs)):
+            if a != b:
+                diffs.append(f"f{i}: 0x{a:08x} != 0x{b:08x}")
+        if self.cr != other.cr:
+            diffs.append(f"cr: {self.cr:04b} != {other.cr:04b}")
+        if self.lr != other.lr:
+            diffs.append(f"lr: 0x{self.lr:08x} != 0x{other.lr:08x}")
+        if self.ctr != other.ctr:
+            diffs.append(f"ctr: 0x{self.ctr:08x} != 0x{other.ctr:08x}")
+        return diffs
+
+
+class Iss:
+    """Single-stepping architectural simulator."""
+
+    def __init__(self, program: Program | None = None,
+                 memory: Memory | None = None) -> None:
+        self.state = ArchState()
+        self.memory = memory if memory is not None else Memory()
+        self.retired = 0
+        self.class_counts: dict[InstrClass, int] = {c: 0 for c in InstrClass}
+        if program is not None:
+            self.load(program)
+
+    def load(self, program: Program) -> None:
+        """Load a program image and point the PC at its entry."""
+        self.memory.load_program(program.words, program.base)
+        for addr, value in program.data.items():
+            self.memory.store_word(addr, value)
+        self.state.pc = program.entry if program.entry is not None else program.base
+
+    def step(self) -> Opcode:
+        """Execute one instruction; returns the opcode executed.
+
+        Raises :class:`IllegalInstruction` on undefined opcodes and leaves
+        the machine halted at the faulting pc.
+        """
+        st = self.state
+        if st.halted:
+            raise RuntimeError("stepping a halted machine")
+        word = self.memory.load_word(st.pc)
+        instr = decode(word)
+        if not instr.valid or instr.op == Opcode.ATTN:
+            st.halted = True
+            raise IllegalInstruction(st.pc, word)
+        op = Opcode(instr.op)
+        next_pc = alu.add32(st.pc, 4)
+        g = st.gprs
+        f = st.fprs
+
+        if op is Opcode.HALT:
+            st.halted = True
+        elif op is Opcode.ADDI:
+            g[instr.rt] = alu.add32(g[instr.ra], instr.imm)
+        elif op is Opcode.LWZ:
+            g[instr.rt] = self.memory.load_word(self._ea(instr) & ~3)
+        elif op is Opcode.STW:
+            self.memory.store_word(self._ea(instr) & ~3, g[instr.rt])
+        elif op is Opcode.LBZ:
+            g[instr.rt] = self.memory.load_byte(self._ea(instr))
+        elif op is Opcode.STB:
+            self.memory.store_byte(self._ea(instr), g[instr.rt] & 0xFF)
+        elif op is Opcode.ADD:
+            g[instr.rt] = alu.add32(g[instr.ra], g[instr.rb])
+        elif op is Opcode.SUB:
+            g[instr.rt] = alu.sub32(g[instr.ra], g[instr.rb])
+        elif op is Opcode.MULLW:
+            g[instr.rt] = alu.mul32(g[instr.ra], g[instr.rb])
+        elif op is Opcode.DIVW:
+            g[instr.rt] = alu.div32(g[instr.ra], g[instr.rb])
+        elif op is Opcode.AND:
+            g[instr.rt] = alu.and32(g[instr.ra], g[instr.rb])
+        elif op is Opcode.OR:
+            g[instr.rt] = alu.or32(g[instr.ra], g[instr.rb])
+        elif op is Opcode.XOR:
+            g[instr.rt] = alu.xor32(g[instr.ra], g[instr.rb])
+        elif op is Opcode.ANDI:
+            g[instr.rt] = alu.and32(g[instr.ra], instr.imm & 0xFFFF)
+        elif op is Opcode.ORI:
+            g[instr.rt] = alu.or32(g[instr.ra], instr.imm & 0xFFFF)
+        elif op is Opcode.XORI:
+            g[instr.rt] = alu.xor32(g[instr.ra], instr.imm & 0xFFFF)
+        elif op is Opcode.SLW:
+            g[instr.rt] = alu.slw32(g[instr.ra], g[instr.rb])
+        elif op is Opcode.SRW:
+            g[instr.rt] = alu.srw32(g[instr.ra], g[instr.rb])
+        elif op is Opcode.SRAW:
+            g[instr.rt] = alu.sraw32(g[instr.ra], g[instr.rb])
+        elif op is Opcode.SLWI:
+            g[instr.rt] = alu.slw32(g[instr.ra], instr.imm)
+        elif op is Opcode.SRWI:
+            g[instr.rt] = alu.srw32(g[instr.ra], instr.imm)
+        elif op is Opcode.CMPW:
+            st.cr = alu.cmp_signed(g[instr.ra], g[instr.rb])
+        elif op is Opcode.CMPWI:
+            st.cr = alu.cmp_signed(g[instr.ra], instr.imm & 0xFFFFFFFF)
+        elif op is Opcode.CMPLW:
+            st.cr = alu.cmp_unsigned(g[instr.ra], g[instr.rb])
+        elif op is Opcode.B:
+            next_pc = alu.add32(st.pc, 4 * instr.imm)
+        elif op is Opcode.BC:
+            taken = ((st.cr >> instr.rt) & 1) == instr.ra
+            if taken:
+                next_pc = alu.add32(st.pc, 4 * instr.imm)
+        elif op is Opcode.BL:
+            st.lr = alu.add32(st.pc, 4)
+            next_pc = alu.add32(st.pc, 4 * instr.imm)
+        elif op is Opcode.BLR:
+            next_pc = st.lr & ~3
+        elif op is Opcode.FADD:
+            f[instr.rt] = alu.fadd32(f[instr.ra], f[instr.rb])
+        elif op is Opcode.FSUB:
+            f[instr.rt] = alu.fsub32(f[instr.ra], f[instr.rb])
+        elif op is Opcode.FMUL:
+            f[instr.rt] = alu.fmul32(f[instr.ra], f[instr.rb])
+        elif op is Opcode.FDIV:
+            f[instr.rt] = alu.fdiv32(f[instr.ra], f[instr.rb])
+        elif op is Opcode.LFS:
+            f[instr.rt] = self.memory.load_word(self._ea(instr) & ~3)
+        elif op is Opcode.STFS:
+            self.memory.store_word(self._ea(instr) & ~3, f[instr.rt])
+        elif op is Opcode.MTLR:
+            st.lr = g[instr.ra]
+        elif op is Opcode.MFLR:
+            g[instr.rt] = st.lr
+        elif op is Opcode.MTCTR:
+            st.ctr = g[instr.ra]
+        elif op is Opcode.MFCTR:
+            g[instr.rt] = st.ctr
+        elif op is Opcode.BDNZ:
+            st.ctr = alu.sub32(st.ctr, 1)
+            if st.ctr != 0:
+                next_pc = alu.add32(st.pc, 4 * instr.imm)
+        elif op is Opcode.NOP:
+            pass
+        else:  # pragma: no cover - every opcode is handled above
+            raise AssertionError(f"unhandled opcode {op!r}")
+
+        st.pc = next_pc
+        self.retired += 1
+        self.class_counts[op_info(op).iclass] += 1
+        return op
+
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Run until HALT; returns the number of instructions retired.
+
+        Raises:
+            RuntimeError: if ``max_instructions`` is exceeded (runaway
+                program, typically an AVP-generation bug).
+        """
+        executed = 0
+        while not self.state.halted:
+            if executed >= max_instructions:
+                raise RuntimeError(
+                    f"program did not halt within {max_instructions} instructions")
+            self.step()
+            executed += 1
+        return executed
+
+    def _ea(self, instr) -> int:
+        return alu.add32(self.state.gprs[instr.ra], instr.imm)

@@ -1,0 +1,51 @@
+"""Program container shared by the assembler, the AVP generator, the golden
+ISS and the pipeline model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import disassemble
+
+
+@dataclass
+class Program:
+    """An executable image: code words plus an initial data segment.
+
+    Attributes:
+        words: instruction words, placed at ``base``.
+        base: byte address of the first instruction.
+        data: initial data memory contents (byte address -> word value);
+            addresses must be word aligned.
+        entry: byte address where execution starts (defaults to ``base``).
+    """
+
+    words: list[int]
+    base: int = 0
+    data: dict[int, int] = field(default_factory=dict)
+    entry: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.base & 3:
+            raise ValueError("program base must be word aligned")
+        for addr in self.data:
+            if addr & 3:
+                raise ValueError(f"data address 0x{addr:x} not word aligned")
+        if self.entry is None:
+            self.entry = self.base
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    @property
+    def end(self) -> int:
+        """Byte address one past the last instruction."""
+        return self.base + 4 * len(self.words)
+
+    def listing(self) -> str:
+        """Disassembled listing, one instruction per line."""
+        lines = []
+        for i, word in enumerate(self.words):
+            addr = self.base + 4 * i
+            lines.append(f"{addr:08x}:  {word:08x}  {disassemble(word)}")
+        return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Latch primitives.
+
+Every storage bit in the modelled core lives in a :class:`Latch`.  Latches
+are typed the way the paper's Figure 5 classifies them:
+
+* ``FUNC``    - pipeline / control latches, written by functional logic,
+* ``REGFILE`` - register-file latches,
+* ``MODE``    - scan-only configuration latches (persistent mode settings),
+* ``GPTR``    - scan-only general-purpose test register latches.
+
+Parity-protected latches maintain a parity shadow that legitimate writes
+keep consistent; a fault injection flips value bits *without* updating the
+shadow, which is exactly how a particle strike breaks an implemented parity
+scheme.  Checkers compare the shadow against the value when (and only when)
+the latch is consumed, so faults that are overwritten before use vanish.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LatchKind(enum.Enum):
+    """Latch categories from the paper's Figure 5."""
+
+    FUNC = "FUNC"
+    REGFILE = "REGFILE"
+    MODE = "MODE"
+    GPTR = "GPTR"
+
+
+class Latch:
+    """A multi-bit latch (a hardware register of ``width`` bits)."""
+
+    __slots__ = ("name", "width", "kind", "protected", "ring", "value", "par",
+                 "mask", "reset_value")
+
+    def __init__(self, name: str, width: int, kind: LatchKind = LatchKind.FUNC,
+                 protected: bool = False, ring: str = "", reset_value: int = 0) -> None:
+        if width < 1:
+            raise ValueError(f"latch {name!r}: width must be >= 1, got {width}")
+        self.name = name
+        self.width = width
+        self.kind = kind
+        self.protected = protected
+        self.ring = ring or kind.value
+        self.mask = (1 << width) - 1
+        self.reset_value = reset_value & self.mask
+        self.value = self.reset_value
+        self.par = self.reset_value.bit_count() & 1
+
+    def write(self, value: int) -> None:
+        """Functional write: updates the value and its parity shadow."""
+        value &= self.mask
+        self.value = value
+        if self.protected:
+            self.par = value.bit_count() & 1
+
+    def read(self) -> int:
+        """Functional read (no checking; checkers call :meth:`parity_ok`)."""
+        return self.value
+
+    def parity_ok(self) -> bool:
+        """True when the parity shadow matches the current value.
+
+        Unprotected latches always report OK (no checker hardware exists).
+        """
+        if not self.protected:
+            return True
+        return (self.value.bit_count() & 1) == self.par
+
+    def flip(self, bit: int) -> None:
+        """Fault injection: flip one bit without touching the shadow."""
+        if not 0 <= bit < self.width:
+            raise ValueError(f"latch {self.name!r}: bit {bit} out of range")
+        self.value ^= 1 << bit
+
+    def force_bit(self, bit: int, level: int) -> None:
+        """Fault injection (sticky mode): drive one bit to ``level``."""
+        if level:
+            self.value |= 1 << bit
+        else:
+            self.value &= ~(1 << bit) & self.mask
+
+    def bit(self, bit: int) -> int:
+        """Current level of one bit."""
+        return (self.value >> bit) & 1
+
+    def reset(self) -> None:
+        """Hardware reset: restore the reset value with consistent parity."""
+        self.value = self.reset_value
+        self.par = self.reset_value.bit_count() & 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Latch({self.name!r}, width={self.width}, kind={self.kind.value}, "
+                f"value=0x{self.value:x})")
+
+
+def make_bank(name: str, count: int, width: int, kind: LatchKind = LatchKind.FUNC,
+              protected: bool = False, ring: str = "") -> list[Latch]:
+    """Create ``count`` identically shaped latches named ``name[i]``."""
+    return [Latch(f"{name}[{i}]", width, kind, protected, ring) for i in range(count)]

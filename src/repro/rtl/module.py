@@ -1,0 +1,63 @@
+"""Hardware module hierarchy.
+
+Units of the core subclass :class:`HwModule`; every latch they declare is
+registered so that the emulator can build a flat latch map (the "netlist")
+covering the whole design — the population the paper samples from.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.latch import Latch, LatchKind
+
+
+class HwModule:
+    """Base class for hardware units; owns a set of named latches."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._latches: list[Latch] = []
+        self._children: list[HwModule] = []
+
+    def add_latch(self, local_name: str, width: int,
+                  kind: LatchKind = LatchKind.FUNC, protected: bool = False,
+                  ring: str = "", reset_value: int = 0) -> Latch:
+        """Declare and register one latch owned by this module."""
+        latch = Latch(f"{self.name}.{local_name}", width, kind, protected,
+                      ring, reset_value)
+        self._latches.append(latch)
+        return latch
+
+    def add_bank(self, local_name: str, count: int, width: int,
+                 kind: LatchKind = LatchKind.FUNC, protected: bool = False,
+                 ring: str = "") -> list[Latch]:
+        """Declare a bank of ``count`` identically shaped latches."""
+        bank = []
+        for i in range(count):
+            bank.append(self.add_latch(f"{local_name}[{i}]", width, kind,
+                                       protected, ring))
+        return bank
+
+    def add_child(self, child: "HwModule") -> "HwModule":
+        """Attach a sub-module; its latches are included in iteration."""
+        self._children.append(child)
+        return child
+
+    def local_latches(self) -> list[Latch]:
+        """Latches declared directly on this module."""
+        return list(self._latches)
+
+    def all_latches(self) -> list[Latch]:
+        """All latches in this module and its children, declaration order."""
+        result = list(self._latches)
+        for child in self._children:
+            result.extend(child.all_latches())
+        return result
+
+    def latch_bits(self) -> int:
+        """Total number of latch *bits* owned by this subtree."""
+        return sum(latch.width for latch in self.all_latches())
+
+    def reset_latches(self) -> None:
+        """Reset every latch in the subtree to its declared reset value."""
+        for latch in self.all_latches():
+            latch.reset()

@@ -1,0 +1,59 @@
+"""Scan-ring bookkeeping.
+
+POWER-class designs organise latches into scan rings that test equipment
+(and the emulator's communication host) shifts through for access.  The
+paper's Figure 5 samples "approximately 10% of the latches in each scan
+chain"; this module groups the design's latches into those rings.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.rtl.latch import Latch
+
+
+class ScanRing:
+    """A named ring of latches, accessible in shift order."""
+
+    def __init__(self, name: str, latches: list[Latch] | None = None) -> None:
+        self.name = name
+        self.latches: list[Latch] = list(latches) if latches else []
+
+    def add(self, latch: Latch) -> None:
+        self.latches.append(latch)
+
+    def bit_count(self) -> int:
+        return sum(latch.width for latch in self.latches)
+
+    def shift_out(self) -> list[int]:
+        """Read the whole ring as a bit vector (LSB of each latch first)."""
+        bits = []
+        for latch in self.latches:
+            value = latch.value
+            bits.extend((value >> i) & 1 for i in range(latch.width))
+        return bits
+
+    def shift_in(self, bits: list[int]) -> None:
+        """Load the whole ring from a bit vector produced by shift_out."""
+        if len(bits) != self.bit_count():
+            raise ValueError(
+                f"ring {self.name!r}: expected {self.bit_count()} bits, got {len(bits)}")
+        pos = 0
+        for latch in self.latches:
+            value = 0
+            for i in range(latch.width):
+                value |= bits[pos] << i
+                pos += 1
+            latch.write(value)
+
+    def __len__(self) -> int:
+        return len(self.latches)
+
+
+def build_rings(latches: list[Latch]) -> dict[str, ScanRing]:
+    """Group latches into scan rings by their declared ring name."""
+    grouped: dict[str, list[Latch]] = defaultdict(list)
+    for latch in latches:
+        grouped[latch.ring].append(latch)
+    return {name: ScanRing(name, members) for name, members in grouped.items()}

@@ -1,0 +1,66 @@
+"""Statistical Fault Injection — the paper's primary contribution.
+
+Campaign orchestration over the emulated full-system model, latch-bit
+sampling strategies, outcome classification, repeated-sample statistics
+and hardening what-ifs.
+"""
+
+from repro.sfi.campaign import CampaignConfig, SfiExperiment
+from repro.sfi.chip_campaign import (
+    ChipCampaignResult,
+    ChipExperiment,
+    ChipInjectionRecord,
+)
+from repro.sfi.parallel import run_parallel_campaign, shard_sites
+from repro.sfi.storage import load_campaign, merge_campaigns, save_campaign
+from repro.sfi.classify import ClassifyOptions, classify
+from repro.sfi.experiments import SampleSizePoint, sample_size_experiment
+from repro.sfi.hardening import HardeningReport, harden, harden_rings
+from repro.sfi.outcomes import OUTCOME_ORDER, Outcome
+from repro.sfi.results import CampaignResult, InjectionRecord
+from repro.sfi.sampling import (
+    kind_sample,
+    random_sample,
+    ring_fraction_sample,
+    stratified_sample,
+    unit_sample,
+)
+from repro.sfi.targeted import (
+    macro_campaign,
+    per_kind_campaigns,
+    per_ring_campaigns,
+    per_unit_campaigns,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "ChipCampaignResult",
+    "ChipExperiment",
+    "ChipInjectionRecord",
+    "run_parallel_campaign",
+    "shard_sites",
+    "load_campaign",
+    "macro_campaign",
+    "merge_campaigns",
+    "save_campaign",
+    "CampaignResult",
+    "ClassifyOptions",
+    "HardeningReport",
+    "InjectionRecord",
+    "OUTCOME_ORDER",
+    "Outcome",
+    "SampleSizePoint",
+    "SfiExperiment",
+    "classify",
+    "harden",
+    "harden_rings",
+    "kind_sample",
+    "per_kind_campaigns",
+    "per_ring_campaigns",
+    "per_unit_campaigns",
+    "random_sample",
+    "ring_fraction_sample",
+    "sample_size_experiment",
+    "stratified_sample",
+    "unit_sample",
+]

@@ -1,0 +1,151 @@
+"""SFI campaign orchestration.
+
+A campaign owns a prepared machine (model loaded on the emulation engine,
+AVP suite installed, per-testcase checkpoints taken and fault-free
+references established) and then performs injections: reload checkpoint,
+clock to a random cycle, flip the chosen latch bit, run to quiesce within
+the drain window, classify, repeat — the loop of Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.avp.generator import MixWeights
+from repro.avp.runner import AvpBaselineError, ReferenceRun
+from repro.avp.suite import make_suite
+from repro.avp.testcase import AvpTestcase
+from repro.cpu.core import Power6Core
+from repro.cpu.params import CoreParams
+from repro.emulator.awan import AwanEmulator
+from repro.emulator.host import CommHost
+from repro.rtl.fault import InjectionMode
+
+from repro.sfi.classify import ClassifyOptions, classify
+from repro.sfi.results import CampaignResult, InjectionRecord
+from repro.sfi.sampling import random_sample
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Static configuration of an SFI experiment."""
+
+    suite_size: int = 6
+    suite_seed: int = 2008
+    weights: MixWeights | None = None
+    injection_mode: InjectionMode = InjectionMode.TOGGLE
+    sticky_cycles: int = 16
+    drain_cycles: int = 1500
+    poll_interval: int = 200
+    checker_mask: int | None = None  # None: all checkers enabled
+    mode_overrides: dict = field(default_factory=dict)
+    classify_options: ClassifyOptions = ClassifyOptions()
+    core_params: CoreParams | None = None
+
+
+class SfiExperiment:
+    """A prepared machine + workload, ready to run injection campaigns."""
+
+    def __init__(self, config: CampaignConfig | None = None,
+                 emulator_cls=AwanEmulator) -> None:
+        self.config = config or CampaignConfig()
+        self.core = Power6Core(self.config.core_params)
+        self.emulator = emulator_cls(self.core)
+        self.host = CommHost(self.emulator, self.config.poll_interval)
+        self.latch_map = self.emulator.latch_map
+        self.suite: list[AvpTestcase] = make_suite(
+            self.config.suite_size, self.config.suite_seed, self.config.weights)
+        self.references: list[ReferenceRun] = []
+        self._prepare()
+
+    # ------------------------------------------------------------------
+
+    def _apply_mode_overrides(self) -> None:
+        perv = self.core.pervasive
+        overrides = dict(self.config.mode_overrides)
+        if self.config.checker_mask is not None:
+            overrides.setdefault("mode_chk_en", self.config.checker_mask)
+        for name, value in overrides.items():
+            latch = getattr(perv, name, None)
+            if latch is None:
+                raise ValueError(f"unknown pervasive mode latch {name!r}")
+            latch.write(value)
+
+    def _prepare(self) -> None:
+        """Checkpoint each testcase at cycle 0 and establish its fault-free
+        reference execution."""
+        for index, testcase in enumerate(self.suite):
+            self.core.load_program(testcase.program)
+            self._apply_mode_overrides()
+            self.emulator.checkpoint(self._ckpt_name(index))
+            reference = self._reference_run(testcase)
+            self.references.append(reference)
+            self.emulator.reload(self._ckpt_name(index))
+
+    def _reference_run(self, testcase: AvpTestcase) -> ReferenceRun:
+        budget = 50 * testcase.instructions_retired + 10_000
+        self.host.run_until_quiesce(budget)
+        core = self.core
+        if not core.halted:
+            raise AvpBaselineError(
+                f"testcase seed={testcase.seed} did not halt fault-free")
+        if not core.error_free():
+            raise AvpBaselineError(
+                f"testcase seed={testcase.seed}: checker fired fault-free")
+        if core.memory.nonzero_words() != testcase.golden_memory:
+            raise AvpBaselineError(
+                f"testcase seed={testcase.seed}: fault-free memory mismatch")
+        return ReferenceRun(testcase=testcase, cycles=core.cycles,
+                            committed=core.committed)
+
+    @staticmethod
+    def _ckpt_name(index: int) -> str:
+        return f"tc{index}"
+
+    # ------------------------------------------------------------------
+
+    def run_one(self, site_index: int, testcase_index: int,
+                inject_cycle: int) -> InjectionRecord:
+        """Perform a single injection and classify its outcome."""
+        config = self.config
+        emulator = self.emulator
+        reference = self.references[testcase_index]
+        emulator.reload(self._ckpt_name(testcase_index))
+        if inject_cycle:
+            emulator.clock(inject_cycle)
+        site = emulator.inject(site_index, config.injection_mode,
+                               config.sticky_cycles)
+        budget = (reference.cycles - inject_cycle) + config.drain_cycles
+        self.host.run_until_quiesce(budget)
+        outcome = classify(self.core, reference.testcase,
+                           config.classify_options)
+        return InjectionRecord(
+            site_index=site_index,
+            site_name=site.name,
+            unit=self.latch_map.unit_of(site_index),
+            kind=site.latch.kind,
+            ring=site.latch.ring,
+            testcase_seed=reference.testcase.seed,
+            inject_cycle=inject_cycle,
+            outcome=outcome,
+            trace=tuple(self.core.event_log),
+        )
+
+    def run_campaign(self, sites: list[int], seed: int = 0) -> CampaignResult:
+        """Inject every site in ``sites`` (one injection each), cycling
+        through the testcase suite, at per-injection random cycles."""
+        rng = random.Random(seed)
+        result = CampaignResult(population_bits=len(self.latch_map))
+        for i, site_index in enumerate(sites):
+            testcase_index = i % len(self.suite)
+            reference = self.references[testcase_index]
+            inject_cycle = rng.randrange(0, reference.cycles)
+            result.add(self.run_one(site_index, testcase_index, inject_cycle))
+        return result
+
+    def run_random_campaign(self, count: int, seed: int = 0) -> CampaignResult:
+        """Whole-core uniform random campaign of ``count`` flips."""
+        rng = random.Random(seed ^ 0x5F1)
+        sites = random_sample(self.latch_map, count, rng)
+        return self.run_campaign(sites, seed)

@@ -1,0 +1,143 @@
+"""Chip-level SFI campaigns: two cores, fault-isolation measurement.
+
+The paper's model spans two cores; a chip-level campaign injects into
+one core while both run workloads, classifying the outcome on the
+*struck* core and simultaneously verifying that the *other* core's
+architected results stayed golden — the cross-core fault-isolation
+property multi-core RAS designs must provide.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.avp.runner import AvpBaselineError
+from repro.avp.suite import make_suite
+from repro.cpu.chip import Power6Chip
+from repro.cpu.params import CoreParams
+from repro.rtl.fault import FaultSite, expand_sites
+
+from repro.sfi.classify import ClassifyOptions, classify
+from repro.sfi.outcomes import OUTCOME_ORDER, Outcome
+
+
+@dataclass(frozen=True)
+class ChipInjectionRecord:
+    """One chip-level injection."""
+
+    core_index: int
+    unit: str
+    site_name: str
+    inject_cycle: int
+    outcome: Outcome
+    other_cores_clean: bool
+
+
+@dataclass
+class ChipCampaignResult:
+    """Chip-level campaign records and aggregation."""
+
+    records: list[ChipInjectionRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def fractions(self) -> dict[Outcome, float]:
+        total = max(1, self.total)
+        return {outcome: sum(1 for r in self.records if r.outcome is outcome)
+                / total for outcome in OUTCOME_ORDER}
+
+    def isolation_rate(self) -> float:
+        """Fraction of injections that left every other core untouched."""
+        if not self.records:
+            return 1.0
+        return sum(r.other_cores_clean for r in self.records) / self.total
+
+    def isolation_violations(self) -> list[ChipInjectionRecord]:
+        return [r for r in self.records if not r.other_cores_clean]
+
+
+class ChipExperiment:
+    """A prepared two-core chip with per-core AVP workloads."""
+
+    def __init__(self, core_params: CoreParams | None = None,
+                 core_count: int = 2, suite_seed: int = 2008,
+                 drain_cycles: int = 1500) -> None:
+        self.chip = Power6Chip(core_params, core_count)
+        self.drain_cycles = drain_cycles
+        # One testcase per core (distinct seeds: distinct workloads).
+        self.testcases = make_suite(core_count, seed=suite_seed)
+        self._sites_per_core: list[list[FaultSite]] = [
+            expand_sites(core.all_latches()) for core in self.chip.cores]
+        self._prepare()
+
+    def _prepare(self) -> None:
+        chip = self.chip
+        chip.load_programs([t.program for t in self.testcases])
+        self._checkpoint = chip.snapshot()
+        self.reference_cycles = chip.run()
+        for core, testcase in zip(chip.cores, self.testcases):
+            if not core.halted or not core.error_free():
+                raise AvpBaselineError(
+                    f"{core.name}: fault-free chip run misbehaved")
+            if core.memory.nonzero_words() != testcase.golden_memory:
+                raise AvpBaselineError(f"{core.name}: memory mismatch")
+        chip.restore(self._checkpoint)
+
+    # ------------------------------------------------------------------
+
+    def site_count(self, core_index: int) -> int:
+        return len(self._sites_per_core[core_index])
+
+    def run_one(self, core_index: int, site_number: int,
+                inject_cycle: int,
+                options: ClassifyOptions = ClassifyOptions()) -> ChipInjectionRecord:
+        chip = self.chip
+        chip.restore(self._checkpoint)
+        for _ in range(inject_cycle):
+            chip.cycle()
+            if chip.quiesced:
+                break
+        site = self._sites_per_core[core_index][site_number]
+        site.inject()
+        budget = (self.reference_cycles - inject_cycle) + self.drain_cycles
+        chip.run(max_cycles=max(budget, self.drain_cycles))
+
+        struck = chip.cores[core_index]
+        outcome = classify(struck, self.testcases[core_index], options)
+        clean = True
+        for other_index, other in enumerate(chip.cores):
+            if other_index == core_index:
+                continue
+            testcase = self.testcases[other_index]
+            # A chip checkstop legitimately stops the neighbours; clean
+            # means no *corruption* leaked across, not that they finished.
+            if other.halted:
+                clean &= (other.memory.nonzero_words() == testcase.golden_memory)
+            else:
+                clean &= chip.chip_checkstop or other.hung is False
+        return ChipInjectionRecord(
+            core_index=core_index,
+            unit=struck.unit_of(site.latch),
+            site_name=f"{struck.name}.{site.name}",
+            inject_cycle=inject_cycle,
+            outcome=outcome,
+            other_cores_clean=clean,
+        )
+
+    def run_campaign(self, count: int, seed: int = 0,
+                     core_index: int | None = None) -> ChipCampaignResult:
+        """Inject ``count`` random flips (into ``core_index``, or spread
+        uniformly across the chip when None)."""
+        rng = random.Random(f"chip:{seed}")
+        result = ChipCampaignResult()
+        for _ in range(count):
+            target = (core_index if core_index is not None
+                      else rng.randrange(len(self.chip.cores)))
+            site_number = rng.randrange(self.site_count(target))
+            inject_cycle = rng.randrange(max(1, self.reference_cycles))
+            result.records.append(
+                self.run_one(target, site_number, inject_cycle))
+        return result

@@ -1,0 +1,54 @@
+"""Outcome classification.
+
+After the post-injection drain window, the effect of the fault "is
+evaluated by checking the system/processor status registers which flag
+errors such as checkstops, recoveries and machine errors.  Errors not
+normally visible to the machine can be detected by the AVP when they
+result in incorrect architected state."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.avp.runner import memory_matches_golden
+from repro.avp.testcase import AvpTestcase
+from repro.cpu.core import Power6Core
+
+from repro.sfi.outcomes import Outcome
+
+
+@dataclass(frozen=True)
+class ClassifyOptions:
+    """Knobs affecting classification.
+
+    ``latent_as_vanished``: when True, undetected architected-state
+    corruption is counted as VANISHED instead of SDC.  The paper's Table 3
+    "Raw" row (all checkers masked) reports only vanish/rec/hang/checkstop
+    — latent corruption that nothing caught is invisible to the machine
+    and lands in "vanished"; the text notes these errors "were not being
+    caught by the processor".  Default False (SDC reported explicitly).
+    """
+
+    latent_as_vanished: bool = False
+
+
+def classify(core: Power6Core, testcase: AvpTestcase,
+             options: ClassifyOptions = ClassifyOptions()) -> Outcome:
+    """Classify the machine's state after the drain window."""
+    if core.checkstopped:
+        return Outcome.CHECKSTOP
+    if core.hung or not core.halted:
+        # A set hang FIR, or a machine still spinning after the window
+        # (e.g. a corrupted count register creating a billion-iteration
+        # loop) — both are hangs at the AVP monitoring level.
+        return Outcome.HANG
+    clean = memory_matches_golden(core, testcase)
+    had_correction = core.recovery_count > 0 or core.corrected_count > 0
+    if not clean:
+        if options.latent_as_vanished and not had_correction:
+            return Outcome.VANISHED
+        return Outcome.SDC
+    if had_correction:
+        return Outcome.CORRECTED
+    return Outcome.VANISHED

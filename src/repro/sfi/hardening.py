@@ -1,0 +1,66 @@
+"""Hardening what-if analysis.
+
+§3.2 concludes that the results "motivate the hardening of scan-only
+latches in the core".  Given campaign results, this module answers the
+what-if: if a set of latches (a ring, a type, a unit) were hardened —
+i.e. their upsets suppressed — how do the whole-core outcome rates and
+the unmasked-fault rate change?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sfi.outcomes import OUTCOME_ORDER, Outcome
+from repro.sfi.results import CampaignResult, InjectionRecord
+
+
+@dataclass(frozen=True)
+class HardeningReport:
+    """Before/after outcome rates for a hardening proposal."""
+
+    hardened_bits: int
+    population_bits: int
+    baseline: dict[Outcome, float]
+    hardened: dict[Outcome, float]
+
+    def bad_outcome_reduction(self) -> float:
+        """Relative reduction in non-vanished outcomes."""
+        before = 1.0 - self.baseline[Outcome.VANISHED]
+        after = 1.0 - self.hardened[Outcome.VANISHED]
+        if before == 0:
+            return 0.0
+        return 1.0 - after / before
+
+
+def harden(result: CampaignResult, predicate,
+           hardened_bits: int) -> HardeningReport:
+    """Recompute outcome rates assuming sites matching ``predicate`` are
+    hardened (their flips become architecturally invisible: VANISHED).
+
+    ``predicate`` receives each :class:`InjectionRecord`.  Rates stay
+    expressed per injected flip of the *original* population, so the
+    comparison isolates the hardening effect.
+    """
+    if hardened_bits < 0 or hardened_bits > result.population_bits:
+        raise ValueError("hardened_bits must be within the population")
+    baseline = result.fractions()
+    total = max(1, result.total)
+    adjusted = {outcome: 0 for outcome in OUTCOME_ORDER}
+    for record in result.records:
+        outcome = Outcome.VANISHED if predicate(record) else record.outcome
+        adjusted[outcome] += 1
+    hardened = {outcome: count / total for outcome, count in adjusted.items()}
+    return HardeningReport(
+        hardened_bits=hardened_bits,
+        population_bits=result.population_bits,
+        baseline=baseline,
+        hardened=hardened,
+    )
+
+
+def harden_rings(result: CampaignResult, rings: set[str],
+                 ring_bits: dict[str, int]) -> HardeningReport:
+    """Convenience: harden entire scan rings (e.g. {"MODE", "GPTR"})."""
+    bits = sum(ring_bits.get(ring, 0) for ring in rings)
+    return harden(result, lambda record: record.ring in rings, bits)

@@ -1,0 +1,29 @@
+"""Outcome taxonomy for injected bit flips.
+
+These are the destinies the paper's monitoring environment distinguishes
+(Figure 1): the flip vanished, was corrected (recovery or local
+correction), hung the machine, checkstopped it, or silently produced
+incorrect architected state (detected by the AVP's end-of-run check).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Outcome(enum.Enum):
+    """Destiny of one injected bit flip."""
+
+    VANISHED = "Vanished"
+    CORRECTED = "Corrected"
+    HANG = "Hang"
+    CHECKSTOP = "Checkstop"
+    SDC = "Bad Arch State"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Presentation order used throughout tables and figures.
+OUTCOME_ORDER = (Outcome.VANISHED, Outcome.CORRECTED, Outcome.HANG,
+                 Outcome.CHECKSTOP, Outcome.SDC)

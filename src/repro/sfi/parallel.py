@@ -1,0 +1,72 @@
+"""Parallel campaign execution.
+
+"Multiple concurrent copies of the simulation environment can be run
+relatively easily, which is not the case with the beam experiments"
+(§2.2).  This module shards a campaign across worker processes, each of
+which builds its own copy of the prepared machine from the (picklable)
+campaign configuration and runs its slice; the shards merge into one
+:class:`~repro.sfi.results.CampaignResult`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.sfi.campaign import CampaignConfig, SfiExperiment
+from repro.sfi.results import CampaignResult
+
+# Worker-side cache: one prepared machine per (config, process).
+_WORKER_EXPERIMENT: SfiExperiment | None = None
+_WORKER_CONFIG: CampaignConfig | None = None
+
+
+def _worker_run(args: tuple) -> list:
+    """Run one shard inside a worker process."""
+    global _WORKER_EXPERIMENT, _WORKER_CONFIG
+    config, sites, seed = args
+    if _WORKER_EXPERIMENT is None or _WORKER_CONFIG != config:
+        _WORKER_EXPERIMENT = SfiExperiment(config)
+        _WORKER_CONFIG = config
+    result = _WORKER_EXPERIMENT.run_campaign(sites, seed=seed)
+    return result.records
+
+
+def shard_sites(sites: list[int], shards: int) -> list[list[int]]:
+    """Split a site list into ``shards`` contiguous, size-balanced slices."""
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    base, extra = divmod(len(sites), shards)
+    slices = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        slices.append(sites[start:start + size])
+        start += size
+    return [s for s in slices if s]
+
+
+def run_parallel_campaign(config: CampaignConfig, sites: list[int],
+                          seed: int = 0, workers: int | None = None,
+                          population_bits: int = 0) -> CampaignResult:
+    """Run ``sites`` as a campaign across ``workers`` processes.
+
+    Each worker prepares an identical machine (same config, same AVP
+    suite, same checkpoints), so results are independent of the sharding;
+    per-injection cycles are seeded per shard, so the merged result is
+    deterministic for a given (seed, workers) pair.
+    """
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    shards = shard_sites(sites, workers)
+    if len(shards) <= 1:
+        experiment = SfiExperiment(config)
+        return experiment.run_campaign(sites, seed=seed)
+    jobs = [(config, shard, seed + index) for index, shard in enumerate(shards)]
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=len(shards)) as pool:
+        shard_records = pool.map(_worker_run, jobs)
+    merged = CampaignResult(population_bits=population_bits)
+    for records in shard_records:
+        merged.records.extend(records)
+    return merged

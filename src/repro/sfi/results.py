@@ -1,0 +1,78 @@
+"""Campaign result containers and aggregation."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.rtl.latch import LatchKind
+
+from repro.sfi.outcomes import OUTCOME_ORDER, Outcome
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One completed injection, with its cause-and-effect event trace."""
+
+    site_index: int
+    site_name: str
+    unit: str
+    kind: LatchKind
+    ring: str
+    testcase_seed: int
+    inject_cycle: int
+    outcome: Outcome
+    trace: tuple = ()
+
+
+@dataclass
+class CampaignResult:
+    """All records of one campaign plus aggregation helpers."""
+
+    records: list[InjectionRecord] = field(default_factory=list)
+    population_bits: int = 0
+
+    def add(self, record: InjectionRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def counts(self) -> dict[Outcome, int]:
+        counter = Counter(record.outcome for record in self.records)
+        return {outcome: counter.get(outcome, 0) for outcome in OUTCOME_ORDER}
+
+    def fractions(self) -> dict[Outcome, float]:
+        total = max(1, self.total)
+        return {outcome: count / total for outcome, count in self.counts().items()}
+
+    def by_unit(self) -> dict[str, "CampaignResult"]:
+        grouped: dict[str, CampaignResult] = defaultdict(CampaignResult)
+        for record in self.records:
+            grouped[record.unit].add(record)
+        return dict(grouped)
+
+    def by_kind(self) -> dict[LatchKind, "CampaignResult"]:
+        grouped: dict[LatchKind, CampaignResult] = defaultdict(CampaignResult)
+        for record in self.records:
+            grouped[record.kind].add(record)
+        return dict(grouped)
+
+    def by_ring(self) -> dict[str, "CampaignResult"]:
+        grouped: dict[str, CampaignResult] = defaultdict(CampaignResult)
+        for record in self.records:
+            grouped[record.ring].add(record)
+        return dict(grouped)
+
+    def merged_with(self, other: "CampaignResult") -> "CampaignResult":
+        merged = CampaignResult(list(self.records) + list(other.records),
+                                self.population_bits or other.population_bits)
+        return merged
+
+    def summary(self) -> str:
+        """One-line human-readable outcome summary."""
+        fractions = self.fractions()
+        parts = [f"{outcome.value}: {fractions[outcome]:.2%}"
+                 for outcome in OUTCOME_ORDER]
+        return f"n={self.total}  " + "  ".join(parts)

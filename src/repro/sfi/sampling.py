@@ -1,0 +1,63 @@
+"""Latch-bit sampling strategies.
+
+The paper's methodology is *statistical*: a core holds hundreds of
+thousands of latch bits, so campaigns sample.  Random whole-core sampling
+reproduces the beam-calibration experiment (Table 2); per-unit and
+per-scan-ring sampling are the targeted modes of §3.1 and §3.2.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.emulator.netlist import LatchMap
+from repro.rtl.latch import LatchKind
+
+
+def random_sample(latch_map: LatchMap, count: int, rng: random.Random,
+                  with_replacement: bool = True) -> list[int]:
+    """Uniform random site sample over the entire latch population.
+
+    With replacement by default (a beam does not remember where it already
+    struck); pass ``with_replacement=False`` for a distinct-site sample.
+    """
+    population = len(latch_map)
+    if with_replacement:
+        return [rng.randrange(population) for _ in range(count)]
+    if count > population:
+        raise ValueError(f"cannot draw {count} distinct sites from {population}")
+    return rng.sample(range(population), count)
+
+
+def unit_sample(latch_map: LatchMap, unit: str, count: int,
+                rng: random.Random) -> list[int]:
+    """Uniform random sites within one micro-architectural unit."""
+    indices = latch_map.indices_for_unit(unit)
+    return [indices[rng.randrange(len(indices))] for _ in range(count)]
+
+
+def ring_fraction_sample(latch_map: LatchMap, ring: str, fraction: float,
+                         rng: random.Random) -> list[int]:
+    """Sample ``fraction`` of a scan ring's bits (distinct), Figure 5 style
+    ("approximately 10% of the latches in each scan chain")."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    indices = latch_map.indices_for_ring(ring)
+    count = max(1, round(len(indices) * fraction))
+    return rng.sample(indices, count)
+
+
+def kind_sample(latch_map: LatchMap, kind: LatchKind, count: int,
+                rng: random.Random) -> list[int]:
+    """Uniform random sites of one latch type (MODE/GPTR/REGFILE/FUNC)."""
+    indices = latch_map.indices_for_kind(kind)
+    return [indices[rng.randrange(len(indices))] for _ in range(count)]
+
+
+def stratified_sample(latch_map: LatchMap, per_unit: int,
+                      rng: random.Random) -> list[int]:
+    """Equal-count sample from every unit (for unit-vs-unit comparisons)."""
+    sample: list[int] = []
+    for unit in latch_map.units():
+        sample.extend(unit_sample(latch_map, unit, per_unit, rng))
+    return sample

@@ -1,0 +1,95 @@
+"""Campaign persistence.
+
+Real injection campaigns run for hours and accumulate across sessions;
+results are stored as JSON-lines (one record per line, with the full
+cause-and-effect trace) so later analysis, merging and re-scoring need
+no re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cpu.events import EventKind, MachineEvent
+from repro.rtl.latch import LatchKind
+
+from repro.sfi.outcomes import Outcome
+from repro.sfi.results import CampaignResult, InjectionRecord
+
+_FORMAT_VERSION = 1
+
+
+def _record_to_dict(record: InjectionRecord) -> dict:
+    return {
+        "site_index": record.site_index,
+        "site_name": record.site_name,
+        "unit": record.unit,
+        "kind": record.kind.value,
+        "ring": record.ring,
+        "testcase_seed": record.testcase_seed,
+        "inject_cycle": record.inject_cycle,
+        "outcome": record.outcome.value,
+        "trace": [[event.cycle, event.kind.value, event.detail]
+                  for event in record.trace],
+    }
+
+
+def _record_from_dict(payload: dict) -> InjectionRecord:
+    return InjectionRecord(
+        site_index=payload["site_index"],
+        site_name=payload["site_name"],
+        unit=payload["unit"],
+        kind=LatchKind(payload["kind"]),
+        ring=payload["ring"],
+        testcase_seed=payload["testcase_seed"],
+        inject_cycle=payload["inject_cycle"],
+        outcome=Outcome(payload["outcome"]),
+        trace=tuple(MachineEvent(cycle, EventKind(kind), detail)
+                    for cycle, kind, detail in payload.get("trace", [])),
+    )
+
+
+def save_campaign(result: CampaignResult, path: str | Path) -> None:
+    """Write a campaign as JSON-lines (header line + one line/record)."""
+    path = Path(path)
+    with path.open("w") as handle:
+        header = {"format": _FORMAT_VERSION,
+                  "population_bits": result.population_bits,
+                  "records": result.total}
+        handle.write(json.dumps(header) + "\n")
+        for record in result.records:
+            handle.write(json.dumps(_record_to_dict(record)) + "\n")
+
+
+def load_campaign(path: str | Path) -> CampaignResult:
+    """Read a campaign written by :func:`save_campaign`."""
+    path = Path(path)
+    with path.open() as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty campaign file")
+        header = json.loads(header_line)
+        if header.get("format") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported campaign format {header.get('format')}")
+        result = CampaignResult(
+            population_bits=header.get("population_bits", 0))
+        for line in handle:
+            if line.strip():
+                result.add(_record_from_dict(json.loads(line)))
+    if result.total != header.get("records", result.total):
+        raise ValueError(f"{path}: truncated campaign file "
+                         f"({result.total} of {header['records']} records)")
+    return result
+
+
+def merge_campaigns(paths: list[str | Path]) -> CampaignResult:
+    """Merge several stored campaigns (e.g. parallel shards, or sessions
+    accumulated across days) into one result."""
+    merged = CampaignResult()
+    for path in paths:
+        loaded = load_campaign(path)
+        merged.population_bits = merged.population_bits or loaded.population_bits
+        merged.records.extend(loaded.records)
+    return merged

@@ -1,0 +1,29 @@
+"""Statistics substrate: descriptive stats, proportion confidence
+intervals, sample-size planning, and survey-sampling estimators."""
+
+from repro.stats.confidence import (
+    binomial_stdev_over_mean,
+    normal_interval,
+    required_sample_size,
+    wilson_interval,
+)
+from repro.stats.descriptive import mean_std, stdev_fraction_of_mean
+from repro.stats.sampling_theory import (
+    Stratum,
+    finite_population_correction,
+    stratified_estimate,
+    stratum_contributions,
+)
+
+__all__ = [
+    "Stratum",
+    "binomial_stdev_over_mean",
+    "finite_population_correction",
+    "mean_std",
+    "normal_interval",
+    "required_sample_size",
+    "stdev_fraction_of_mean",
+    "stratified_estimate",
+    "stratum_contributions",
+    "wilson_interval",
+]

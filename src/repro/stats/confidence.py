@@ -1,0 +1,72 @@
+"""Confidence intervals and sample-size planning for outcome proportions.
+
+Campaign results are category counts out of n injections; these helpers
+quantify the estimation error that §2.1 of the paper studies empirically.
+"""
+
+from __future__ import annotations
+
+import math
+
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def _z_for(confidence: float) -> float:
+    try:
+        return _Z[round(confidence, 2)]
+    except KeyError:
+        raise ValueError(f"unsupported confidence level {confidence}; "
+                         f"use one of {sorted(_Z)}") from None
+
+
+def normal_interval(successes: int, n: int,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Wald (normal-approximation) interval for a proportion."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= successes <= n:
+        raise ValueError("successes must be within [0, n]")
+    z = _z_for(confidence)
+    p = successes / n
+    half = z * math.sqrt(p * (1 - p) / n)
+    return max(0.0, p - half), min(1.0, p + half)
+
+
+def wilson_interval(successes: int, n: int,
+                    confidence: float = 0.95) -> tuple[float, float]:
+    """Wilson score interval — well-behaved for the rare categories
+    (checkstop rates below 1%) where the Wald interval collapses."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= successes <= n:
+        raise ValueError("successes must be within [0, n]")
+    z = _z_for(confidence)
+    p = successes / n
+    z2 = z * z
+    denom = 1 + z2 / n
+    centre = (p + z2 / (2 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / n + z2 / (4 * n * n))
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+def required_sample_size(p: float, relative_error: float,
+                         confidence: float = 0.95) -> int:
+    """Flips needed to estimate a category of true proportion ``p`` to
+    within ``relative_error`` of its value — the planning question behind
+    the paper's choice of ~10k flips."""
+    if not 0 < p < 1:
+        raise ValueError("p must be in (0, 1)")
+    if relative_error <= 0:
+        raise ValueError("relative_error must be positive")
+    z = _z_for(confidence)
+    return math.ceil((z * z * (1 - p)) / (relative_error * relative_error * p))
+
+
+def binomial_stdev_over_mean(p: float, n: int) -> float:
+    """Analytic Figure 2 curve: for a category with probability ``p``,
+    counts are Binomial(n, p) so stdev/mean = sqrt((1-p)/(n*p))."""
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return math.sqrt((1 - p) / (n * p))

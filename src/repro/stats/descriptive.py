@@ -1,0 +1,29 @@
+"""Basic descriptive statistics used across the SFI analyses."""
+
+from __future__ import annotations
+
+import math
+
+
+def mean_std(values: list[float] | list[int]) -> tuple[float, float]:
+    """Sample mean and (population) standard deviation.
+
+    The paper computes "the mean and the standard deviation of this
+    population" over the repeated random samples; with 10 samples the
+    population/sample distinction is immaterial for the trend, and the
+    population form keeps single-sample inputs well-defined.
+    """
+    if not values:
+        raise ValueError("mean_std of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return mean, math.sqrt(variance)
+
+
+def stdev_fraction_of_mean(values: list[float] | list[int]) -> float:
+    """Standard deviation as a fraction of the mean (Figure 2's y-axis).
+
+    Zero-mean inputs return 0 (an all-zero category has no spread)."""
+    mean, std = mean_std(values)
+    return std / mean if mean else 0.0

@@ -1,0 +1,53 @@
+"""Survey-sampling estimators for latch populations.
+
+The latch population is finite and structured (units of very different
+sizes); these estimators extrapolate campaign measurements to the whole
+design, which is what Figure 4's unit-contribution normalisation does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def finite_population_correction(n: int, population: int) -> float:
+    """FPC factor sqrt((N-n)/(N-1)) applied to without-replacement samples."""
+    if population <= 1 or n < 0 or n > population:
+        raise ValueError("need 0 <= n <= N and N > 1")
+    return math.sqrt((population - n) / (population - 1))
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One stratum: its population size and a measured proportion."""
+
+    name: str
+    population: int
+    sample_size: int
+    proportion: float
+
+
+def stratified_estimate(strata: list[Stratum]) -> float:
+    """Population-weighted proportion across strata.
+
+    This is how per-unit campaign rates combine into a whole-core rate:
+    each unit's measured rate weighted by its share of the latch bits.
+    """
+    total = sum(stratum.population for stratum in strata)
+    if total == 0:
+        raise ValueError("empty population")
+    return sum(s.population * s.proportion for s in strata) / total
+
+
+def stratum_contributions(strata: list[Stratum]) -> dict[str, float]:
+    """Each stratum's share of the total expected event count (Figure 4).
+
+    ``contribution[u] = N_u * p_u / sum_v N_v * p_v`` — the number of
+    latches in each unit taken into account, as the paper describes.
+    """
+    weights = {s.name: s.population * s.proportion for s in strata}
+    total = sum(weights.values())
+    if total == 0:
+        return {name: 0.0 for name in weights}
+    return {name: weight / total for name, weight in weights.items()}

@@ -1,0 +1,27 @@
+"""Workload characterisation: the performance-estimation tool (mix + CPI)
+and the synthetic SPECInt 2000 components used by Table 1."""
+
+from repro.workload.cpi import estimate_cpi_analytic, measure_cpi
+from repro.workload.mix import (
+    TABLE1_CLASSES,
+    measure_mix,
+    measure_opcode_mix,
+    mix_bounds,
+    top90_class_mix,
+    top90_mix,
+)
+from repro.workload.spec import SPEC_COMPONENTS, SpecComponent, component_by_name
+
+__all__ = [
+    "SPEC_COMPONENTS",
+    "SpecComponent",
+    "TABLE1_CLASSES",
+    "component_by_name",
+    "estimate_cpi_analytic",
+    "measure_cpi",
+    "measure_mix",
+    "measure_opcode_mix",
+    "mix_bounds",
+    "top90_class_mix",
+    "top90_mix",
+]

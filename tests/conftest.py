@@ -1,0 +1,40 @@
+"""Shared fixtures.
+
+Campaign-level tests share one session-scoped prepared experiment (model
+compile + suite generation + reference runs are the expensive part); the
+core model used there is shrunk via ``CoreParams.scale`` so the whole
+suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avp import AvpGenerator
+from repro.cpu import CoreParams, Power6Core
+from repro.sfi import CampaignConfig, SfiExperiment
+
+SMALL_PARAMS = CoreParams(scale=0.15, icache_lines=32, dcache_lines=32)
+
+
+@pytest.fixture(scope="session")
+def small_params() -> CoreParams:
+    return SMALL_PARAMS
+
+
+@pytest.fixture()
+def core(small_params) -> Power6Core:
+    return Power6Core(small_params)
+
+
+@pytest.fixture(scope="session")
+def experiment() -> SfiExperiment:
+    """A prepared small experiment shared by campaign-level tests."""
+    return SfiExperiment(CampaignConfig(
+        suite_size=2, suite_seed=99, core_params=SMALL_PARAMS))
+
+
+@pytest.fixture(scope="session")
+def testcase():
+    """One deterministic AVP testcase."""
+    return AvpGenerator().generate(20080624)

@@ -1,0 +1,112 @@
+"""Derating analysis, Figure 4 normalisation, and table/figure renderers."""
+
+import pytest
+
+from repro.analysis import (
+    contribution_table,
+    derating_factor,
+    effective_ser_reduction,
+    per_unit_derating,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_table2,
+    render_table3,
+    unit_contributions,
+    unmasked_rate,
+)
+from repro.rtl import LatchKind
+from repro.sfi import Outcome
+from repro.sfi.experiments import SampleSizePoint
+from repro.sfi.outcomes import OUTCOME_ORDER
+from repro.sfi.results import CampaignResult, InjectionRecord
+
+
+def _result(outcomes, unit="IFU", ring="IFU"):
+    result = CampaignResult(population_bits=100)
+    for outcome in outcomes:
+        result.add(InjectionRecord(0, "x", unit, LatchKind.FUNC, ring, 0, 0,
+                                   outcome))
+    return result
+
+
+class TestDerating:
+    def test_derating_factor(self):
+        result = _result([Outcome.VANISHED] * 9 + [Outcome.CORRECTED])
+        assert derating_factor(result) == pytest.approx(0.9)
+        assert unmasked_rate(result) == pytest.approx(0.1)
+
+    def test_per_unit(self):
+        results = {"IFU": _result([Outcome.VANISHED]),
+                   "LSU": _result([Outcome.CORRECTED])}
+        derating = per_unit_derating(results)
+        assert derating == {"IFU": 1.0, "LSU": 0.0}
+
+    def test_effective_ser(self):
+        assert effective_ser_reduction(1000.0, 0.95) == pytest.approx(50.0)
+        with pytest.raises(ValueError):
+            effective_ser_reduction(1.0, 1.5)
+
+
+class TestContributions:
+    def test_latch_count_weighting(self):
+        # Same rates, very different unit sizes: the big unit dominates.
+        results = {"LSU": _result([Outcome.CORRECTED] * 2 + [Outcome.VANISHED] * 8),
+                   "RUT": _result([Outcome.CORRECTED] * 2 + [Outcome.VANISHED] * 8)}
+        contributions = unit_contributions(results, {"LSU": 900, "RUT": 100},
+                                           Outcome.CORRECTED)
+        assert contributions["LSU"] == pytest.approx(0.9)
+
+    def test_missing_bits_rejected(self):
+        results = {"LSU": _result([Outcome.CORRECTED])}
+        with pytest.raises(KeyError):
+            unit_contributions(results, {}, Outcome.CORRECTED)
+
+    def test_table_covers_outcomes(self):
+        results = {"LSU": _result([Outcome.CORRECTED, Outcome.HANG,
+                                   Outcome.CHECKSTOP])}
+        table = contribution_table(results, {"LSU": 10})
+        assert set(table) == {Outcome.CORRECTED, Outcome.HANG,
+                              Outcome.CHECKSTOP}
+
+
+class TestRenderers:
+    def test_table2_contains_categories_and_paper_values(self):
+        sfi = _result([Outcome.VANISHED] * 95 + [Outcome.CORRECTED] * 4
+                      + [Outcome.CHECKSTOP])
+        beam = _result([Outcome.VANISHED] * 96 + [Outcome.CORRECTED] * 4)
+        text = render_table2(sfi, beam)
+        assert "Vanished" in text and "95.89" in text and "Proton Beam" in text
+
+    def test_table3_rows(self):
+        raw = _result([Outcome.VANISHED] * 99 + [Outcome.HANG])
+        check = _result([Outcome.VANISHED] * 96 + [Outcome.CORRECTED] * 2
+                        + [Outcome.CHECKSTOP] * 2)
+        text = render_table3(raw, check)
+        assert text.count("Raw") >= 1 and "Check" in text
+
+    def test_fig2_series(self):
+        point = SampleSizePoint(flips=100, samples=3,
+                                means={o: 1.0 for o in OUTCOME_ORDER},
+                                stdev_over_mean={o: 0.1 for o in OUTCOME_ORDER})
+        text = render_fig2([point])
+        assert "100" in text and "0.100" in text
+
+    def test_fig3_orders_units(self):
+        results = {unit: _result([Outcome.VANISHED], unit=unit)
+                   for unit in ("IFU", "RUT", "CORE")}
+        text = render_fig3(results)
+        assert text.index("IFU") < text.index("RUT") < text.index("CORE")
+
+    def test_fig4_renders_percentages(self):
+        contributions = {Outcome.CORRECTED: {"LSU": 0.5, "IFU": 0.5}}
+        text = render_fig4(contributions)
+        assert "50.00%" in text
+
+    def test_fig5_ring_rows(self):
+        results = {ring: _result([Outcome.VANISHED], ring=ring)
+                   for ring in ("MODE", "GPTR", "REGFILE", "FUNC")}
+        text = render_fig5(results)
+        for ring in ("MODE", "GPTR", "REGFILE", "FUNC"):
+            assert ring in text

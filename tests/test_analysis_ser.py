@@ -1,0 +1,63 @@
+"""SER/FIT budgeting."""
+
+import pytest
+
+from repro.analysis.ser import (
+    SerBudget,
+    budget_from_campaign,
+    mtbf_hours,
+    render_budgets,
+    unit_budgets,
+)
+from repro.rtl import LatchKind
+from repro.sfi import Outcome
+from repro.sfi.results import CampaignResult, InjectionRecord
+
+
+def _result(counts: dict) -> CampaignResult:
+    result = CampaignResult(population_bits=100)
+    for outcome, count in counts.items():
+        for _ in range(count):
+            result.add(InjectionRecord(0, "x", "LSU", LatchKind.FUNC, "LSU",
+                                       0, 0, outcome))
+    return result
+
+
+class TestBudget:
+    def test_fractions_scale_raw_fit(self):
+        result = _result({Outcome.VANISHED: 90, Outcome.CORRECTED: 8,
+                          Outcome.CHECKSTOP: 2})
+        budget = budget_from_campaign("LSU", result, latch_bits=10_000,
+                                      fit_per_bit=0.001)
+        assert budget.raw_fit == pytest.approx(10.0)
+        assert budget.corrected_fit == pytest.approx(0.8)
+        assert budget.checkstop_fit == pytest.approx(0.2)
+        assert budget.unrecoverable_fit == pytest.approx(0.2)
+        assert budget.derating == pytest.approx(0.9)
+
+    def test_all_vanished_has_full_derating(self):
+        budget = budget_from_campaign("X", _result({Outcome.VANISHED: 10}),
+                                      1000, 0.01)
+        assert budget.derating == pytest.approx(1.0)
+        assert budget.unrecoverable_fit == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            budget_from_campaign("X", _result({Outcome.VANISHED: 1}), -1, 0.1)
+
+    def test_mtbf(self):
+        assert mtbf_hours(100.0) == pytest.approx(1e7)
+        assert mtbf_hours(0.0) == float("inf")
+
+    def test_unit_budgets_sorted_by_severity(self):
+        results = {
+            "A": _result({Outcome.VANISHED: 9, Outcome.CHECKSTOP: 1}),
+            "B": _result({Outcome.VANISHED: 10}),
+        }
+        budgets = unit_budgets(results, {"A": 100, "B": 100}, 0.01)
+        assert [b.name for b in budgets] == ["A", "B"]
+
+    def test_render_contains_rows(self):
+        budgets = [SerBudget("LSU", 100, 1.0, 0.1, 0.0, 0.01, 0.0)]
+        text = render_budgets(budgets)
+        assert "LSU" in text and "derating" in text

@@ -1,0 +1,127 @@
+"""AVP generation, self-checking and reference establishment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.avp import (
+    AvpBaselineError,
+    AvpGenerator,
+    MixWeights,
+    establish_reference,
+    make_suite,
+    memory_matches_golden,
+)
+from repro.avp.generator import DATA_BASE, RESULT_BASE
+from repro.isa import InstrClass, Iss
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        generator = AvpGenerator()
+        a = generator.generate(42)
+        b = generator.generate(42)
+        assert a.program.words == b.program.words
+        assert a.golden_memory == b.golden_memory
+
+    def test_different_seeds_differ(self):
+        generator = AvpGenerator()
+        assert generator.generate(1).program.words != \
+            generator.generate(2).program.words
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_always_halts_on_iss(self, seed):
+        testcase = AvpGenerator(blocks=(6, 12)).generate(seed)
+        assert testcase.instructions_retired > 0
+        assert testcase.golden_state.halted
+
+    def test_results_stored_to_result_buffer(self):
+        testcase = AvpGenerator().generate(7)
+        result_words = [addr for addr in testcase.golden_memory
+                        if addr >= RESULT_BASE // 4]
+        assert result_words, "epilogue must store the live pool registers"
+
+    def test_data_segment_within_bounds(self):
+        generator = AvpGenerator(data_words=32)
+        testcase = generator.generate(3)
+        for addr in testcase.program.data:
+            assert DATA_BASE <= addr < DATA_BASE + 32 * 4
+
+    def test_data_words_bound_checked(self):
+        with pytest.raises(ValueError):
+            AvpGenerator(data_words=10_000)
+
+    def test_class_counts_recorded(self):
+        testcase = AvpGenerator().generate(11)
+        assert sum(testcase.class_counts.values()) == testcase.instructions_retired
+        assert testcase.dynamic_mix()[InstrClass.LOAD] > 0
+
+
+class TestMixSteering:
+    def _mix_for(self, weights, classes, n=12):
+        generator = AvpGenerator(weights)
+        total = {cls: 0 for cls in classes}
+        retired = 0
+        for seed in range(n):
+            testcase = generator.generate(seed)
+            retired += testcase.instructions_retired
+            for cls in classes:
+                total[cls] += testcase.class_counts.get(cls, 0)
+        return {cls: total[cls] / retired for cls in classes}
+
+    def test_load_weight_increases_loads(self):
+        light = self._mix_for(MixWeights(load=0.05, store=0.2, fixed=0.3,
+                                         fp=0.0, compare=0.05, branch=0.4),
+                              [InstrClass.LOAD])
+        heavy = self._mix_for(MixWeights(load=0.6, store=0.1, fixed=0.1,
+                                         fp=0.0, compare=0.05, branch=0.15),
+                              [InstrClass.LOAD])
+        assert heavy[InstrClass.LOAD] > light[InstrClass.LOAD] + 0.05
+
+    def test_fp_weight_creates_fp(self):
+        mix = self._mix_for(MixWeights(load=0.2, store=0.1, fixed=0.1,
+                                       fp=0.3, compare=0.05, branch=0.25),
+                            [InstrClass.FLOATING_POINT])
+        assert mix[InstrClass.FLOATING_POINT] > 0.02
+
+    def test_default_mix_near_table1_avp(self):
+        classes = [InstrClass.LOAD, InstrClass.STORE, InstrClass.COMPARISON,
+                   InstrClass.BRANCH]
+        mix = self._mix_for(MixWeights(), classes, n=20)
+        assert abs(mix[InstrClass.LOAD] - 0.294) < 0.05
+        assert abs(mix[InstrClass.STORE] - 0.236) < 0.05
+        assert abs(mix[InstrClass.COMPARISON] - 0.049) < 0.04
+        assert abs(mix[InstrClass.BRANCH] - 0.146) < 0.05
+
+
+class TestSuite:
+    def test_make_suite_deterministic(self):
+        a = make_suite(3, seed=5)
+        b = make_suite(3, seed=5)
+        assert [t.seed for t in a] == [t.seed for t in b]
+        assert all(x.program.words == y.program.words for x, y in zip(a, b))
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError):
+            make_suite(0)
+
+
+class TestReference:
+    def test_establish_reference_on_core(self, core, testcase):
+        reference = establish_reference(core, testcase)
+        assert reference.cycles > 0
+        assert reference.cpi > 1.0
+        assert reference.committed == testcase.instructions_retired
+
+    def test_memory_check_detects_tampering(self, core, testcase):
+        establish_reference(core, testcase)
+        assert memory_matches_golden(core, testcase)
+        core.memory.store_word(RESULT_BASE, 0xBAD)
+        assert not memory_matches_golden(core, testcase)
+
+    def test_reference_rejects_corrupted_golden(self, core, testcase):
+        import dataclasses
+        tampered = dataclasses.replace(
+            testcase, golden_memory={**testcase.golden_memory, 4: 999})
+        with pytest.raises(AvpBaselineError, match="memory image"):
+            establish_reference(core, tampered)

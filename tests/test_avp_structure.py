@@ -1,0 +1,73 @@
+"""Structural invariants of generated AVP programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.avp import AvpGenerator
+from repro.avp.generator import CODE_BASE, POOL_REGS, RESULT_BASE
+from repro.isa import Iss, Opcode, decode
+
+
+class TestControlFlowStructure:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_branch_targets_inside_program(self, seed):
+        testcase = AvpGenerator(blocks=(6, 14)).generate(seed)
+        words = testcase.program.words
+        for index, word in enumerate(words):
+            instr = decode(word)
+            if instr.op in (int(Opcode.B), int(Opcode.BC), int(Opcode.BL),
+                            int(Opcode.BDNZ)):
+                target = index + instr.imm
+                assert 0 <= target < len(words), \
+                    f"branch at {index} targets {target} of {len(words)}"
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_exactly_one_halt_and_it_executes(self, seed):
+        testcase = AvpGenerator(blocks=(6, 14)).generate(seed)
+        halts = [i for i, word in enumerate(testcase.program.words)
+                 if decode(word).op == int(Opcode.HALT)]
+        assert len(halts) == 1
+        assert testcase.golden_state.halted
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_functions_only_reachable_via_bl(self, seed):
+        """Code after HALT must be leaf functions entered via bl."""
+        testcase = AvpGenerator(blocks=(6, 14)).generate(seed)
+        words = testcase.program.words
+        halt_index = next(i for i, word in enumerate(words)
+                          if decode(word).op == int(Opcode.HALT))
+        for index in range(halt_index + 1, len(words)):
+            instr = decode(words[index])
+            # Function bodies are fixed-point ops terminated by blr.
+            assert instr.op in {int(Opcode.BLR)} | {
+                int(op) for op in (Opcode.ADDI, Opcode.ADD, Opcode.SUB,
+                                   Opcode.MULLW, Opcode.DIVW, Opcode.AND,
+                                   Opcode.OR, Opcode.XOR, Opcode.ANDI,
+                                   Opcode.ORI, Opcode.XORI, Opcode.SLW,
+                                   Opcode.SRW, Opcode.SRAW, Opcode.SLWI,
+                                   Opcode.SRWI)}
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_memory_traffic_stays_in_bounds(self, seed):
+        """All golden-run memory writes land in data or result areas."""
+        testcase = AvpGenerator(blocks=(6, 14)).generate(seed)
+        code_end = (CODE_BASE + 4 * len(testcase.program.words)) // 4
+        for word_index in testcase.golden_memory:
+            addr = word_index * 4
+            in_code = CODE_BASE <= addr < code_end * 4
+            in_data = 0x4000 <= addr < RESULT_BASE
+            in_result = RESULT_BASE <= addr < RESULT_BASE + 0x100
+            assert in_code or in_data or in_result, hex(addr)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_result_buffer_holds_pool_registers(self, seed):
+        testcase = AvpGenerator(blocks=(6, 14)).generate(seed)
+        iss = Iss(testcase.program)
+        iss.run()
+        for offset, reg in enumerate(POOL_REGS):
+            assert iss.memory.load_word(RESULT_BASE + 4 * offset) == \
+                iss.state.gprs[reg]

@@ -1,0 +1,98 @@
+"""Beam experiment simulator."""
+
+import random
+
+import pytest
+
+from repro.beam import BeamExperiment, FluxModel
+from repro.sfi import CampaignConfig, Outcome
+
+from tests.conftest import SMALL_PARAMS
+
+
+@pytest.fixture(scope="module")
+def beam():
+    return BeamExperiment(CampaignConfig(suite_size=2, suite_seed=99,
+                                         core_params=SMALL_PARAMS))
+
+
+class TestPopulation:
+    def test_arrays_counted(self, beam):
+        # I-cache + D-cache data (33 bits/word) + ECC checkpoint (39/word).
+        core = beam.sfi.core
+        expected = (core.ifu.icache.array.bit_count
+                    + core.lsu.dcache.array.bit_count
+                    + core.rut.ckpt.bit_count)
+        assert beam.array_bits == expected
+
+    def test_latch_population_matches_sfi(self, beam):
+        assert beam.latch_bits == len(beam.sfi.latch_map)
+
+    def test_pick_site_covers_both_kinds(self, beam):
+        rng = random.Random(0)
+        kinds = {beam._pick_site(rng)[0] for _ in range(300)}
+        assert kinds == {"latch", "array"}
+
+    def test_cross_section_weighting(self):
+        heavy = BeamExperiment(
+            CampaignConfig(suite_size=1, suite_seed=99,
+                           core_params=SMALL_PARAMS),
+            flux=FluxModel(sram_cross_section=50.0))
+        rng = random.Random(0)
+        kinds = [heavy._pick_site(rng)[0] for _ in range(200)]
+        assert kinds.count("array") > 180
+
+
+class TestFluxModel:
+    def test_poisson_mean(self):
+        flux = FluxModel(mean_upsets_per_run=2.0)
+        rng = random.Random(42)
+        draws = [flux.sample_upset_count(rng) for _ in range(3000)]
+        assert abs(sum(draws) / len(draws) - 2.0) < 0.15
+
+    def test_zero_rate(self):
+        flux = FluxModel(mean_upsets_per_run=0.0)
+        assert flux.sample_upset_count(random.Random(1)) == 0
+
+    def test_cycles_sorted_in_range(self):
+        flux = FluxModel()
+        cycles = flux.sample_upset_cycles(10, 500, random.Random(3))
+        assert cycles == sorted(cycles)
+        assert all(0 <= c < 500 for c in cycles)
+
+
+class TestEvents:
+    def test_run_events_counts(self, beam):
+        result = beam.run_events(30, seed=1)
+        assert result.total == 30
+        assert sum(result.counts().values()) == 30
+
+    def test_events_mostly_vanish(self, beam):
+        result = beam.run_events(60, seed=2)
+        assert result.fractions()[Outcome.VANISHED] > 0.75
+
+    def test_deterministic(self, beam):
+        a = beam.run_events(15, seed=3)
+        b = beam.run_events(15, seed=3)
+        assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
+
+    def test_array_strikes_labelled(self, beam):
+        result = beam.run_events(60, seed=4)
+        units = {record.unit for record in result.records}
+        assert "ARRAY" in units  # beam reaches where SFI does not
+
+
+class TestIrradiate:
+    def test_runs_and_upsets_accounted(self, beam):
+        result, upsets = beam.irradiate(15, seed=5)
+        assert result.total == 15
+        assert upsets >= 0
+
+    def test_zero_upset_runs_vanish(self):
+        quiet = BeamExperiment(
+            CampaignConfig(suite_size=1, suite_seed=99,
+                           core_params=SMALL_PARAMS),
+            flux=FluxModel(mean_upsets_per_run=0.0))
+        result, upsets = quiet.irradiate(5, seed=0)
+        assert upsets == 0
+        assert result.counts()[Outcome.VANISHED] == 5

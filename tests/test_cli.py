@@ -1,0 +1,72 @@
+"""CLI subcommands (exercised in-process through main())."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+def run_cli(capsys, *argv):
+    code = cli.main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+BASE = ("--suite-size", "2", "--seed", "99")
+
+
+class TestCli:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_info_text(self, capsys):
+        code, out = run_cli(capsys, "info", *BASE)
+        assert code == 0
+        assert "Injectable latch bits" in out
+        assert "LSU" in out and "MODE" in out
+
+    def test_info_json(self, capsys):
+        code, out = run_cli(capsys, "info", *BASE, "--json")
+        payload = json.loads(out)
+        assert payload["latch_bits"] > 10_000
+        assert set(payload["units"]) >= {"IFU", "LSU", "RUT"}
+
+    def test_campaign_text(self, capsys):
+        code, out = run_cli(capsys, "campaign", "--flips", "30", *BASE)
+        assert code == 0
+        assert "Vanished" in out and "95% CI" in out
+
+    def test_campaign_json_counts(self, capsys):
+        code, out = run_cli(capsys, "campaign", "--flips", "25", *BASE,
+                            "--json")
+        payload = json.loads(out)
+        assert payload["total"] == 25
+        total = sum(entry["count"] for entry in payload["outcomes"].values())
+        assert total == 25
+
+    def test_campaign_raw_mode(self, capsys):
+        code, out = run_cli(capsys, "campaign", "--flips", "25", "--raw",
+                            *BASE, "--json")
+        payload = json.loads(out)
+        assert payload["outcomes"]["Corrected"]["count"] == 0
+
+    def test_units_renders_figures(self, capsys):
+        code, out = run_cli(capsys, "units", "--flips-per-unit", "8", *BASE)
+        assert "Figure 3" in out and "Figure 4" in out
+
+    def test_kinds_json(self, capsys):
+        code, out = run_cli(capsys, "kinds", "--flips-per-kind", "8", *BASE,
+                            "--json")
+        payload = json.loads(out)
+        assert set(payload) == {"FUNC", "REGFILE", "MODE", "GPTR"}
+
+    def test_beam(self, capsys):
+        code, out = run_cli(capsys, "beam", "--events", "15", *BASE)
+        assert "beam events" in out and "Vanished" in out
+
+    def test_trace(self, capsys):
+        code, out = run_cli(capsys, "trace", "--flips", "40", "--show", "2",
+                            *BASE)
+        assert "Cause-and-effect tracing summary" in out

@@ -1,0 +1,112 @@
+"""Direct-mapped cache behaviour, including parity-error paths."""
+
+import pytest
+
+from repro.isa import Memory
+from repro.cpu.cache import DirectMappedCache
+
+
+@pytest.fixture()
+def cache():
+    return DirectMappedCache("test.cache", lines=8, words_per_line=4, ring="LSU")
+
+
+@pytest.fixture()
+def memory():
+    mem = Memory()
+    for i in range(256):
+        mem.store_word(4 * i, i * 3 + 1)
+    return mem
+
+
+class TestLookup:
+    def test_cold_miss(self, cache):
+        assert cache.lookup(0x40)[0] == "miss"
+
+    def test_fill_then_hit(self, cache, memory):
+        cache.fill(0x40, memory)
+        status, word = cache.lookup(0x40)
+        assert status == "hit"
+        assert word == memory.load_word(0x40)
+
+    def test_fill_brings_whole_line(self, cache, memory):
+        cache.fill(0x40, memory)
+        for offset in range(0, 16, 4):
+            status, word = cache.lookup(0x40 + offset)
+            assert status == "hit"
+            assert word == memory.load_word(0x40 + offset)
+
+    def test_conflict_eviction(self, cache, memory):
+        line_span = 8 * 4 * 4  # lines * words * bytes
+        cache.fill(0x0, memory)
+        cache.fill(line_span, memory)  # same index, different tag
+        assert cache.lookup(0x0)[0] == "miss"
+        assert cache.lookup(line_span)[0] == "hit"
+
+
+class TestParityPaths:
+    def test_data_error_detected(self, cache, memory):
+        cache.fill(0x40, memory)
+        cache.array.flip(cache._split(0x40)[1] * 4, 5)
+        status, word = cache.lookup(0x40)
+        assert status == "data_err"
+        # The corrupt word is returned for masked-checker consumption.
+        assert word == memory.load_word(0x40) ^ (1 << 5)
+
+    def test_array_parity_bit_strike_detected(self, cache, memory):
+        cache.fill(0x40, memory)
+        cache.array.flip(cache._split(0x40)[1] * 4, 32)  # parity bit
+        assert cache.lookup(0x40)[0] == "data_err"
+
+    def test_tag_error_detected(self, cache, memory):
+        cache.fill(0x40, memory)
+        index = cache._split(0x40)[1]
+        cache.tags[index].flip(0)
+        status = cache.lookup(0x40)[0]
+        # A flipped tag either mismatches (miss) or fails parity (tag_err);
+        # with a parity-protected tag latch it must be tag_err.
+        assert status == "tag_err"
+
+    def test_valid_flip_causes_miss(self, cache, memory):
+        cache.fill(0x40, memory)
+        index = cache._split(0x40)[1]
+        cache.valids.flip(index)
+        assert cache.lookup(0x40)[0] == "miss"
+
+
+class TestWrites:
+    def test_write_through_updates_present_line(self, cache, memory):
+        cache.fill(0x40, memory)
+        cache.write_through(0x44, 0xABCD)
+        assert cache.lookup(0x44) == ("hit", 0xABCD)
+
+    def test_write_through_no_allocate(self, cache):
+        cache.write_through(0x80, 0x1111)
+        assert cache.lookup(0x80)[0] == "miss"
+
+    def test_invalidate_line(self, cache, memory):
+        cache.fill(0x40, memory)
+        cache.invalidate_line(0x40)
+        assert cache.lookup(0x40)[0] == "miss"
+
+    def test_invalidate_all(self, cache, memory):
+        cache.fill(0x0, memory)
+        cache.fill(0x40, memory)
+        cache.invalidate_all()
+        assert cache.lookup(0x0)[0] == "miss"
+        assert cache.lookup(0x40)[0] == "miss"
+
+
+class TestGeometry:
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache("bad", lines=6, words_per_line=4, ring="X")
+
+    def test_tag_width_accounts_for_geometry(self, cache):
+        assert cache.tag_width == 32 - cache.offset_bits - cache.index_bits
+
+    def test_address_split_consistent(self, cache):
+        tag, index, offset = cache._split(0x12345678)
+        rebuilt = (tag << (cache.offset_bits + cache.index_bits)) \
+            | (index << cache.offset_bits) | (offset * 4)
+        assert rebuilt == 0x12345678 & ~3

@@ -1,0 +1,97 @@
+"""ERAT translation behaviour, including its three failure modes."""
+
+import pytest
+
+from repro.cpu.erat import PAGE_BITS, Erat
+
+
+@pytest.fixture()
+def erat():
+    return Erat("test.erat", entries=4, ring="LSU")
+
+
+class TestTranslate:
+    def test_identity_mapping(self, erat):
+        status, paddr = erat.translate(0x4123)
+        assert status == "ok"
+        assert paddr == 0x4123
+
+    def test_hit_after_refill(self, erat):
+        erat.translate(0x4000)
+        victim_before = erat.victim.value
+        status, paddr = erat.translate(0x4004)  # same page
+        assert status == "ok" and paddr == 0x4004
+        assert erat.victim.value == victim_before  # no new allocation
+
+    def test_round_robin_eviction(self, erat):
+        pages = [0x1000, 0x2000, 0x3000, 0x4000, 0x5000]
+        for addr in pages:
+            erat.translate(addr)
+        # 4 entries: the first page was evicted by the fifth.
+        valid_pages = {erat.vpn[i].value for i in range(4)
+                       if (erat.valid.value >> i) & 1}
+        assert (0x1000 >> PAGE_BITS) not in valid_pages
+        assert (0x5000 >> PAGE_BITS) in valid_pages
+
+    def test_offset_preserved(self, erat):
+        _, paddr = erat.translate(0x40FF)
+        assert paddr & ((1 << PAGE_BITS) - 1) == 0xFF
+
+
+class TestFailureModes:
+    def test_parity_error_reported_with_entry(self, erat):
+        erat.translate(0x4000)
+        entry = next(i for i in range(4) if (erat.valid.value >> i) & 1)
+        erat.rpn[entry].flip(3)
+        status, result = erat.translate(0x4000)
+        assert status == "parity"
+        assert result == entry
+
+    def test_vpn_parity_error_detected(self, erat):
+        erat.translate(0x4000)
+        entry = next(i for i in range(4) if (erat.valid.value >> i) & 1)
+        erat.vpn[entry].flip(0)
+        # The flipped VPN now matches a *different* page; probing the
+        # original page misses and refills -> potential multi-hit later.
+        status, _ = erat.translate(0x4000)
+        assert status in ("ok", "parity")
+
+    def test_multihit_after_vpn_alias(self, erat):
+        erat.translate(0x4000)  # vpn 0x40
+        erat.translate(0x4100)  # vpn 0x41
+        # Flip bit 0 of the 0x40 entry's VPN so both entries claim 0x41.
+        entry = next(i for i in range(4)
+                     if (erat.valid.value >> i) & 1
+                     and erat.vpn[i].value == 0x40)
+        erat.vpn[entry].value ^= 1  # silent corruption (keeps parity stale)
+        erat.vpn[entry].par = erat.vpn[entry].value.bit_count() & 1
+        status, _ = erat.translate(0x4100)
+        assert status == "multihit"
+
+    def test_rpn_silent_corruption_translates_wrong(self, erat):
+        erat.translate(0x4000)
+        entry = next(i for i in range(4) if (erat.valid.value >> i) & 1)
+        erat.rpn[entry].write(0x99)  # legit-looking write: clean parity
+        status, paddr = erat.translate(0x4010)
+        assert status == "ok"
+        assert paddr == (0x99 << PAGE_BITS) | 0x10
+
+
+class TestInvalidate:
+    def test_invalidate_entry(self, erat):
+        erat.translate(0x4000)
+        entry = next(i for i in range(4) if (erat.valid.value >> i) & 1)
+        erat.invalidate_entry(entry)
+        assert not (erat.valid.value >> entry) & 1
+
+    def test_invalidate_all(self, erat):
+        erat.translate(0x4000)
+        erat.translate(0x5000)
+        erat.invalidate_all()
+        assert erat.valid.value == 0
+
+    def test_refill_after_invalidate(self, erat):
+        erat.translate(0x4000)
+        erat.invalidate_all()
+        status, paddr = erat.translate(0x4000)
+        assert (status, paddr) == ("ok", 0x4000)

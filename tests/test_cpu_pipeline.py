@@ -1,0 +1,224 @@
+"""Pipeline correctness: the latch-level core must produce exactly the
+golden ISS's architected state on fault-free runs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.avp import AvpGenerator, MixWeights
+from repro.isa import Iss, assemble
+from repro.isa.alu import float_bits
+
+from tests.conftest import SMALL_PARAMS
+from repro.cpu import Power6Core
+
+
+def run_both(source: str, max_cycles: int = 50_000):
+    program = assemble(source, base=0x1000)
+    iss = Iss(program)
+    iss.run()
+    core = Power6Core(SMALL_PARAMS)
+    core.load_program(program)
+    core.run(max_cycles=max_cycles)
+    return core, iss
+
+
+def assert_match(core, iss):
+    assert core.halted, "pipeline did not halt"
+    assert core.error_free(), "checkers fired on a fault-free run"
+    assert core.arch_state().differences(iss.state) == []
+    assert core.memory.nonzero_words() == iss.memory.nonzero_words()
+    assert core.committed == iss.retired
+
+
+class TestDirectedPrograms:
+    def test_arithmetic_chain(self):
+        core, iss = run_both("""
+            addi r1, r0, 12
+            addi r2, r0, -5
+            add r3, r1, r2
+            sub r4, r3, r2
+            mullw r5, r4, r4
+            divw r6, r5, r1
+            halt""")
+        assert_match(core, iss)
+
+    def test_raw_hazard_back_to_back(self):
+        core, iss = run_both("""
+            addi r1, r0, 1
+            add r1, r1, r1
+            add r1, r1, r1
+            add r1, r1, r1
+            halt""")
+        assert iss.state.gprs[1] == 8
+        assert_match(core, iss)
+
+    def test_memory_traffic(self):
+        core, iss = run_both("""
+            addi r1, r0, 0x4000
+            addi r2, r0, 0x1234
+            stw r2, 0(r1)
+            lwz r3, 0(r1)
+            stb r3, 5(r1)
+            lbz r4, 5(r1)
+            stw r4, 8(r1)
+            halt""")
+        assert_match(core, iss)
+
+    def test_store_to_load_forwarding_ordering(self):
+        core, iss = run_both("""
+            addi r1, r0, 0x4000
+            addi r2, r0, 7
+            stw r2, 0(r1)
+            lwz r3, 0(r1)
+            addi r3, r3, 1
+            stw r3, 0(r1)
+            lwz r4, 0(r1)
+            halt""")
+        assert iss.state.gprs[4] == 8
+        assert_match(core, iss)
+
+    def test_branches_and_calls(self):
+        core, iss = run_both("""
+            addi r1, r0, 3
+            cmpwi r1, 3
+            bc 2, 1, taken
+            addi r9, r0, -1
+        taken: bl func
+            b end
+        func: addi r2, r0, 5
+            blr
+        end: halt""")
+        assert_match(core, iss)
+
+    def test_bdnz_loop(self):
+        core, iss = run_both("""
+            addi r1, r0, 6
+            mtctr r1
+        top: addi r2, r2, 2
+            bdnz top
+            mfctr r3
+            halt""")
+        assert iss.state.gprs[2] == 12
+        assert_match(core, iss)
+
+    def test_cr_hazard_compare_then_branch(self):
+        core, iss = run_both("""
+            addi r1, r0, 1
+            cmpwi r1, 2
+            bc 0, 1, less
+            addi r2, r0, -1
+        less: addi r3, r0, 9
+            halt""")
+        assert iss.state.gprs[2] == 0
+        assert_match(core, iss)
+
+    def test_floating_point(self):
+        core, iss = run_both(f"""
+            addi r1, r0, 0x4000
+            lfs f1, 0(r1)
+            lfs f2, 4(r1)
+            fadd f3, f1, f2
+            fsub f4, f3, f1
+            fmul f5, f4, f3
+            fdiv f6, f5, f2
+            stfs f6, 8(r1)
+            halt
+        .data 0x4000 {float_bits(2.5)} {float_bits(0.5)}""")
+        assert_match(core, iss)
+
+    def test_lr_ctr_moves(self):
+        core, iss = run_both("""
+            addi r1, r0, 0x80
+            mtlr r1
+            mflr r2
+            addi r3, r0, 4
+            mtctr r3
+            mfctr r4
+            halt""")
+        assert_match(core, iss)
+
+    def test_nested_loop_via_two_counters(self):
+        core, iss = run_both("""
+            addi r5, r0, 0
+            addi r1, r0, 3
+        outer: addi r2, r0, 4
+            mtctr r2
+        inner: addi r5, r5, 1
+            bdnz inner
+            addi r1, r1, -1
+            cmpwi r1, 0
+            bc 2, 0, outer
+            halt""")
+        assert iss.state.gprs[5] == 12
+        assert_match(core, iss)
+
+    def test_long_latency_divide_with_independent_work(self):
+        core, iss = run_both("""
+            addi r1, r0, 1000
+            addi r2, r0, 7
+            divw r3, r1, r2
+            addi r4, r0, 5
+            add r5, r3, r4
+            halt""")
+        assert_match(core, iss)
+
+    def test_dcache_eviction_conflict(self):
+        # Two addresses mapping to the same direct-mapped set.
+        stride = SMALL_PARAMS.dcache_lines * SMALL_PARAMS.dcache_words_per_line * 4
+        core, iss = run_both(f"""
+            addi r1, r0, 0x4000
+            addi r2, r0, 11
+            addi r3, r0, 22
+            stw r2, 0(r1)
+            stw r3, {stride}(r1)
+            lwz r4, 0(r1)
+            lwz r5, {stride}(r1)
+            add r6, r4, r5
+            halt""")
+        assert iss.state.gprs[6] == 33
+        assert_match(core, iss)
+
+
+class TestCpi:
+    def test_cpi_reasonable(self):
+        core, iss = run_both("""
+            addi r1, r0, 40
+            mtctr r1
+        top: addi r2, r2, 1
+            addi r3, r3, 2
+            add r4, r2, r3
+            bdnz top
+            halt""")
+        cpi = core.cycles / core.committed
+        assert 1.0 < cpi < 8.0
+
+
+class TestGoldenEquivalenceProperty:
+    """The anchor: random AVP programs behave identically on the
+    latch-level pipeline and on the golden ISS."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_avp_program(self, seed):
+        testcase = AvpGenerator(blocks=(6, 14)).generate(seed)
+        core = Power6Core(SMALL_PARAMS)
+        core.load_program(testcase.program)
+        core.run(max_cycles=100_000)
+        assert core.halted and core.error_free()
+        assert core.memory.nonzero_words() == testcase.golden_memory
+        assert core.committed == testcase.instructions_retired
+        state = core.arch_state()
+        assert state.signature() == testcase.golden_state.signature()
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_memory_heavy_program(self, seed):
+        weights = MixWeights(load=0.4, store=0.35, fixed=0.1, fp=0.0,
+                             compare=0.05, branch=0.1)
+        testcase = AvpGenerator(weights, blocks=(8, 16),
+                                data_words=256).generate(seed)
+        core = Power6Core(SMALL_PARAMS)
+        core.load_program(testcase.program)
+        core.run(max_cycles=100_000)
+        assert core.halted and core.error_free()
+        assert core.memory.nonzero_words() == testcase.golden_memory

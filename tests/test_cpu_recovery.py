@@ -1,0 +1,227 @@
+"""Directed fault injections: error detection, recovery, hangs and
+checkstops behave like the modelled RAS architecture promises."""
+
+import pytest
+
+from repro.isa import Iss, assemble
+from repro.cpu import Checker, Power6Core
+from repro.cpu.pervasive import R_IDLE
+
+from tests.conftest import SMALL_PARAMS
+
+LOOP_PROGRAM = """
+    addi r1, r0, 0x4000
+    addi r2, r0, 0
+    addi r3, r0, 30
+    mtctr r3
+top: lwz r4, 0(r1)
+    add r2, r2, r4
+    addi r4, r4, 1
+    stw r4, 0(r1)
+    bdnz top
+    addi r5, r0, 0x6000
+    stw r2, 0(r5)
+    halt
+.data 0x4000 5
+"""
+
+
+@pytest.fixture()
+def program():
+    return assemble(LOOP_PROGRAM, base=0x1000)
+
+
+@pytest.fixture()
+def golden(program):
+    iss = Iss(program)
+    iss.run()
+    return iss
+
+
+def run_to(core, program, cycles):
+    core.load_program(program)
+    for _ in range(cycles):
+        core.cycle()
+    return core
+
+
+def finish(core, max_cycles=20_000):
+    while not (core.quiesced or core.cycles > max_cycles):
+        core.cycle()
+    return core
+
+
+class TestRecoveryPath:
+    def test_hot_gpr_flip_is_recovered(self, core, program, golden):
+        run_to(core, program, 40)
+        core.gprs.copies[1].banks[0][1].flip(7)  # base addr, LS-copy, read each iter
+        finish(core)
+        assert core.halted and not core.checkstopped and not core.hung
+        assert core.recovery_count >= 1
+        assert core.memory.nonzero_words() == golden.memory.nonzero_words()
+
+    def test_parity_bit_flip_is_recovered(self, core, program, golden):
+        run_to(core, program, 40)
+        core.gprs.copies[1].banks[0][1].par ^= 1
+        finish(core)
+        assert core.recovery_count >= 1
+        assert core.memory.nonzero_words() == golden.memory.nonzero_words()
+
+    def test_unused_gpr_flip_vanishes(self, core, program, golden):
+        run_to(core, program, 40)
+        core.gprs.copies[0].banks[0][20].flip(3)  # never read by the program
+        finish(core)
+        assert core.halted and core.error_free()
+        assert core.memory.nonzero_words() == golden.memory.nonzero_words()
+
+    def test_fetched_instruction_flip_recovered(self, core, program, golden):
+        run_to(core, program, 40)
+        # Corrupt whatever instruction sits at the head of the fetch buffer.
+        if not core.ifu.head_valid():
+            pytest.skip("fetch buffer empty at the chosen cycle")
+        core.ifu.fb_instr[0].flip(11)
+        finish(core)
+        assert core.halted and core.recovery_count >= 1
+        assert core.memory.nonzero_words() == golden.memory.nonzero_words()
+
+    def test_recovery_restores_checkpoint_state(self, core, program):
+        run_to(core, program, 40)
+        committed_before = core.committed
+        core.gprs.copies[1].banks[0][1].flip(7)
+        finish(core)
+        assert core.committed > committed_before  # made forward progress
+
+
+class TestHangs:
+    def test_stuck_busy_bit_recovered_by_watchdog_retry(self, core, program):
+        # A stuck scoreboard bit stalls dispatch; the watchdog's recovery
+        # attempt resets the pipeline state and execution resumes.
+        run_to(core, program, 30)
+        core.idu.gpr_busy.flip(4)  # r4 now "busy" with no producer
+        finish(core)
+        assert core.halted and not core.hung and not core.checkstopped
+        assert core.recovery_count >= 1
+
+    def test_gptr_fetch_clockstop_hangs(self, core, program):
+        run_to(core, program, 20)
+        core.pervasive.gptr_clkstop.flip(0)
+        finish(core)
+        assert core.hung
+
+    def test_watchdog_threshold_from_mode(self, core, program):
+        run_to(core, program, 20)
+        core.pervasive.mode_wd_sel.write(0)  # threshold 16
+        core.pervasive.gptr_clkstop.flip(0)  # stop fetch
+        start = core.cycles
+        finish(core)
+        assert core.hung
+        # Short threshold: retries + final hang within a few hundred
+        # cycles instead of the >1000 the default threshold would take.
+        assert core.cycles - start < 400
+
+
+class TestCheckstops:
+    def test_clkcfg_flip_checkstops(self, core, program):
+        run_to(core, program, 25)
+        core.pervasive.mode_clkcfg.flip(2)  # breaks the one-hot invariant
+        finish(core)
+        assert core.checkstopped
+
+    def test_pllcfg_flip_checkstops(self, core, program):
+        run_to(core, program, 25)
+        core.pervasive.mode_pllcfg.flip(0)
+        finish(core)
+        assert core.checkstopped
+
+    def test_fir_xstop_flip_checkstops(self, core, program):
+        run_to(core, program, 25)
+        core.pervasive.fir_xstop.flip(5)
+        finish(core)
+        assert core.checkstopped
+
+    def test_force_error_escalates_to_checkstop(self, core, program):
+        run_to(core, program, 25)
+        core.pervasive.gptr_forceerr.flip(1)
+        finish(core)
+        # Persistent force-error re-fires during recovery: unrecoverable.
+        assert core.checkstopped
+
+    def test_stq_parity_checkstops(self, core, program):
+        core.load_program(program)
+        for _ in range(10_000):
+            core.cycle()
+            if core.lsu.sq_valid.value:
+                break
+        assert core.lsu.sq_valid.value, "no store ever enqueued"
+        slot = next(i for i in range(SMALL_PARAMS.store_queue_entries)
+                    if (core.lsu.sq_valid.value >> i) & 1)
+        core.lsu.sq_data[slot].flip(9)
+        finish(core)
+        assert core.checkstopped
+
+    def test_recovery_disabled_checkstops(self, core, program):
+        run_to(core, program, 30)
+        core.pervasive.mode_rec_en.write(0)
+        core.gprs.copies[1].banks[0][1].flip(7)
+        finish(core)
+        assert core.checkstopped
+
+    def test_xstop_on_err_policy(self, core, program):
+        run_to(core, program, 30)
+        core.pervasive.mode_xstop_on_err.write(1)
+        core.gprs.copies[1].banks[0][1].flip(7)
+        finish(core)
+        assert core.checkstopped
+
+    def test_persistent_illegal_opcode_stops_retry(self, core, program):
+        run_to(core, program, 10)
+        # Poison the loop body in *memory*: recovery refetches the same
+        # illegal word, so retry cannot make progress.
+        core.memory.store_word(0x1000 + 4 * 4, 40 << 26)
+        core.lsu.dcache.invalidate_all()
+        core.ifu.icache.invalidate_all()
+        finish(core)
+        assert core.checkstopped
+        assert not core.error_free()
+
+
+class TestCheckerMasking:
+    def test_masked_checker_lets_fault_propagate(self, core, program, golden):
+        run_to(core, program, 40)
+        mask = (1 << 24) - 1
+        core.pervasive.mode_chk_en.write(mask & ~(1 << Checker.IDU_REGREAD_PARITY))
+        core.gprs.copies[1].banks[0][1].flip(7)
+        finish(core)
+        assert core.recovery_count == 0
+        # The corrupt accumulator reaches memory: silent data corruption.
+        assert core.memory.nonzero_words() != golden.memory.nonzero_words()
+
+    def test_all_checkers_masked_no_recoveries(self, core, program):
+        run_to(core, program, 40)
+        core.pervasive.mode_chk_en.write(0)
+        core.gprs.copies[1].banks[0][1].flip(7)
+        finish(core)
+        assert core.recovery_count == 0 and core.corrected_count == 0
+
+
+class TestFsmChecks:
+    def test_illegal_lsu_state_recovered(self, core, program, golden):
+        run_to(core, program, 40)
+        core.lsu.state.write(3)  # illegal encoding
+        finish(core)
+        assert core.halted and core.recovery_count >= 1
+        assert core.memory.nonzero_words() == golden.memory.nonzero_words()
+
+    def test_illegal_recovery_state_checkstops(self, core, program):
+        run_to(core, program, 30)
+        core.pervasive.rstate.write(6)  # illegal sequencer encoding
+        finish(core)
+        assert core.checkstopped
+
+    def test_spurious_recovery_state_flip_recovers(self, core, program, golden):
+        run_to(core, program, 40)
+        core.pervasive.rstate.write(1)  # spurious FREEZE
+        finish(core)
+        assert core.halted and not core.checkstopped
+        assert core.memory.nonzero_words() == golden.memory.nonzero_words()
+        assert core.pervasive.rstate.value == R_IDLE

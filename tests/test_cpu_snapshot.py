@@ -1,0 +1,106 @@
+"""Snapshot/restore: the emulator's checkpoint mechanism must be exact."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import Power6Core
+
+from tests.conftest import SMALL_PARAMS
+
+
+def latch_state(core):
+    return [(latch.value, latch.par) for latch in core.all_latches()]
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_identity(self, core, testcase):
+        core.load_program(testcase.program)
+        for _ in range(25):
+            core.cycle()
+        snap = core.snapshot()
+        before = latch_state(core)
+        for _ in range(100):
+            core.cycle()
+        core.restore(snap)
+        assert latch_state(core) == before
+        assert core.cycles == snap.cycles
+
+    def test_restore_replays_identically(self, core, testcase):
+        core.load_program(testcase.program)
+        snap = core.snapshot()
+        core.run(max_cycles=100_000)
+        first = (core.cycles, core.committed, core.memory.nonzero_words(),
+                 core.arch_state().signature())
+        core.restore(snap)
+        core.run(max_cycles=100_000)
+        second = (core.cycles, core.committed, core.memory.nonzero_words(),
+                  core.arch_state().signature())
+        assert first == second
+
+    def test_restore_after_fault_clears_it(self, core, testcase):
+        core.load_program(testcase.program)
+        snap = core.snapshot()
+        core.gprs.copies[0].banks[0][1].flip(3)
+        core.restore(snap)
+        assert all(latch.parity_ok() for latch in core.all_latches())
+
+    def test_restore_covers_memory(self, core, testcase):
+        core.load_program(testcase.program)
+        snap = core.snapshot()
+        core.memory.store_word(0x7000, 123)
+        core.restore(snap)
+        assert core.memory.load_word(0x7000) == 0
+
+    def test_restore_covers_arrays(self, core, testcase):
+        core.load_program(testcase.program)
+        for _ in range(60):
+            core.cycle()
+        snap = core.snapshot()
+        core.ifu.icache.array.flip(0, 3)
+        core.rut.ckpt.flip(0, 5)
+        core.restore(snap)
+        assert core.ifu.icache.array.snapshot() == snap.arrays[0]
+        assert core.rut.ckpt.snapshot() == snap.arrays[2]
+
+    @settings(max_examples=8, deadline=None)
+    @given(stop=st.integers(1, 200))
+    def test_mid_run_restore_determinism(self, stop, testcase):
+        core = Power6Core(SMALL_PARAMS)
+        core.load_program(testcase.program)
+        snap = core.snapshot()
+        for _ in range(stop):
+            core.cycle()
+            if core.quiesced:
+                break
+        mid = core.snapshot()
+        core.run(max_cycles=100_000)
+        end_memory = core.memory.nonzero_words()
+        core.restore(mid)
+        core.run(max_cycles=100_000)
+        assert core.memory.nonzero_words() == end_memory
+        core.restore(snap)
+        core.run(max_cycles=100_000)
+        assert core.memory.nonzero_words() == end_memory
+
+
+class TestStructureQueries:
+    def test_unit_attribution_complete(self, core):
+        for latch in core.all_latches():
+            assert core.unit_of(latch) in core.units
+
+    def test_latch_bits_matches_sum(self, core):
+        assert core.latch_bits() == sum(l.width for l in core.all_latches())
+
+    def test_scan_rings_cover_all_latches(self, core):
+        rings = core.scan_rings()
+        assert sum(ring.bit_count() for ring in rings.values()) == core.latch_bits()
+        for expected in ("MODE", "GPTR", "REGFILE", "IFU", "LSU", "CORE"):
+            assert expected in rings
+
+    def test_arch_state_roundtrip_through_checkpoint(self, core, testcase):
+        core.load_program(testcase.program)
+        core.run(max_cycles=100_000)
+        arch = core.arch_state()
+        ckpt = core.checkpoint_state()
+        # After quiesce the checkpoint mirrors the architected registers.
+        assert arch.gprs == ckpt.gprs
+        assert arch.cr == ckpt.cr and arch.lr == ckpt.lr and arch.ctr == ckpt.ctr

@@ -1,0 +1,99 @@
+"""Small-scale end-to-end runs of every table/figure pipeline.
+
+These mirror the benchmark harness at a fraction of the sample size, so
+the full reproduction path (machine -> campaign -> analysis -> renderer)
+is exercised on every test run.
+"""
+
+import pytest
+
+from repro import BeamExperiment, CampaignConfig, ClassifyOptions, SfiExperiment
+from repro.analysis import (
+    contribution_table,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_kind_results,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.avp import AvpGenerator
+from repro.sfi import (
+    Outcome,
+    per_kind_campaigns,
+    per_unit_campaigns,
+    sample_size_experiment,
+)
+from repro.workload import (
+    SPEC_COMPONENTS,
+    measure_cpi,
+    measure_opcode_mix,
+    top90_class_mix,
+)
+
+from tests.conftest import SMALL_PARAMS
+
+
+class TestTable2Pipeline:
+    def test_sfi_and_beam_render(self, experiment):
+        sfi = experiment.run_random_campaign(60, seed=9)
+        beam = BeamExperiment(CampaignConfig(
+            suite_size=2, suite_seed=99, core_params=SMALL_PARAMS))
+        beam_result = beam.run_events(40, seed=9)
+        text = render_table2(sfi, beam_result)
+        assert "Vanished" in text and "Proton Beam" in text
+        assert sfi.fractions()[Outcome.VANISHED] > 0.7
+
+
+class TestTable3Pipeline:
+    def test_raw_vs_check_render(self, experiment):
+        raw_exp = SfiExperiment(CampaignConfig(
+            suite_size=2, suite_seed=99, core_params=SMALL_PARAMS,
+            checker_mask=0,
+            classify_options=ClassifyOptions(latent_as_vanished=True)))
+        raw = raw_exp.run_random_campaign(50, seed=4)
+        check = experiment.run_random_campaign(50, seed=4)
+        assert raw.counts()[Outcome.CORRECTED] == 0
+        assert "Raw" in render_table3(raw, check)
+
+
+class TestFigurePipelines:
+    def test_fig2_pipeline(self, experiment):
+        points = sample_size_experiment(experiment, [8, 24],
+                                        samples_per_size=2, seed=2)
+        text = render_fig2(points)
+        assert "8" in text and "24" in text
+
+    def test_fig3_fig4_pipeline(self, experiment):
+        results = per_unit_campaigns(experiment, 20, seed=2,
+                                     units=["IFU", "LSU", "RUT"])
+        text = render_fig3(results)
+        assert "LSU" in text
+        contributions = contribution_table(
+            results, experiment.latch_map.unit_bit_counts())
+        text4 = render_fig4(contributions)
+        assert "RUT" in text4
+
+    def test_fig5_pipeline(self, experiment):
+        results = per_kind_campaigns(experiment, 25, seed=2)
+        text = render_kind_results(results)
+        assert "MODE" in text and "GPTR" in text
+
+
+class TestTable1Pipeline:
+    def test_table1_renders(self):
+        avp_programs = [AvpGenerator(blocks=(8, 14)).generate(seed).program
+                        for seed in range(2)]
+        avp_mix = top90_class_mix(measure_opcode_mix(avp_programs))
+        avp_cpi = measure_cpi(avp_programs[:1], SMALL_PARAMS)
+        spec_mixes = {}
+        spec_cpis = {}
+        for component in SPEC_COMPONENTS[:3]:
+            programs = component.programs(count=1)
+            spec_mixes[component.name] = top90_class_mix(
+                measure_opcode_mix(programs))
+            spec_cpis[component.name] = measure_cpi(programs, SMALL_PARAMS)
+        text = render_table1(avp_mix, avp_cpi, spec_mixes, spec_cpis)
+        assert "CPI" in text and "Load" in text
+        assert sum(avp_mix.values()) == pytest.approx(0.9, abs=0.1)

@@ -1,0 +1,113 @@
+"""Functional semantics of the shared ALU primitives."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.isa import alu
+
+words = st.integers(0, 0xFFFFFFFF)
+
+
+class TestIntegerOps:
+    @given(words, words)
+    def test_add_sub_inverse(self, a, b):
+        assert alu.sub32(alu.add32(a, b), b) == a
+
+    @given(words, words)
+    def test_results_are_32bit(self, a, b):
+        for op in (alu.add32, alu.sub32, alu.mul32, alu.div32, alu.and32,
+                   alu.or32, alu.xor32):
+            assert 0 <= op(a, b) <= 0xFFFFFFFF
+
+    @given(words)
+    def test_xor_self_is_zero(self, a):
+        assert alu.xor32(a, a) == 0
+
+    @given(words)
+    def test_div_by_zero_defined(self, a):
+        assert alu.div32(a, 0) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert alu.div32((-7) & 0xFFFFFFFF, 2) == (-3) & 0xFFFFFFFF
+        assert alu.div32(7, (-2) & 0xFFFFFFFF) == (-3) & 0xFFFFFFFF
+
+    def test_div_overflow_case(self):
+        # INT_MIN / -1 wraps to INT_MIN under 32-bit masking.
+        assert alu.div32(0x80000000, 0xFFFFFFFF) == 0x80000000
+
+    @given(words, st.integers(0, 255))
+    def test_shift_amount_masked(self, a, amount):
+        assert alu.slw32(a, amount) == alu.slw32(a, amount & 31)
+        assert alu.srw32(a, amount) == alu.srw32(a, amount & 31)
+        assert alu.sraw32(a, amount) == alu.sraw32(a, amount & 31)
+
+    @given(words)
+    def test_sraw_preserves_sign(self, a):
+        result = alu.sraw32(a, 31)
+        assert result == (0xFFFFFFFF if a & 0x80000000 else 0)
+
+    @given(words)
+    def test_to_signed_range(self, a):
+        signed = alu.to_signed(a)
+        assert -0x80000000 <= signed <= 0x7FFFFFFF
+        assert signed & 0xFFFFFFFF == a
+
+
+class TestCompare:
+    @given(words, words)
+    def test_signed_trichotomy(self, a, b):
+        cr = alu.cmp_signed(a, b)
+        assert cr in (1 << alu.CR_LT, 1 << alu.CR_GT, 1 << alu.CR_EQ)
+
+    @given(words)
+    def test_signed_equal(self, a):
+        assert alu.cmp_signed(a, a) == 1 << alu.CR_EQ
+
+    @given(words, words)
+    def test_unsigned_matches_python(self, a, b):
+        cr = alu.cmp_unsigned(a, b)
+        if a < b:
+            assert cr == 1 << alu.CR_LT
+        elif a > b:
+            assert cr == 1 << alu.CR_GT
+        else:
+            assert cr == 1 << alu.CR_EQ
+
+    def test_signed_vs_unsigned_disagree(self):
+        # -1 (0xFFFFFFFF) is less than 1 signed, greater unsigned.
+        assert alu.cmp_signed(0xFFFFFFFF, 1) == 1 << alu.CR_LT
+        assert alu.cmp_unsigned(0xFFFFFFFF, 1) == 1 << alu.CR_GT
+
+
+class TestFloat:
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_bits_roundtrip(self, value):
+        assert alu.bits_float(alu.float_bits(value)) == value
+
+    @given(words, words)
+    def test_fp_results_are_32bit(self, a, b):
+        for op in (alu.fadd32, alu.fsub32, alu.fmul32, alu.fdiv32):
+            assert 0 <= op(a, b) <= 0xFFFFFFFF
+
+    def test_fadd_known(self):
+        one = alu.float_bits(1.0)
+        two = alu.float_bits(2.0)
+        assert alu.bits_float(alu.fadd32(one, two)) == 3.0
+
+    def test_fdiv_by_zero_gives_inf(self):
+        one = alu.float_bits(1.0)
+        assert alu.fdiv32(one, 0) == 0x7F800000
+
+    def test_fdiv_zero_by_zero_gives_nan(self):
+        result = alu.fdiv32(0, 0)
+        assert math.isnan(alu.bits_float(result))
+
+    def test_nan_canonicalised(self):
+        nan_bits = 0x7FC00001
+        result = alu.fadd32(nan_bits, alu.float_bits(1.0))
+        assert result == 0x7FC00000
+
+    @given(words, words)
+    def test_fadd_commutative_bits(self, a, b):
+        assert alu.fadd32(a, b) == alu.fadd32(b, a)

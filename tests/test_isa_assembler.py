@@ -1,0 +1,144 @@
+"""Assembler behaviour."""
+
+import pytest
+
+from repro.isa import AssemblyError, Opcode, assemble, decode, disassemble
+
+
+class TestBasic:
+    def test_empty_source(self):
+        assert len(assemble("").words) == 0
+
+    def test_comments_stripped(self):
+        program = assemble("; just a comment\n# another\naddi r1, r0, 1")
+        assert len(program.words) == 1
+
+    def test_every_mnemonic_assembles(self):
+        source = """
+            halt
+            nop
+            attn
+            addi r1, r0, 5
+            lwz r2, 0(r1)
+            stw r2, 4(r1)
+            lbz r3, 2(r1)
+            stb r3, 3(r1)
+            add r4, r1, r2
+            sub r4, r1, r2
+            mullw r4, r1, r2
+            divw r4, r1, r2
+            and r4, r1, r2
+            or r4, r1, r2
+            xor r4, r1, r2
+            andi r4, r1, 255
+            ori r4, r1, 255
+            xori r4, r1, 255
+            slw r4, r1, r2
+            srw r4, r1, r2
+            sraw r4, r1, r2
+            slwi r4, r1, 3
+            srwi r4, r1, 3
+            cmpw r1, r2
+            cmpwi r1, -5
+            cmplw r1, r2
+            b 2
+            nop
+            bc 2, 1, 2
+            nop
+            bl 2
+            nop
+            blr
+            bdnz -1
+            fadd f1, f2, f3
+            fsub f1, f2, f3
+            fmul f1, f2, f3
+            fdiv f1, f2, f3
+            lfs f1, 0(r1)
+            stfs f1, 4(r1)
+            mtlr r1
+            mflr r2
+            mtctr r1
+            mfctr r2
+        """
+        program = assemble(source)
+        assert len(program.words) == 44
+
+    def test_roundtrip_through_disassembler(self):
+        source = "addi r3, r1, 10"
+        program = assemble(source)
+        assert disassemble(program.words[0]) == "addi r3, r1, 10"
+
+
+class TestLabels:
+    def test_forward_and_backward(self):
+        program = assemble("""
+        top: addi r1, r1, 1
+             b top
+             b end
+        end: halt
+        """)
+        assert decode(program.words[1]).imm == -1
+        assert decode(program.words[2]).imm == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("x: nop\nx: nop")
+
+    def test_label_on_own_line(self):
+        program = assemble("lbl:\n  b lbl")
+        assert decode(program.words[0]).imm == 0
+
+
+class TestData:
+    def test_data_directive(self):
+        program = assemble(".data 0x100 1 2 0xdeadbeef")
+        assert program.data == {0x100: 1, 0x104: 2, 0x108: 0xDEADBEEF}
+
+    def test_data_needs_values(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data 0x100")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2, r35")
+
+    def test_bad_memref(self):
+        with pytest.raises(AssemblyError, match="memory operand"):
+            assemble("lwz r1, r2")
+
+    def test_bad_bc_condition(self):
+        with pytest.raises(AssemblyError, match="bc condition"):
+            assemble("bc 7, 1, 0")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbogus r1")
+
+    def test_fpr_operand_required(self):
+        with pytest.raises(AssemblyError):
+            assemble("fadd r1, r2, r3")
+
+
+class TestProgramContainer:
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            assemble("nop", base=2)
+
+    def test_listing_contains_addresses(self):
+        program = assemble("nop\nhalt", base=0x1000)
+        listing = program.listing()
+        assert "00001000" in listing and "halt" in listing
+
+    def test_end_address(self):
+        program = assemble("nop\nnop\nhalt", base=0x100)
+        assert program.end == 0x10C

@@ -1,0 +1,109 @@
+"""Instruction encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    Opcode,
+    all_opinfo,
+    decode,
+    disassemble,
+    encode,
+    is_valid_opcode,
+    sext16,
+)
+from repro.isa.encoding import IMM_MASK, WORD_MASK
+
+
+class TestSext16:
+    def test_zero(self):
+        assert sext16(0) == 0
+
+    def test_positive_max(self):
+        assert sext16(0x7FFF) == 0x7FFF
+
+    def test_negative_one(self):
+        assert sext16(0xFFFF) == -1
+
+    def test_negative_min(self):
+        assert sext16(0x8000) == -0x8000
+
+    @given(st.integers(min_value=-0x8000, max_value=0x7FFF))
+    def test_roundtrip_through_mask(self, value):
+        assert sext16(value & IMM_MASK) == value
+
+
+class TestEncodeDecode:
+    @given(op=st.integers(0, 63), rt=st.integers(0, 31), ra=st.integers(0, 31),
+           imm=st.integers(-0x8000, 0x7FFF))
+    def test_dform_roundtrip(self, op, rt, ra, imm):
+        word = encode(op, rt=rt, ra=ra, imm=imm)
+        instr = decode(word)
+        assert (instr.op, instr.rt, instr.ra, instr.imm) == (op, rt, ra, imm)
+
+    @given(op=st.integers(0, 63), rt=st.integers(0, 31), ra=st.integers(0, 31),
+           rb=st.integers(0, 31))
+    def test_xform_roundtrip(self, op, rt, ra, rb):
+        word = encode(op, rt=rt, ra=ra, rb=rb)
+        instr = decode(word)
+        assert (instr.op, instr.rt, instr.ra, instr.rb) == (op, rt, ra, rb)
+
+    @given(word=st.integers(0, WORD_MASK))
+    def test_decode_total(self, word):
+        """Every 32-bit pattern decodes without raising (bit flips can
+        produce any word)."""
+        instr = decode(word)
+        assert 0 <= instr.op <= 63
+        assert instr.word == word
+
+    def test_rb_and_imm_conflict(self):
+        with pytest.raises(ValueError):
+            encode(Opcode.ADD, rt=1, ra=2, rb=3, imm=4)
+
+    def test_out_of_range_register(self):
+        with pytest.raises(ValueError):
+            encode(Opcode.ADD, rt=32)
+
+    def test_out_of_range_imm(self):
+        with pytest.raises(ValueError):
+            encode(Opcode.ADDI, rt=1, ra=1, imm=0x8000)
+
+    def test_out_of_range_opcode(self):
+        with pytest.raises(ValueError):
+            encode(64)
+
+
+class TestOpcodeTable:
+    def test_all_defined_opcodes_valid(self):
+        for info in all_opinfo():
+            assert is_valid_opcode(info.opcode)
+
+    def test_undefined_opcode_invalid(self):
+        assert not is_valid_opcode(40)
+        assert not is_valid_opcode(61)
+
+    def test_latencies_positive(self):
+        for info in all_opinfo():
+            assert info.latency >= 1
+
+    def test_units_known(self):
+        for info in all_opinfo():
+            assert info.unit in {"FXU", "FPU", "LSU", "BRU", "SYS"}
+
+
+class TestDisassemble:
+    def test_known_forms(self):
+        assert disassemble(encode(Opcode.ADDI, rt=3, ra=1, imm=10)) == "addi r3, r1, 10"
+        assert disassemble(encode(Opcode.LWZ, rt=4, ra=2, imm=8)) == "lwz r4, 8(r2)"
+        assert disassemble(encode(Opcode.HALT)) == "halt"
+        assert disassemble(encode(Opcode.BDNZ, imm=-3)) == "bdnz -3"
+        assert disassemble(encode(Opcode.FADD, rt=1, ra=2, rb=3)) == "fadd f1, f2, f3"
+        assert disassemble(encode(Opcode.MTCTR, ra=5)) == "mtctr r5"
+
+    def test_undefined_renders_as_word(self):
+        word = encode(40, rt=1)
+        assert disassemble(word).startswith(".word")
+
+    @given(word=st.integers(0, WORD_MASK))
+    def test_disassemble_total(self, word):
+        assert isinstance(disassemble(word), str)

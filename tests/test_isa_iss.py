@@ -1,0 +1,206 @@
+"""Golden-model ISS semantics, one behaviour per test."""
+
+import pytest
+
+from repro.isa import IllegalInstruction, Iss, assemble
+from repro.isa.alu import float_bits
+
+
+def run(source: str, **kwargs) -> Iss:
+    iss = Iss(assemble(source, **kwargs))
+    iss.run()
+    return iss
+
+
+class TestArithmetic:
+    def test_addi_negative(self):
+        iss = run("addi r1, r0, -5\nhalt")
+        assert iss.state.gprs[1] == 0xFFFFFFFB
+
+    def test_add_wraps(self):
+        iss = run("addi r1, r0, -1\naddi r2, r0, 2\nadd r3, r1, r2\nhalt")
+        assert iss.state.gprs[3] == 1
+
+    def test_mullw(self):
+        iss = run("addi r1, r0, 1000\nmullw r2, r1, r1\nhalt")
+        assert iss.state.gprs[2] == 1_000_000
+
+    def test_divw_signed(self):
+        iss = run("addi r1, r0, -10\naddi r2, r0, 3\ndivw r3, r1, r2\nhalt")
+        assert iss.state.gprs[3] == (-3) & 0xFFFFFFFF
+
+    def test_logic_ops(self):
+        iss = run("""
+            addi r1, r0, 0x0F0F
+            addi r2, r0, 0x00FF
+            and r3, r1, r2
+            or r4, r1, r2
+            xor r5, r1, r2
+            halt""")
+        assert iss.state.gprs[3] == 0x000F
+        assert iss.state.gprs[4] == 0x0FFF
+        assert iss.state.gprs[5] == 0x0FF0
+
+    def test_zero_extended_immediates(self):
+        iss = run("addi r1, r0, -1\nandi r2, r1, 0x7fff\nhalt")
+        assert iss.state.gprs[2] == 0x7FFF
+
+    def test_shifts(self):
+        iss = run("""
+            addi r1, r0, 1
+            slwi r2, r1, 31
+            srwi r3, r2, 31
+            sraw r4, r2, r3
+            halt""")
+        assert iss.state.gprs[2] == 0x80000000
+        assert iss.state.gprs[3] == 1
+        assert iss.state.gprs[4] == 0xC0000000
+
+
+class TestMemory:
+    def test_store_load_word(self):
+        iss = run("""
+            addi r1, r0, 0x2000
+            addi r2, r0, 1234
+            stw r2, 8(r1)
+            lwz r3, 8(r1)
+            halt""")
+        assert iss.state.gprs[3] == 1234
+        assert iss.memory.load_word(0x2008) == 1234
+
+    def test_byte_ops_big_endian(self):
+        iss = run("""
+            addi r1, r0, 0x2000
+            addi r2, r0, 0x7a
+            stb r2, 1(r1)
+            lwz r3, 0(r1)
+            lbz r4, 1(r1)
+            halt""")
+        assert iss.state.gprs[3] == 0x007A0000
+        assert iss.state.gprs[4] == 0x7A
+
+    def test_negative_displacement(self):
+        iss = run("""
+            addi r1, r0, 0x2010
+            addi r2, r0, 77
+            stw r2, -16(r1)
+            lwz r3, -16(r1)
+            halt""")
+        assert iss.state.gprs[3] == 77
+
+    def test_data_segment_loaded(self):
+        iss = run("""
+            addi r1, r0, 0x3000
+            lwz r2, 4(r1)
+            halt
+        .data 0x3000 11 22 33""")
+        assert iss.state.gprs[2] == 22
+
+
+class TestBranches:
+    def test_b_skips(self):
+        iss = run("b skip\naddi r1, r0, 1\nskip: halt")
+        assert iss.state.gprs[1] == 0
+
+    def test_bc_taken_and_not(self):
+        iss = run("""
+            addi r1, r0, 5
+            cmpwi r1, 5
+            bc 2, 1, eq
+            addi r2, r0, 1
+        eq: cmpwi r1, 9
+            bc 2, 1, eq2
+            addi r3, r0, 1
+        eq2: halt""")
+        assert iss.state.gprs[2] == 0  # branch taken, skipped
+        assert iss.state.gprs[3] == 1  # branch not taken
+
+    def test_bl_blr(self):
+        iss = run("""
+            bl func
+            addi r2, r0, 2
+            halt
+        func: addi r1, r0, 1
+            blr""")
+        assert iss.state.gprs[1] == 1
+        assert iss.state.gprs[2] == 2
+
+    def test_mtlr_mflr(self):
+        iss = run("addi r1, r0, 0x40\nmtlr r1\nmflr r2\nhalt")
+        assert iss.state.lr == 0x40
+        assert iss.state.gprs[2] == 0x40
+
+    def test_bdnz_loop_count(self):
+        iss = run("""
+            addi r1, r0, 5
+            mtctr r1
+        top: addi r2, r2, 1
+            bdnz top
+            halt""")
+        assert iss.state.gprs[2] == 5
+        assert iss.state.ctr == 0
+
+    def test_mfctr(self):
+        iss = run("addi r1, r0, 9\nmtctr r1\nmfctr r2\nhalt")
+        assert iss.state.gprs[2] == 9
+
+
+class TestFloat:
+    def test_fp_pipeline(self):
+        iss = run(f"""
+            addi r1, r0, 0x2000
+            lfs f1, 0(r1)
+            lfs f2, 4(r1)
+            fadd f3, f1, f2
+            fmul f4, f3, f2
+            stfs f4, 8(r1)
+            halt
+        .data 0x2000 {float_bits(1.5)} {float_bits(2.0)}""")
+        assert iss.memory.load_word(0x2008) == float_bits(7.0)
+
+
+class TestControl:
+    def test_illegal_instruction_raises(self):
+        iss = Iss(assemble("nop"))
+        iss.memory.store_word(0, 40 << 26)  # undefined primary opcode
+        with pytest.raises(IllegalInstruction):
+            iss.run()
+        assert iss.state.halted
+
+    def test_attn_is_illegal(self):
+        iss = Iss(assemble("attn"))
+        with pytest.raises(IllegalInstruction):
+            iss.run()
+
+    def test_step_after_halt_rejected(self):
+        iss = run("halt")
+        with pytest.raises(RuntimeError):
+            iss.step()
+
+    def test_runaway_detected(self):
+        iss = Iss(assemble("top: b top"))
+        with pytest.raises(RuntimeError, match="did not halt"):
+            iss.run(max_instructions=100)
+
+    def test_class_counts(self):
+        iss = run("addi r1, r0, 1\nlwz r2, 0(r1)\ncmpwi r1, 0\nhalt")
+        from repro.isa import InstrClass
+        assert iss.class_counts[InstrClass.FIXED_POINT] == 1
+        assert iss.class_counts[InstrClass.LOAD] == 1
+        assert iss.class_counts[InstrClass.COMPARISON] == 1
+        assert iss.retired == 4
+
+    def test_state_copy_independent(self):
+        iss = run("addi r1, r0, 1\nhalt")
+        copy = iss.state.copy()
+        copy.gprs[1] = 99
+        assert iss.state.gprs[1] == 1
+
+    def test_differences_reported(self):
+        iss = run("addi r1, r0, 1\nhalt")
+        other = iss.state.copy()
+        other.gprs[1] = 2
+        other.ctr = 7
+        diffs = iss.state.differences(other)
+        assert any("r1" in diff for diff in diffs)
+        assert any("ctr" in diff for diff in diffs)

@@ -1,0 +1,79 @@
+"""Memory model semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Memory
+
+addrs = st.integers(0, 0xFFFF).map(lambda a: a * 4)
+
+
+class TestWords:
+    @given(addrs, st.integers(0, 0xFFFFFFFF))
+    def test_store_load_roundtrip(self, addr, value):
+        memory = Memory()
+        memory.store_word(addr, value)
+        assert memory.load_word(addr) == value
+
+    def test_uninitialised_reads_zero(self):
+        assert Memory().load_word(0x1234 * 4) == 0
+
+    def test_unaligned_rejected(self):
+        memory = Memory()
+        with pytest.raises(ValueError):
+            memory.load_word(2)
+        with pytest.raises(ValueError):
+            memory.store_word(1, 0)
+
+    def test_value_masked_to_32_bits(self):
+        memory = Memory()
+        memory.store_word(0, 0x1_0000_0001)
+        assert memory.load_word(0) == 1
+
+
+class TestBytes:
+    def test_big_endian_layout(self):
+        memory = Memory()
+        memory.store_word(0, 0x11223344)
+        assert [memory.load_byte(i) for i in range(4)] == [0x11, 0x22, 0x33, 0x44]
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 3), st.integers(0, 255))
+    def test_byte_store_isolated(self, word_index, offset, value):
+        memory = Memory()
+        memory.store_word(word_index * 4, 0xAAAAAAAA)
+        memory.store_byte(word_index * 4 + offset, value)
+        for i in range(4):
+            expected = value if i == offset else 0xAA
+            assert memory.load_byte(word_index * 4 + i) == expected
+
+
+class TestSnapshot:
+    def test_snapshot_restore(self):
+        memory = Memory()
+        memory.store_word(0, 42)
+        snap = memory.snapshot()
+        memory.store_word(0, 99)
+        memory.store_word(4, 7)
+        memory.restore(snap)
+        assert memory.load_word(0) == 42
+        assert memory.load_word(4) == 0
+
+    def test_snapshot_is_isolated(self):
+        memory = Memory()
+        snap = memory.snapshot()
+        memory.store_word(0, 1)
+        assert snap == {}
+
+    def test_equality_ignores_explicit_zeros(self):
+        a, b = Memory(), Memory()
+        a.store_word(0, 0)
+        assert a == b
+
+    def test_load_program(self):
+        memory = Memory()
+        memory.load_program([1, 2, 3], base=0x100)
+        assert [memory.load_word(0x100 + 4 * i) for i in range(3)] == [1, 2, 3]
+
+    def test_load_program_unaligned_base(self):
+        with pytest.raises(ValueError):
+            Memory().load_program([1], base=3)

@@ -1,0 +1,52 @@
+"""Assembler <-> disassembler round-trip properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa import Opcode, all_opinfo, assemble, decode, disassemble, encode
+
+# Opcodes whose disassembly is a complete assembler statement.
+_ROUNDTRIPPABLE = [info.opcode for info in all_opinfo()
+                   if info.opcode not in (Opcode.ATTN,)]
+
+
+def _random_instr(draw_op, rt, ra, rb, imm):
+    op = draw_op
+    if op in (Opcode.HALT, Opcode.NOP, Opcode.BLR, Opcode.ATTN):
+        return encode(op)
+    if op in (Opcode.B, Opcode.BL, Opcode.BDNZ):
+        return encode(op, imm=imm)
+    if op is Opcode.BC:
+        return encode(op, rt=rt & 3, ra=ra & 1, imm=imm)
+    if op in (Opcode.MTLR, Opcode.MTCTR):
+        return encode(op, ra=ra)
+    if op in (Opcode.MFLR, Opcode.MFCTR):
+        return encode(op, rt=rt)
+    if op in (Opcode.CMPW, Opcode.CMPLW):
+        return encode(op, ra=ra, rb=rb)
+    if op is Opcode.CMPWI:
+        return encode(op, ra=ra, imm=imm)
+    from repro.isa import op_info
+    if op_info(op).has_imm:
+        return encode(op, rt=rt, ra=ra, imm=imm)
+    return encode(op, rt=rt, ra=ra, rb=rb)
+
+
+class TestRoundTrip:
+    @given(op=st.sampled_from(_ROUNDTRIPPABLE), rt=st.integers(0, 31),
+           ra=st.integers(0, 31), rb=st.integers(0, 31),
+           imm=st.integers(-0x8000, 0x7FFF))
+    def test_disassemble_then_assemble(self, op, rt, ra, rb, imm):
+        """Disassembled text re-assembles to the identical word."""
+        word = _random_instr(op, rt, ra, rb, imm)
+        text = disassemble(word)
+        reassembled = assemble(text).words[0]
+        assert reassembled == word, f"{text}: {word:08x} != {reassembled:08x}"
+
+    @given(op=st.sampled_from(_ROUNDTRIPPABLE), rt=st.integers(0, 31),
+           ra=st.integers(0, 31), rb=st.integers(0, 31),
+           imm=st.integers(-0x8000, 0x7FFF))
+    def test_decode_fields_consistent(self, op, rt, ra, rb, imm):
+        word = _random_instr(op, rt, ra, rb, imm)
+        instr = decode(word)
+        assert instr.valid
+        assert instr.op == int(op)

@@ -1,0 +1,56 @@
+"""Parallel campaign sharding and execution."""
+
+import random
+
+import pytest
+
+from repro.sfi import CampaignConfig
+from repro.sfi.parallel import run_parallel_campaign, shard_sites
+
+from tests.conftest import SMALL_PARAMS
+
+
+class TestSharding:
+    def test_balanced_split(self):
+        shards = shard_sites(list(range(10)), 3)
+        assert [len(s) for s in shards] == [4, 3, 3]
+        assert sum(shards, []) == list(range(10))
+
+    def test_more_shards_than_sites(self):
+        shards = shard_sites([1, 2], 5)
+        assert shards == [[1], [2]]
+
+    def test_single_shard(self):
+        assert shard_sites([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_sites([1], 0)
+
+
+class TestParallelExecution:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return CampaignConfig(suite_size=2, suite_seed=99,
+                              core_params=SMALL_PARAMS)
+
+    def test_single_worker_falls_back_to_serial(self, config):
+        result = run_parallel_campaign(config, [10, 20, 30], seed=1, workers=1)
+        assert result.total == 3
+
+    @pytest.mark.slow
+    def test_two_workers_merge_all_records(self, config):
+        rng = random.Random(3)
+        sites = [rng.randrange(5000) for _ in range(24)]
+        result = run_parallel_campaign(config, sites, seed=1, workers=2,
+                                       population_bits=5000)
+        assert result.total == 24
+        assert result.population_bits == 5000
+        assert sum(result.counts().values()) == 24
+
+    @pytest.mark.slow
+    def test_parallel_is_deterministic(self, config):
+        sites = list(range(100, 112))
+        a = run_parallel_campaign(config, sites, seed=7, workers=2)
+        b = run_parallel_campaign(config, sites, seed=7, workers=2)
+        assert [r.outcome for r in a.records] == [r.outcome for r in b.records]

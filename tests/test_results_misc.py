@@ -1,0 +1,82 @@
+"""Aggregation helpers and smaller API surfaces."""
+
+import pytest
+
+from repro.isa import ArchState, Program, encode, Opcode
+from repro.rtl import LatchKind
+from repro.sfi import Outcome, per_ring_campaigns
+from repro.sfi.results import CampaignResult, InjectionRecord
+
+
+def _record(outcome, unit="IFU", ring="IFU"):
+    return InjectionRecord(0, "x", unit, LatchKind.FUNC, ring, 0, 0, outcome)
+
+
+class TestCampaignResultHelpers:
+    def test_merged_with(self):
+        a = CampaignResult([_record(Outcome.VANISHED)], population_bits=10)
+        b = CampaignResult([_record(Outcome.CORRECTED)])
+        merged = a.merged_with(b)
+        assert merged.total == 2
+        assert merged.population_bits == 10
+        assert merged.counts()[Outcome.CORRECTED] == 1
+
+    def test_summary_mentions_all_outcomes(self):
+        result = CampaignResult([_record(Outcome.VANISHED)])
+        summary = result.summary()
+        for outcome in Outcome:
+            assert outcome.value in summary
+
+    def test_by_ring_partition(self):
+        result = CampaignResult([_record(Outcome.VANISHED, ring="MODE"),
+                                 _record(Outcome.VANISHED, ring="GPTR"),
+                                 _record(Outcome.CORRECTED, ring="MODE")])
+        grouped = result.by_ring()
+        assert grouped["MODE"].total == 2
+        assert grouped["GPTR"].total == 1
+
+    def test_empty_result_fractions(self):
+        result = CampaignResult()
+        fractions = result.fractions()
+        assert all(value == 0.0 for value in fractions.values())
+
+
+class TestPerRingCampaigns:
+    def test_targets_requested_rings(self, experiment):
+        results = per_ring_campaigns(experiment, fraction=0.2,
+                                     rings=["MODE", "GPTR"], seed=2)
+        assert set(results) == {"MODE", "GPTR"}
+        for ring, result in results.items():
+            assert all(record.ring == ring for record in result.records)
+
+    def test_fraction_scales_sample(self, experiment):
+        small = per_ring_campaigns(experiment, fraction=0.1,
+                                   rings=["MODE"], seed=2)
+        large = per_ring_campaigns(experiment, fraction=0.3,
+                                   rings=["MODE"], seed=2)
+        assert large["MODE"].total > small["MODE"].total
+
+
+class TestProgramAndState:
+    def test_entry_defaults_to_base(self):
+        program = Program(words=[encode(Opcode.HALT)], base=0x200)
+        assert program.entry == 0x200
+
+    def test_explicit_entry(self):
+        program = Program(words=[encode(Opcode.NOP), encode(Opcode.HALT)],
+                          base=0x200, entry=0x204)
+        assert program.entry == 0x204
+
+    def test_unaligned_data_rejected(self):
+        with pytest.raises(ValueError):
+            Program(words=[0], data={3: 1})
+
+    def test_signature_includes_ctr(self):
+        a, b = ArchState(), ArchState()
+        b.ctr = 5
+        assert a.signature() != b.signature()
+
+    def test_signature_excludes_pc(self):
+        a, b = ArchState(), ArchState()
+        b.pc = 0x100
+        assert a.signature() == b.signature()

@@ -1,0 +1,84 @@
+"""Robustness properties: the fault injector must survive anything.
+
+A fault-injection tool that crashes on some corner of its own fault
+space is useless — every (site, cycle, mode) combination must leave the
+machine in a classifiable state.  These hypothesis tests drive the full
+injection path with arbitrary coordinates and assert total behaviour.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.rtl import InjectionMode
+from repro.sfi import CampaignConfig, SfiExperiment
+from repro.sfi.classify import classify
+from repro.sfi.outcomes import OUTCOME_ORDER
+
+from tests.conftest import SMALL_PARAMS
+
+_EXPERIMENT = None
+
+
+def experiment() -> SfiExperiment:
+    global _EXPERIMENT
+    if _EXPERIMENT is None:
+        _EXPERIMENT = SfiExperiment(CampaignConfig(
+            suite_size=2, suite_seed=99, core_params=SMALL_PARAMS,
+            drain_cycles=800))
+    return _EXPERIMENT
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(site=st.integers(min_value=0, max_value=10 ** 9),
+       cycle_frac=st.floats(0, 0.999),
+       testcase=st.integers(0, 1))
+def test_any_toggle_injection_is_classifiable(site, cycle_frac, testcase):
+    exp = experiment()
+    site_index = site % len(exp.latch_map)
+    reference = exp.references[testcase]
+    inject_cycle = int(cycle_frac * reference.cycles)
+    record = exp.run_one(site_index, testcase, inject_cycle)
+    assert record.outcome in OUTCOME_ORDER
+    # The machine ended in exactly one terminal state.
+    core = exp.core
+    assert core.checkstopped or core.hung or core.halted or \
+        core.cycles >= reference.cycles  # timeout path (classified HANG)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(site=st.integers(min_value=0, max_value=10 ** 9),
+       cycle_frac=st.floats(0, 0.999),
+       sticky=st.integers(1, 200))
+def test_any_sticky_injection_is_classifiable(site, cycle_frac, sticky):
+    exp = experiment()
+    site_index = site % len(exp.latch_map)
+    reference = exp.references[0]
+    inject_cycle = int(cycle_frac * reference.cycles)
+    exp.emulator.reload("tc0")
+    if inject_cycle:
+        exp.emulator.clock(inject_cycle)
+    exp.emulator.inject(site_index, InjectionMode.STICKY,
+                        sticky_cycles=sticky)
+    exp.host.run_until_quiesce(reference.cycles + 1500)
+    outcome = classify(exp.core, reference.testcase)
+    assert outcome in OUTCOME_ORDER
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(sites=st.lists(st.integers(0, 10 ** 9), min_size=2, max_size=5),
+       cycle_frac=st.floats(0, 0.9))
+def test_multi_bit_upsets_are_classifiable(sites, cycle_frac):
+    """Several simultaneous flips (a beam can deliver them) never wedge
+    the simulator either."""
+    exp = experiment()
+    reference = exp.references[0]
+    inject_cycle = int(cycle_frac * reference.cycles)
+    exp.emulator.reload("tc0")
+    if inject_cycle:
+        exp.emulator.clock(inject_cycle)
+    for site in sites:
+        exp.emulator.inject(site % len(exp.latch_map))
+    exp.host.run_until_quiesce(reference.cycles + 1500)
+    assert classify(exp.core, reference.testcase) in OUTCOME_ORDER

@@ -1,0 +1,101 @@
+"""Latch primitive behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtl import Latch, LatchKind, make_bank
+
+
+class TestWriteRead:
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_write_masks_to_width(self, value):
+        latch = Latch("t", 8)
+        latch.write(value)
+        assert latch.read() == value & 0xFF
+
+    def test_reset_value(self):
+        latch = Latch("t", 8, reset_value=0x5A)
+        assert latch.value == 0x5A
+        latch.write(0)
+        latch.reset()
+        assert latch.value == 0x5A
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Latch("t", 0)
+
+
+class TestParity:
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_legit_write_keeps_parity(self, value):
+        latch = Latch("t", 32, protected=True)
+        latch.write(value)
+        assert latch.parity_ok()
+
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 31))
+    def test_flip_breaks_parity(self, value, bit):
+        latch = Latch("t", 32, protected=True)
+        latch.write(value)
+        latch.flip(bit)
+        assert not latch.parity_ok()
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_double_flip_even_parity(self, bit_a, bit_b):
+        """An even number of flips is invisible to parity — the classic
+        single-error-detect blind spot."""
+        latch = Latch("t", 32, protected=True)
+        latch.flip(bit_a)
+        latch.flip(bit_b)
+        assert latch.parity_ok()
+
+    def test_unprotected_always_ok(self):
+        latch = Latch("t", 8, protected=False)
+        latch.flip(3)
+        assert latch.parity_ok()
+
+    def test_rewrite_clears_fault(self):
+        latch = Latch("t", 8, protected=True)
+        latch.flip(0)
+        assert not latch.parity_ok()
+        latch.write(0x12)
+        assert latch.parity_ok()
+
+    def test_reset_clears_fault(self):
+        latch = Latch("t", 8, protected=True, reset_value=3)
+        latch.flip(5)
+        latch.reset()
+        assert latch.parity_ok() and latch.value == 3
+
+
+class TestBitOps:
+    def test_flip_out_of_range(self):
+        with pytest.raises(ValueError):
+            Latch("t", 4).flip(4)
+
+    def test_force_bit(self):
+        latch = Latch("t", 4)
+        latch.force_bit(2, 1)
+        assert latch.bit(2) == 1
+        latch.force_bit(2, 0)
+        assert latch.bit(2) == 0
+
+    def test_kind_default_ring(self):
+        latch = Latch("t", 4, kind=LatchKind.MODE)
+        assert latch.ring == "MODE"
+
+    def test_explicit_ring(self):
+        latch = Latch("t", 4, ring="CUSTOM")
+        assert latch.ring == "CUSTOM"
+
+
+class TestBank:
+    def test_bank_names_and_count(self):
+        bank = make_bank("regs", 4, 8)
+        assert len(bank) == 4
+        assert bank[2].name == "regs[2]"
+        assert all(latch.width == 8 for latch in bank)
+
+    def test_bank_latches_independent(self):
+        bank = make_bank("regs", 2, 8)
+        bank[0].write(1)
+        assert bank[1].value == 0

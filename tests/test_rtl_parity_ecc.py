@@ -1,0 +1,78 @@
+"""Parity and SEC-DED ECC codec properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.rtl import EccStatus, ecc_decode, ecc_encode, parity
+
+words = st.integers(0, 0xFFFFFFFF)
+
+
+class TestParity:
+    def test_known_values(self):
+        assert parity(0) == 0
+        assert parity(1) == 1
+        assert parity(0b11) == 0
+        assert parity(0xFFFFFFFF) == 0
+
+    @given(words, words)
+    def test_parity_is_xor_homomorphic(self, a, b):
+        assert parity(a ^ b) == parity(a) ^ parity(b)
+
+
+class TestEccClean:
+    @given(words)
+    def test_clean_decode(self, data):
+        check = ecc_encode(data)
+        decoded, decoded_check, status = ecc_decode(data, check)
+        assert status is EccStatus.OK
+        assert decoded == data
+        assert decoded_check == check
+
+    @given(words)
+    def test_check_field_fits_seven_bits(self, data):
+        assert 0 <= ecc_encode(data) < 128
+
+
+class TestEccSingleBit:
+    @given(words, st.integers(0, 31))
+    def test_data_bit_corrected(self, data, bit):
+        check = ecc_encode(data)
+        decoded, _, status = ecc_decode(data ^ (1 << bit), check)
+        assert status is EccStatus.CORRECTED
+        assert decoded == data
+
+    @given(words, st.integers(0, 6))
+    def test_check_bit_corrected(self, data, bit):
+        check = ecc_encode(data)
+        decoded, decoded_check, status = ecc_decode(data, check ^ (1 << bit))
+        assert status is EccStatus.CORRECTED
+        assert decoded == data
+        assert decoded_check == check
+
+
+class TestEccDoubleBit:
+    @given(words, st.integers(0, 31), st.integers(0, 31))
+    def test_double_data_flip_detected(self, data, bit_a, bit_b):
+        if bit_a == bit_b:
+            return
+        check = ecc_encode(data)
+        _, _, status = ecc_decode(data ^ (1 << bit_a) ^ (1 << bit_b), check)
+        assert status is EccStatus.UNCORRECTABLE
+
+    @given(words, st.integers(0, 31), st.integers(0, 6))
+    def test_data_plus_check_flip_detected(self, data, data_bit, check_bit):
+        check = ecc_encode(data)
+        _, _, status = ecc_decode(data ^ (1 << data_bit),
+                                  check ^ (1 << check_bit))
+        assert status is EccStatus.UNCORRECTABLE
+
+    @given(words)
+    def test_never_miscorrects_single(self, data):
+        """Exhaustive over all 39 single-bit positions for one word."""
+        check = ecc_encode(data)
+        for bit in range(32):
+            decoded, _, status = ecc_decode(data ^ (1 << bit), check)
+            assert (decoded, status) == (data, EccStatus.CORRECTED)
+        for bit in range(7):
+            decoded, _, status = ecc_decode(data, check ^ (1 << bit))
+            assert (decoded, status) == (data, EccStatus.CORRECTED)

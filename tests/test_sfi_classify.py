@@ -1,0 +1,76 @@
+"""Outcome classification precedence."""
+
+from repro.sfi import ClassifyOptions, Outcome, classify
+
+
+def quiesce(core, max_cycles=20_000):
+    while not core.quiesced and core.cycles < max_cycles:
+        core.cycle()
+
+
+class TestPrecedence:
+    def test_clean_run_vanished(self, core, testcase):
+        core.load_program(testcase.program)
+        quiesce(core)
+        assert classify(core, testcase) is Outcome.VANISHED
+
+    def test_checkstop_wins(self, core, testcase):
+        core.load_program(testcase.program)
+        quiesce(core)
+        core.pervasive.xstop.write(1)
+        core.pervasive.hang.write(1)
+        assert classify(core, testcase) is Outcome.CHECKSTOP
+
+    def test_hang_latch(self, core, testcase):
+        core.load_program(testcase.program)
+        quiesce(core)
+        core.pervasive.hang.write(1)
+        assert classify(core, testcase) is Outcome.HANG
+
+    def test_timeout_counts_as_hang(self, core, testcase):
+        core.load_program(testcase.program)
+        for _ in range(10):
+            core.cycle()  # far from quiesce: still running
+        assert classify(core, testcase) is Outcome.HANG
+
+    def test_memory_mismatch_is_sdc(self, core, testcase):
+        core.load_program(testcase.program)
+        quiesce(core)
+        core.memory.store_word(0x6000, 0xBAD)
+        assert classify(core, testcase) is Outcome.SDC
+
+    def test_recovery_makes_corrected(self, core, testcase):
+        core.load_program(testcase.program)
+        quiesce(core)
+        core.pervasive.rec_count.write(1)
+        assert classify(core, testcase) is Outcome.CORRECTED
+
+    def test_local_correction_makes_corrected(self, core, testcase):
+        core.load_program(testcase.program)
+        quiesce(core)
+        core.pervasive.corrected_ctr.write(2)
+        assert classify(core, testcase) is Outcome.CORRECTED
+
+    def test_sdc_beats_corrected(self, core, testcase):
+        core.load_program(testcase.program)
+        quiesce(core)
+        core.pervasive.rec_count.write(1)
+        core.memory.store_word(0x6000, 0xBAD)
+        assert classify(core, testcase) is Outcome.SDC
+
+
+class TestLatentOption:
+    def test_latent_counted_as_vanished_when_requested(self, core, testcase):
+        core.load_program(testcase.program)
+        quiesce(core)
+        core.memory.store_word(0x6000, 0xBAD)
+        options = ClassifyOptions(latent_as_vanished=True)
+        assert classify(core, testcase, options) is Outcome.VANISHED
+
+    def test_detected_corruption_still_sdc(self, core, testcase):
+        core.load_program(testcase.program)
+        quiesce(core)
+        core.memory.store_word(0x6000, 0xBAD)
+        core.pervasive.rec_count.write(1)
+        options = ClassifyOptions(latent_as_vanished=True)
+        assert classify(core, testcase, options) is Outcome.SDC

@@ -1,0 +1,77 @@
+"""Sample-size experiments (Figure 2 machinery) and hardening what-ifs."""
+
+import pytest
+
+from repro.sfi import Outcome, harden, harden_rings, sample_size_experiment
+from repro.sfi.outcomes import OUTCOME_ORDER
+from repro.sfi.results import CampaignResult, InjectionRecord
+from repro.rtl import LatchKind
+
+
+def _record(outcome, ring="IFU", unit="IFU"):
+    return InjectionRecord(site_index=0, site_name="x", unit=unit,
+                           kind=LatchKind.FUNC, ring=ring, testcase_seed=0,
+                           inject_cycle=0, outcome=outcome)
+
+
+def _result(outcomes_rings):
+    result = CampaignResult(population_bits=1000)
+    for outcome, ring in outcomes_rings:
+        result.add(_record(outcome, ring=ring))
+    return result
+
+
+class TestSampleSizeExperiment:
+    def test_structure_and_scaling(self, experiment):
+        points = sample_size_experiment(experiment, sizes=[10, 40],
+                                        samples_per_size=3, seed=1)
+        assert [point.flips for point in points] == [10, 40]
+        for point in points:
+            assert point.samples == 3
+            assert set(point.stdev_over_mean) == set(OUTCOME_ORDER)
+            assert all(value >= 0 for value in point.stdev_over_mean.values())
+        # Mean vanished count scales with the sample size.
+        assert points[1].means[Outcome.VANISHED] > points[0].means[Outcome.VANISHED]
+
+    def test_deterministic(self, experiment):
+        a = sample_size_experiment(experiment, [12], 2, seed=9)
+        b = sample_size_experiment(experiment, [12], 2, seed=9)
+        assert a[0].means == b[0].means
+        assert a[0].stdev_over_mean == b[0].stdev_over_mean
+
+
+class TestHardening:
+    def test_harden_nothing_is_identity(self):
+        result = _result([(Outcome.CORRECTED, "MODE"), (Outcome.VANISHED, "IFU")])
+        report = harden(result, lambda record: False, hardened_bits=0)
+        assert report.hardened == report.baseline
+
+    def test_harden_everything_vanishes_all(self):
+        result = _result([(Outcome.CORRECTED, "MODE"),
+                          (Outcome.CHECKSTOP, "MODE"),
+                          (Outcome.VANISHED, "IFU")])
+        report = harden(result, lambda record: True, hardened_bits=1000)
+        assert report.hardened[Outcome.VANISHED] == 1.0
+        assert report.bad_outcome_reduction() == pytest.approx(1.0)
+
+    def test_harden_rings_targets_only_those_rings(self):
+        result = _result([(Outcome.CHECKSTOP, "MODE"),
+                          (Outcome.CORRECTED, "GPTR"),
+                          (Outcome.CORRECTED, "IFU"),
+                          (Outcome.VANISHED, "IFU")])
+        report = harden_rings(result, {"MODE", "GPTR"},
+                              {"MODE": 100, "GPTR": 150, "IFU": 750})
+        assert report.hardened_bits == 250
+        assert report.hardened[Outcome.CHECKSTOP] == 0.0
+        assert report.hardened[Outcome.CORRECTED] == pytest.approx(0.25)
+        assert report.baseline[Outcome.CORRECTED] == pytest.approx(0.5)
+
+    def test_bad_bits_bound_checked(self):
+        result = _result([(Outcome.VANISHED, "IFU")])
+        with pytest.raises(ValueError):
+            harden(result, lambda record: False, hardened_bits=2000)
+
+    def test_reduction_zero_when_nothing_bad(self):
+        result = _result([(Outcome.VANISHED, "IFU")])
+        report = harden(result, lambda record: True, hardened_bits=10)
+        assert report.bad_outcome_reduction() == 0.0

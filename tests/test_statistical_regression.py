@@ -1,0 +1,53 @@
+"""Statistical regression anchors.
+
+These pin the tuned model's headline statistics (the numbers EXPERIMENTS.md
+reports) with loose bounds, so an innocent-looking change to a unit or a
+checker that silently shifts the reproduction's calibration fails CI.
+Bounds are wide enough that ordinary sampling noise at these campaign
+sizes stays green.
+"""
+
+import pytest
+
+from repro.sfi import CampaignConfig, Outcome, SfiExperiment
+
+
+@pytest.fixture(scope="module")
+def full_model_experiment():
+    """Full-size model (the one the benches use), small suite."""
+    return SfiExperiment(CampaignConfig(suite_size=3))
+
+
+@pytest.mark.slow
+class TestCalibrationAnchors:
+    def test_whole_core_shape(self, full_model_experiment):
+        result = full_model_experiment.run_random_campaign(500, seed=123)
+        fractions = result.fractions()
+        # Table 2 calibration corridor (paper: 95.5 / 3.6 / 0.9).
+        assert 0.92 <= fractions[Outcome.VANISHED] <= 0.99
+        assert 0.01 <= fractions[Outcome.CORRECTED] <= 0.08
+        assert fractions[Outcome.CHECKSTOP] <= 0.02
+        assert fractions[Outcome.SDC] <= 0.02
+
+    def test_shape_stable_across_seeds(self, full_model_experiment):
+        a = full_model_experiment.run_random_campaign(300, seed=1)
+        b = full_model_experiment.run_random_campaign(300, seed=2)
+        delta = abs(a.fractions()[Outcome.VANISHED]
+                    - b.fractions()[Outcome.VANISHED])
+        assert delta < 0.06  # two samples of the same population
+
+    def test_population_inventory(self, full_model_experiment):
+        """The latch inventory EXPERIMENTS.md is calibrated against."""
+        latch_map = full_model_experiment.latch_map
+        bits = latch_map.unit_bit_counts()
+        assert 20_000 <= len(latch_map) <= 35_000
+        assert max(bits, key=bits.get) == "LSU"
+        assert min(bits, key=bits.get) == "RUT"
+        mode_bits = len(latch_map.indices_for_ring("MODE"))
+        gptr_bits = len(latch_map.indices_for_ring("GPTR"))
+        assert 50 <= mode_bits <= 300
+        assert 100 <= gptr_bits <= 400
+
+    def test_reference_cpi_band(self, full_model_experiment):
+        for reference in full_model_experiment.references:
+            assert 1.5 < reference.cpi < 5.0

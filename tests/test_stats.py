@@ -1,0 +1,141 @@
+"""Statistics substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import (
+    Stratum,
+    binomial_stdev_over_mean,
+    finite_population_correction,
+    mean_std,
+    normal_interval,
+    required_sample_size,
+    stdev_fraction_of_mean,
+    stratified_estimate,
+    stratum_contributions,
+    wilson_interval,
+)
+
+
+class TestDescriptive:
+    def test_known_values(self):
+        mean, std = mean_std([2, 4, 4, 4, 5, 5, 7, 9])
+        assert mean == 5.0
+        assert std == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert mean_std([7]) == (7.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+    def test_std_nonnegative(self, values):
+        _, std = mean_std(values)
+        assert std >= 0
+
+    def test_fraction_of_zero_mean(self):
+        assert stdev_fraction_of_mean([0, 0, 0]) == 0.0
+
+    @given(st.lists(st.integers(1, 100), min_size=2, max_size=20),
+           st.integers(2, 10))
+    def test_fraction_scale_invariant(self, values, scale):
+        original = stdev_fraction_of_mean(values)
+        scaled = stdev_fraction_of_mean([v * scale for v in values])
+        assert scaled == pytest.approx(original)
+
+
+class TestIntervals:
+    @given(n=st.integers(1, 10_000), frac=st.floats(0, 1))
+    def test_wilson_bounds(self, n, frac):
+        successes = int(n * frac)
+        low, high = wilson_interval(successes, n)
+        p_hat = successes / n
+        assert 0.0 <= low <= p_hat + 1e-12
+        assert p_hat - 1e-12 <= high <= 1.0
+
+    @given(n=st.integers(1, 10_000), frac=st.floats(0, 1))
+    def test_normal_bounds(self, n, frac):
+        successes = int(n * frac)
+        low, high = normal_interval(successes, n)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_wilson_handles_rare_events(self):
+        low, high = wilson_interval(0, 1000)
+        assert low == 0.0 and 0 < high < 0.01
+
+    def test_interval_narrows_with_n(self):
+        small = wilson_interval(50, 100)
+        large = wilson_interval(5000, 10_000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 10, confidence=0.5)
+
+
+class TestPlanning:
+    def test_rarer_categories_need_more_flips(self):
+        common = required_sample_size(0.95, 0.05)
+        rare = required_sample_size(0.009, 0.05)
+        assert rare > 50 * common
+
+    def test_paper_operating_point(self):
+        """~10k flips suffice for ~10% relative error on a 0.9% category —
+        the paper's observed stabilisation point."""
+        needed = required_sample_size(0.009, 0.25)
+        assert 1_000 < needed < 20_000
+
+    @given(p=st.floats(0.01, 0.99), err=st.floats(0.05, 0.5))
+    def test_positive(self, p, err):
+        assert required_sample_size(p, err) >= 1
+
+
+class TestBinomialCurve:
+    @given(p=st.floats(0.001, 0.999))
+    def test_decreases_with_n(self, p):
+        assert binomial_stdev_over_mean(p, 20_000) < \
+            binomial_stdev_over_mean(p, 2_000)
+
+    def test_inverse_sqrt_shape(self):
+        ratio = binomial_stdev_over_mean(0.5, 1000) / \
+            binomial_stdev_over_mean(0.5, 4000)
+        assert ratio == pytest.approx(2.0)
+
+    def test_rare_category_noisier(self):
+        assert binomial_stdev_over_mean(0.009, 10_000) > \
+            binomial_stdev_over_mean(0.95, 10_000)
+
+
+class TestSamplingTheory:
+    def test_fpc_extremes(self):
+        assert finite_population_correction(0, 100) == pytest.approx(
+            math.sqrt(100 / 99))
+        assert finite_population_correction(100, 100) == 0.0
+
+    def test_stratified_estimate_weighted(self):
+        strata = [Stratum("a", 100, 10, 0.1), Stratum("b", 300, 10, 0.5)]
+        assert stratified_estimate(strata) == pytest.approx(0.4)
+
+    def test_contributions_sum_to_one(self):
+        strata = [Stratum("a", 100, 10, 0.1), Stratum("b", 300, 10, 0.5),
+                  Stratum("c", 600, 10, 0.02)]
+        contributions = stratum_contributions(strata)
+        assert sum(contributions.values()) == pytest.approx(1.0)
+
+    def test_contributions_all_zero_proportions(self):
+        strata = [Stratum("a", 100, 10, 0.0), Stratum("b", 300, 10, 0.0)]
+        contributions = stratum_contributions(strata)
+        assert all(value == 0.0 for value in contributions.values())
+
+    def test_larger_unit_same_rate_contributes_more(self):
+        strata = [Stratum("small", 100, 10, 0.2), Stratum("big", 900, 10, 0.2)]
+        contributions = stratum_contributions(strata)
+        assert contributions["big"] == pytest.approx(0.9)

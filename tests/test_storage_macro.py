@@ -1,0 +1,83 @@
+"""Campaign persistence and macro-targeted campaigns."""
+
+import pytest
+
+from repro.sfi.outcomes import OUTCOME_ORDER
+from repro.sfi.storage import load_campaign, merge_campaigns, save_campaign
+from repro.sfi.targeted import macro_campaign
+
+
+class TestStorage:
+    def test_roundtrip(self, experiment, tmp_path):
+        result = experiment.run_random_campaign(20, seed=5)
+        path = tmp_path / "campaign.jsonl"
+        save_campaign(result, path)
+        loaded = load_campaign(path)
+        assert loaded.total == result.total
+        assert loaded.population_bits == result.population_bits
+        assert loaded.counts() == result.counts()
+        assert [r.site_name for r in loaded.records] == \
+            [r.site_name for r in result.records]
+
+    def test_traces_survive_roundtrip(self, experiment, tmp_path):
+        result = experiment.run_random_campaign(10, seed=6)
+        path = tmp_path / "campaign.jsonl"
+        save_campaign(result, path)
+        loaded = load_campaign(path)
+        original = result.records[0].trace
+        restored = loaded.records[0].trace
+        assert len(restored) == len(original)
+        assert all(a.cycle == b.cycle and a.kind == b.kind
+                   for a, b in zip(original, restored))
+
+    def test_merge(self, experiment, tmp_path):
+        a = experiment.run_random_campaign(8, seed=1)
+        b = experiment.run_random_campaign(12, seed=2)
+        path_a, path_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        save_campaign(a, path_a)
+        save_campaign(b, path_b)
+        merged = merge_campaigns([path_a, path_b])
+        assert merged.total == 20
+        for outcome in OUTCOME_ORDER:
+            assert merged.counts()[outcome] == \
+                a.counts()[outcome] + b.counts()[outcome]
+
+    def test_truncation_detected(self, experiment, tmp_path):
+        result = experiment.run_random_campaign(6, seed=3)
+        path = tmp_path / "c.jsonl"
+        save_campaign(result, path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            load_campaign(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_campaign(path)
+
+
+class TestMacroCampaign:
+    def test_targets_only_the_macro(self, experiment):
+        result = macro_campaign(experiment, "rut.cmt", trials_per_site=1,
+                                max_sites=30)
+        assert result.total == 30
+        assert all(record.site_name.startswith("rut.cmt")
+                   for record in result.records)
+
+    def test_trials_multiply_sites(self, experiment):
+        result = macro_campaign(experiment, "pervasive.mode_clkcfg",
+                                trials_per_site=2)
+        assert result.total == 16  # 8-bit latch x 2 trials
+
+    def test_unknown_macro_rejected(self, experiment):
+        with pytest.raises(KeyError):
+            macro_campaign(experiment, "nonexistent.block")
+
+    def test_deterministic(self, experiment):
+        a = macro_campaign(experiment, "lsu.derat", trials_per_site=1,
+                           max_sites=15, seed=4)
+        b = macro_campaign(experiment, "lsu.derat", trials_per_site=1,
+                           max_sites=15, seed=4)
+        assert [r.outcome for r in a.records] == [r.outcome for r in b.records]

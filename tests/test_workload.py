@@ -1,0 +1,105 @@
+"""Workload characterisation: the performance-estimation tool and the
+synthetic SPECInt 2000 components."""
+
+import pytest
+
+from repro.avp import AvpGenerator
+from repro.isa import InstrClass
+from repro.workload import (
+    SPEC_COMPONENTS,
+    component_by_name,
+    estimate_cpi_analytic,
+    measure_cpi,
+    measure_mix,
+    mix_bounds,
+    top90_mix,
+)
+
+from tests.conftest import SMALL_PARAMS
+
+
+@pytest.fixture(scope="module")
+def avp_programs():
+    generator = AvpGenerator(blocks=(10, 20))
+    return [generator.generate(seed).program for seed in range(4)]
+
+
+class TestMeasureMix:
+    def test_sums_to_one(self, avp_programs):
+        mix = measure_mix(avp_programs)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_all_classes_present(self, avp_programs):
+        mix = measure_mix(avp_programs)
+        assert set(mix) == set(InstrClass)
+
+
+class TestTop90:
+    def test_small_classes_zeroed(self):
+        mix = {InstrClass.LOAD: 0.5, InstrClass.STORE: 0.42,
+               InstrClass.FLOATING_POINT: 0.02, InstrClass.BRANCH: 0.06}
+        truncated = top90_mix(mix)
+        assert truncated[InstrClass.LOAD] == 0.5
+        assert truncated[InstrClass.STORE] == 0.42
+        assert truncated[InstrClass.FLOATING_POINT] == 0.0
+        assert truncated[InstrClass.BRANCH] == 0.0
+
+    def test_avp_fp_reports_zero_like_table1(self, avp_programs):
+        """The AVP carries a ~2% FP component that falls outside the top
+        90% — which is why Table 1 shows 0% FP for the AVP."""
+        truncated = top90_mix(measure_mix(avp_programs))
+        assert truncated[InstrClass.FLOATING_POINT] == 0.0
+
+    def test_kept_classes_cover_at_least_90(self):
+        mix = {InstrClass.LOAD: 0.3, InstrClass.STORE: 0.3,
+               InstrClass.FIXED_POINT: 0.3, InstrClass.BRANCH: 0.1}
+        truncated = top90_mix(mix)
+        assert sum(truncated.values()) >= 0.9
+
+
+class TestCpi:
+    def test_measured_cpi_range(self, avp_programs):
+        cpi = measure_cpi(avp_programs[:2], SMALL_PARAMS)
+        assert 1.0 < cpi < 10.0
+
+    def test_analytic_estimate_positive(self, avp_programs):
+        mix = measure_mix(avp_programs)
+        assert estimate_cpi_analytic(mix) > 1.0
+
+    def test_analytic_memory_penalty_raises_cpi(self):
+        memory_mix = {InstrClass.LOAD: 0.5, InstrClass.STORE: 0.4,
+                      InstrClass.FIXED_POINT: 0.1}
+        alu_mix = {InstrClass.FIXED_POINT: 1.0}
+        assert estimate_cpi_analytic(memory_mix) > estimate_cpi_analytic(alu_mix)
+
+
+class TestSpecComponents:
+    def test_eleven_components(self):
+        assert len(SPEC_COMPONENTS) == 11
+        assert len({c.name for c in SPEC_COMPONENTS}) == 11
+
+    def test_lookup_by_name(self):
+        assert component_by_name("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            component_by_name("nope")
+
+    def test_components_generate_runnable_programs(self):
+        programs = component_by_name("gzip").programs(count=1)
+        mix = measure_mix(programs)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_mcf_is_load_heavy(self):
+        mcf = measure_mix(component_by_name("mcf").programs(count=2))
+        gzip_mix = measure_mix(component_by_name("gzip").programs(count=2))
+        assert mcf[InstrClass.LOAD] > gzip_mix[InstrClass.LOAD]
+
+    def test_eon_carries_fp(self):
+        eon = measure_mix(component_by_name("eon").programs(count=2))
+        assert eon[InstrClass.FLOATING_POINT] > 0.03
+
+    def test_mix_bounds_bracket(self):
+        mixes = {c.name: measure_mix(c.programs(count=1))
+                 for c in SPEC_COMPONENTS[:4]}
+        bounds = mix_bounds(mixes)
+        for cls, (low, high, avg) in bounds.items():
+            assert low <= avg <= high

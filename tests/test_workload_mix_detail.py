@@ -1,0 +1,63 @@
+"""Opcode-level mix measurement and the top-90% truncation tool."""
+
+from collections import Counter
+
+import pytest
+
+from repro.avp import AvpGenerator
+from repro.isa import InstrClass, Opcode
+from repro.workload import measure_opcode_mix, top90_class_mix
+
+
+@pytest.fixture(scope="module")
+def opcode_counts():
+    programs = [AvpGenerator(blocks=(10, 18)).generate(seed).program
+                for seed in range(3)]
+    return measure_opcode_mix(programs)
+
+
+class TestOpcodeMix:
+    def test_counts_cover_execution(self, opcode_counts):
+        assert sum(opcode_counts.values()) > 100
+        assert opcode_counts[Opcode.HALT] == 3  # one per program
+
+    def test_loads_present(self, opcode_counts):
+        assert opcode_counts[Opcode.LWZ] > 0
+
+    def test_runaway_detected(self):
+        from repro.isa import assemble
+        program = assemble("top: b top")
+        with pytest.raises(RuntimeError, match="did not halt"):
+            measure_opcode_mix([program], max_instructions=50)
+
+
+class TestTop90ByOpcode:
+    def test_empty_counts(self):
+        mix = top90_class_mix(Counter())
+        assert all(value == 0.0 for value in mix.values())
+
+    def test_single_opcode(self):
+        mix = top90_class_mix(Counter({Opcode.LWZ: 100}))
+        assert mix[InstrClass.LOAD] == pytest.approx(1.0)
+
+    def test_small_tail_dropped(self):
+        counts = Counter({Opcode.LWZ: 60, Opcode.STW: 35, Opcode.FADD: 5})
+        mix = top90_class_mix(counts)
+        # lwz + stw reach 95% >= 90%: fadd is cut.
+        assert mix[InstrClass.FLOATING_POINT] == 0.0
+        assert mix[InstrClass.LOAD] == pytest.approx(0.60)
+        assert mix[InstrClass.STORE] == pytest.approx(0.35)
+
+    def test_fractions_relative_to_full_count(self):
+        counts = Counter({Opcode.LWZ: 50, Opcode.STW: 30, Opcode.ADD: 15,
+                          Opcode.FADD: 5})
+        mix = top90_class_mix(counts)
+        # Reported classes sum to the kept share (<= 1), not renormalised.
+        assert sum(mix.values()) <= 1.0
+        assert sum(mix.values()) >= 0.90
+
+    def test_measured_mix_keeps_majors(self, opcode_counts):
+        mix = top90_class_mix(opcode_counts)
+        assert mix[InstrClass.LOAD] > 0.1
+        assert mix[InstrClass.BRANCH] > 0.05
+        assert 0.85 <= sum(mix.values()) <= 1.0
