@@ -22,13 +22,16 @@ from repro.emulator import AwanEmulator, CommHost, LatchMap, SoftwareSimulator
 from repro.rtl import FaultSite, InjectionMode, Latch, LatchKind
 from repro.sfi import (
     CampaignConfig,
+    CampaignProgress,
     CampaignResult,
+    CampaignSupervisor,
     ClassifyOptions,
     Outcome,
     SfiExperiment,
     per_kind_campaigns,
     per_ring_campaigns,
     per_unit_campaigns,
+    run_supervised_campaign,
     sample_size_experiment,
 )
 
@@ -40,7 +43,9 @@ __all__ = [
     "AwanEmulator",
     "BeamExperiment",
     "CampaignConfig",
+    "CampaignProgress",
     "CampaignResult",
+    "CampaignSupervisor",
     "Checker",
     "ClassifyOptions",
     "CommHost",
@@ -62,5 +67,6 @@ __all__ = [
     "per_kind_campaigns",
     "per_ring_campaigns",
     "per_unit_campaigns",
+    "run_supervised_campaign",
     "sample_size_experiment",
 ]

@@ -124,16 +124,31 @@ def cmd_info(args) -> int:
 def cmd_campaign(args) -> int:
     config = _config(args)
     start = time.perf_counter()
-    if args.workers > 1:
+    supervised = (args.workers > 1 or args.journal is not None
+                  or args.resume)
+    if supervised:
         from repro.sfi.parallel import run_parallel_campaign
         from repro.sfi.sampling import random_sample
+        from repro.sfi.supervisor import PrintProgress
         import random as random_module
+        if args.resume and not args.journal:
+            print("--resume requires --journal", file=sys.stderr)
+            return 2
         probe = SfiExperiment(config)
+        # Site selection is a pure function of (seed, flips), so a resumed
+        # run regenerates the same plan its journal was written against.
         sites = random_sample(probe.latch_map, args.flips,
                               random_module.Random(args.seed ^ 0x5F1))
-        result = run_parallel_campaign(config, sites, seed=args.seed,
-                                       workers=args.workers,
-                                       population_bits=len(probe.latch_map))
+        result = run_parallel_campaign(
+            config, sites, seed=args.seed,
+            workers=args.workers,
+            population_bits=len(probe.latch_map),
+            journal=args.journal,
+            resume=args.resume,
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+            progress=None if args.json else PrintProgress(
+                every=max(1, args.flips // 10)))
     else:
         experiment = SfiExperiment(config)
         result = experiment.run_random_campaign(args.flips, seed=args.seed)
@@ -250,6 +265,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sticky injection mode instead of toggle")
     p.add_argument("--workers", type=int, default=1,
                    help="parallel simulation copies (paper §2.2)")
+    p.add_argument("--journal", metavar="PATH",
+                   help="journal completed injections to this JSONL file "
+                        "(crash-consistent; enables --resume)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume a killed campaign from its --journal, "
+                        "skipping already-covered injections")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill and retry a worker shard that exceeds this")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="per-shard retries before the shard is split "
+                        "and requeued (default 2)")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("units", help="per-unit campaigns (Figures 3 & 4)")

@@ -5,14 +5,31 @@ sampling strategies, outcome classification, repeated-sample statistics
 and hardening what-ifs.
 """
 
-from repro.sfi.campaign import CampaignConfig, SfiExperiment
+from repro.sfi.campaign import (
+    CampaignConfig,
+    InjectionPlan,
+    SfiExperiment,
+    plan_injections,
+)
 from repro.sfi.chip_campaign import (
     ChipCampaignResult,
     ChipExperiment,
     ChipInjectionRecord,
 )
 from repro.sfi.parallel import run_parallel_campaign, shard_sites
-from repro.sfi.storage import load_campaign, merge_campaigns, save_campaign
+from repro.sfi.storage import (
+    CampaignJournal,
+    CampaignStorageError,
+    load_campaign,
+    merge_campaigns,
+    save_campaign,
+)
+from repro.sfi.supervisor import (
+    CampaignExecutionError,
+    CampaignProgress,
+    CampaignSupervisor,
+    run_supervised_campaign,
+)
 from repro.sfi.classify import ClassifyOptions, classify
 from repro.sfi.experiments import SampleSizePoint, sample_size_experiment
 from repro.sfi.hardening import HardeningReport, harden, harden_rings
@@ -34,10 +51,18 @@ from repro.sfi.targeted import (
 
 __all__ = [
     "CampaignConfig",
+    "CampaignExecutionError",
+    "CampaignJournal",
+    "CampaignProgress",
+    "CampaignStorageError",
+    "CampaignSupervisor",
     "ChipCampaignResult",
     "ChipExperiment",
     "ChipInjectionRecord",
+    "InjectionPlan",
+    "plan_injections",
     "run_parallel_campaign",
+    "run_supervised_campaign",
     "shard_sites",
     "load_campaign",
     "macro_campaign",

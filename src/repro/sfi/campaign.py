@@ -10,6 +10,7 @@ the drain window, classify, repeat — the loop of Figure 1.
 from __future__ import annotations
 
 import random
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.avp.generator import MixWeights
@@ -25,6 +26,54 @@ from repro.rtl.fault import InjectionMode
 from repro.sfi.classify import ClassifyOptions, classify
 from repro.sfi.results import CampaignResult, InjectionRecord
 from repro.sfi.sampling import random_sample
+
+
+@dataclass(frozen=True)
+class InjectionPlan:
+    """One scheduled injection of a campaign.
+
+    ``position`` is the injection's index in the campaign-wide site list;
+    ``occurrence`` counts earlier injections of the same site (sampling is
+    with replacement, so one site can be struck several times — each
+    occurrence draws the next value from that site's RNG stream).  A plan
+    item is self-contained, so shards can be split, retried and resumed in
+    any order while reproducing exactly the injections a serial run makes.
+    """
+
+    position: int
+    site_index: int
+    testcase_index: int
+    occurrence: int = 0
+
+
+def plan_injections(sites: list[int], suite_size: int) -> list[InjectionPlan]:
+    """Expand a site list into self-contained per-injection plan items.
+
+    Testcases are assigned by campaign position (cycling through the
+    suite, as a serial run always did); the per-site RNG stream is keyed
+    by ``(seed, site_index, occurrence)`` at execution time, so the result
+    of a plan item is independent of how the plan is sharded.
+    """
+    if suite_size < 1:
+        raise ValueError("suite needs at least one testcase")
+    occurrences: Counter[int] = Counter()
+    plan: list[InjectionPlan] = []
+    for position, site_index in enumerate(sites):
+        plan.append(InjectionPlan(
+            position=position,
+            site_index=site_index,
+            testcase_index=position % suite_size,
+            occurrence=occurrences[site_index],
+        ))
+        occurrences[site_index] += 1
+    return plan
+
+
+def injection_rng(seed: int, site_index: int, occurrence: int) -> random.Random:
+    """The per-site RNG stream: keyed by the site (and its occurrence
+    number for repeat strikes), never by shard index, so campaigns are
+    bit-identical for any ``workers`` value."""
+    return random.Random(f"sfi:{seed}:{site_index}:{occurrence}")
 
 
 @dataclass(frozen=True)
@@ -132,17 +181,35 @@ class SfiExperiment:
             trace=tuple(self.core.event_log),
         )
 
-    def run_campaign(self, sites: list[int], seed: int = 0) -> CampaignResult:
+    def run_plan(self, plan: list[InjectionPlan], seed: int = 0,
+                 record_hook=None) -> CampaignResult:
+        """Execute plan items (in the given order).
+
+        Each item's inject cycle comes from its own RNG stream (see
+        :func:`injection_rng`), so executing a sub-slice of a plan — a
+        shard, a retry, the tail of a resumed campaign — yields the same
+        records a full serial run would.  ``record_hook(position, record)``
+        is called after every completed injection (the supervisor journals
+        through it).
+        """
+        result = CampaignResult(population_bits=len(self.latch_map))
+        for item in plan:
+            reference = self.references[item.testcase_index]
+            rng = injection_rng(seed, item.site_index, item.occurrence)
+            inject_cycle = rng.randrange(0, reference.cycles)
+            record = self.run_one(item.site_index, item.testcase_index,
+                                  inject_cycle)
+            result.add(record)
+            if record_hook is not None:
+                record_hook(item.position, record)
+        return result
+
+    def run_campaign(self, sites: list[int], seed: int = 0,
+                     record_hook=None) -> CampaignResult:
         """Inject every site in ``sites`` (one injection each), cycling
         through the testcase suite, at per-injection random cycles."""
-        rng = random.Random(seed)
-        result = CampaignResult(population_bits=len(self.latch_map))
-        for i, site_index in enumerate(sites):
-            testcase_index = i % len(self.suite)
-            reference = self.references[testcase_index]
-            inject_cycle = rng.randrange(0, reference.cycles)
-            result.add(self.run_one(site_index, testcase_index, inject_cycle))
-        return result
+        plan = plan_injections(sites, len(self.suite))
+        return self.run_plan(plan, seed=seed, record_hook=record_hook)
 
     def run_random_campaign(self, count: int, seed: int = 0) -> CampaignResult:
         """Whole-core uniform random campaign of ``count`` flips."""

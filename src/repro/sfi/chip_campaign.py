@@ -9,6 +9,7 @@ property multi-core RAS designs must provide.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 
@@ -20,6 +21,10 @@ from repro.rtl.fault import FaultSite, expand_sites
 
 from repro.sfi.classify import ClassifyOptions, classify
 from repro.sfi.outcomes import OUTCOME_ORDER, Outcome
+from repro.sfi.storage import CampaignJournal, CampaignStorageError
+from repro.sfi.supervisor import CampaignProgress
+
+_CHIP_JOURNAL_KIND = "sfi-chip-journal"
 
 
 @dataclass(frozen=True)
@@ -32,6 +37,32 @@ class ChipInjectionRecord:
     inject_cycle: int
     outcome: Outcome
     other_cores_clean: bool
+
+
+def _chip_record_to_dict(record: ChipInjectionRecord) -> dict:
+    return {
+        "core_index": record.core_index,
+        "unit": record.unit,
+        "site_name": record.site_name,
+        "inject_cycle": record.inject_cycle,
+        "outcome": record.outcome.value,
+        "other_cores_clean": record.other_cores_clean,
+    }
+
+
+def _chip_record_from_dict(payload: dict) -> ChipInjectionRecord:
+    try:
+        return ChipInjectionRecord(
+            core_index=payload["core_index"],
+            unit=payload["unit"],
+            site_name=payload["site_name"],
+            inject_cycle=payload["inject_cycle"],
+            outcome=Outcome(payload["outcome"]),
+            other_cores_clean=payload["other_cores_clean"],
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CampaignStorageError(
+            f"chip record is missing or has a bad field: {exc!r}") from exc
 
 
 @dataclass
@@ -128,16 +159,59 @@ class ChipExperiment:
         )
 
     def run_campaign(self, count: int, seed: int = 0,
-                     core_index: int | None = None) -> ChipCampaignResult:
+                     core_index: int | None = None, *,
+                     journal: str | os.PathLike | None = None,
+                     resume: bool = False,
+                     progress: CampaignProgress | None = None) -> ChipCampaignResult:
         """Inject ``count`` random flips (into ``core_index``, or spread
-        uniformly across the chip when None)."""
-        rng = random.Random(f"chip:{seed}")
+        uniformly across the chip when None).
+
+        Each trial draws from its own ``(seed, trial)`` RNG stream, so a
+        campaign resumed from ``journal`` (see the sfi supervisor) replays
+        exactly the trials an uninterrupted run would have performed;
+        already-journaled trials are skipped on ``resume=True``.
+        """
+        progress = progress or CampaignProgress()
+        covered: dict[int, ChipInjectionRecord] = {}
+        journal_obj: CampaignJournal | None = None
+        if journal is not None:
+            if resume and os.path.exists(journal):
+                journal_obj, covered = CampaignJournal.recover(
+                    journal, record_decoder=_chip_record_from_dict,
+                    kind=_CHIP_JOURNAL_KIND)
+                header = journal_obj.header
+                if header.get("seed") != seed or \
+                        header.get("total_sites") != count:
+                    raise CampaignStorageError(
+                        f"{journal}: journal is for a different chip "
+                        f"campaign (seed={header.get('seed')}, "
+                        f"count={header.get('total_sites')})")
+                covered = {trial: record for trial, record in covered.items()
+                           if 0 <= trial < count}
+                progress.on_resume(len(covered))
+            else:
+                journal_obj = CampaignJournal.create(
+                    journal, seed=seed, total_sites=count,
+                    kind=_CHIP_JOURNAL_KIND)
+        progress.on_start(count, count - len(covered))
         result = ChipCampaignResult()
-        for _ in range(count):
-            target = (core_index if core_index is not None
-                      else rng.randrange(len(self.chip.cores)))
-            site_number = rng.randrange(self.site_count(target))
-            inject_cycle = rng.randrange(max(1, self.reference_cycles))
-            result.records.append(
-                self.run_one(target, site_number, inject_cycle))
+        try:
+            for trial in range(count):
+                if trial in covered:
+                    result.records.append(covered[trial])
+                    continue
+                rng = random.Random(f"chip:{seed}:{trial}")
+                target = (core_index if core_index is not None
+                          else rng.randrange(len(self.chip.cores)))
+                site_number = rng.randrange(self.site_count(target))
+                inject_cycle = rng.randrange(max(1, self.reference_cycles))
+                record = self.run_one(target, site_number, inject_cycle)
+                result.records.append(record)
+                if journal_obj is not None:
+                    journal_obj.append(trial, record,
+                                       record_encoder=_chip_record_to_dict)
+                progress.on_record(trial, record)
+        finally:
+            if journal_obj is not None:
+                journal_obj.close()
         return result

@@ -33,8 +33,16 @@ class SampleSizePoint:
 def sample_size_experiment(experiment: SfiExperiment,
                            sizes: list[int],
                            samples_per_size: int = 10,
-                           seed: int = 0) -> list[SampleSizePoint]:
-    """Run the Figure 2 experiment over ``sizes``."""
+                           seed: int = 0,
+                           workers: int = 1,
+                           progress=None) -> list[SampleSizePoint]:
+    """Run the Figure 2 experiment over ``sizes``.
+
+    With ``workers > 1`` each sample campaign runs under the supervised
+    parallel engine (fault-tolerant, same records as a serial run);
+    ``progress`` is a :class:`~repro.sfi.supervisor.CampaignProgress`
+    observing every campaign of the sweep.
+    """
     points: list[SampleSizePoint] = []
     for size in sizes:
         point = SampleSizePoint(flips=size, samples=samples_per_size)
@@ -43,7 +51,18 @@ def sample_size_experiment(experiment: SfiExperiment,
         for sample_idx in range(samples_per_size):
             rng = random.Random(f"{seed}:{size}:{sample_idx}")
             sites = random_sample(experiment.latch_map, size, rng)
-            result = experiment.run_campaign(sites, seed=rng.randrange(1 << 30))
+            campaign_seed = rng.randrange(1 << 30)
+            if workers > 1:
+                from repro.sfi.parallel import run_parallel_campaign
+                result = run_parallel_campaign(
+                    experiment.config, sites, seed=campaign_seed,
+                    workers=workers,
+                    population_bits=len(experiment.latch_map),
+                    **({"progress": progress} if progress else {}))
+            else:
+                hook = (progress.on_record if progress is not None else None)
+                result = experiment.run_campaign(sites, seed=campaign_seed,
+                                                 record_hook=hook)
             point.results.append(result)
             counts = result.counts()
             for outcome in OUTCOME_ORDER:

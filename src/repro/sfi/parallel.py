@@ -6,30 +6,20 @@ relatively easily, which is not the case with the beam experiments"
 which builds its own copy of the prepared machine from the (picklable)
 campaign configuration and runs its slice; the shards merge into one
 :class:`~repro.sfi.results.CampaignResult`.
+
+Execution is delegated to :class:`~repro.sfi.supervisor.CampaignSupervisor`,
+so shards are individually tracked jobs with timeouts, retries and
+incremental journaling — see that module for the failure policy.  Because
+every injection's RNG stream is keyed by ``(seed, site, occurrence)``
+(never the shard index), the merged result is bit-identical for any
+``workers`` value, including the serial fallback.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-
-from repro.sfi.campaign import CampaignConfig, SfiExperiment
+from repro.sfi.campaign import CampaignConfig
 from repro.sfi.results import CampaignResult
-
-# Worker-side cache: one prepared machine per (config, process).
-_WORKER_EXPERIMENT: SfiExperiment | None = None
-_WORKER_CONFIG: CampaignConfig | None = None
-
-
-def _worker_run(args: tuple) -> list:
-    """Run one shard inside a worker process."""
-    global _WORKER_EXPERIMENT, _WORKER_CONFIG
-    config, sites, seed = args
-    if _WORKER_EXPERIMENT is None or _WORKER_CONFIG != config:
-        _WORKER_EXPERIMENT = SfiExperiment(config)
-        _WORKER_CONFIG = config
-    result = _WORKER_EXPERIMENT.run_campaign(sites, seed=seed)
-    return result.records
+from repro.sfi.supervisor import CampaignSupervisor
 
 
 def shard_sites(sites: list[int], shards: int) -> list[list[int]]:
@@ -48,25 +38,19 @@ def shard_sites(sites: list[int], shards: int) -> list[list[int]]:
 
 def run_parallel_campaign(config: CampaignConfig, sites: list[int],
                           seed: int = 0, workers: int | None = None,
-                          population_bits: int = 0) -> CampaignResult:
-    """Run ``sites`` as a campaign across ``workers`` processes.
+                          population_bits: int = 0,
+                          **supervisor_options) -> CampaignResult:
+    """Run ``sites`` as a supervised campaign across ``workers`` processes.
 
     Each worker prepares an identical machine (same config, same AVP
-    suite, same checkpoints), so results are independent of the sharding;
-    per-injection cycles are seeded per shard, so the merged result is
-    deterministic for a given (seed, workers) pair.
+    suite, same checkpoints) and runs its shard of the injection plan;
+    results are bit-identical for any ``workers`` value.  When
+    ``population_bits`` is 0 the workers' own latch population is used,
+    so serial and parallel runs report the same coverage fractions.
+    Extra keyword arguments (``journal``, ``resume``, ``shard_timeout``,
+    ``max_retries``, ``progress``, ...) configure the supervisor.
     """
-    if workers is None:
-        workers = min(4, os.cpu_count() or 1)
-    shards = shard_sites(sites, workers)
-    if len(shards) <= 1:
-        experiment = SfiExperiment(config)
-        return experiment.run_campaign(sites, seed=seed)
-    jobs = [(config, shard, seed + index) for index, shard in enumerate(shards)]
-    context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=len(shards)) as pool:
-        shard_records = pool.map(_worker_run, jobs)
-    merged = CampaignResult(population_bits=population_bits)
-    for records in shard_records:
-        merged.records.extend(records)
-    return merged
+    supervisor = CampaignSupervisor(config, workers=workers,
+                                    population_bits=population_bits,
+                                    **supervisor_options)
+    return supervisor.run(sites, seed)

@@ -35,6 +35,10 @@ class CampaignResult:
     def add(self, record: InjectionRecord) -> None:
         self.records.append(record)
 
+    def extend(self, records) -> None:
+        """Append many records (journal recovery, shard merging)."""
+        self.records.extend(records)
+
     @property
     def total(self) -> int:
         return len(self.records)

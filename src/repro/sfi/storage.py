@@ -4,11 +4,24 @@ Real injection campaigns run for hours and accumulate across sessions;
 results are stored as JSON-lines (one record per line, with the full
 cause-and-effect trace) so later analysis, merging and re-scoring need
 no re-simulation.
+
+Two on-disk shapes share the line format:
+
+* **archives** (:func:`save_campaign` / :func:`load_campaign`) — written
+  once after a campaign finishes, with a header that records how many
+  lines must follow; a short read is an error.
+* **journals** (:class:`CampaignJournal`) — appended one record at a
+  time *while* the campaign runs.  A crash can leave a torn final line,
+  so journal recovery tolerates exactly that (and nothing else): the
+  fragment is skipped with a warning and its injection re-runs on
+  resume.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import warnings
 from pathlib import Path
 
 from repro.cpu.events import EventKind, MachineEvent
@@ -18,6 +31,18 @@ from repro.sfi.outcomes import Outcome
 from repro.sfi.results import CampaignResult, InjectionRecord
 
 _FORMAT_VERSION = 1
+_JOURNAL_FORMAT_VERSION = 1
+_JOURNAL_KIND = "sfi-journal"
+
+# fsync the journal every N appended records (and at close); each record
+# is flushed to the OS immediately, this only bounds data loss on power
+# failure without paying a sync per injection.
+_JOURNAL_SYNC_EVERY = 64
+
+
+class CampaignStorageError(ValueError):
+    """A campaign file is missing, malformed, truncated or from an
+    unsupported format version."""
 
 
 def _record_to_dict(record: InjectionRecord) -> dict:
@@ -36,18 +61,37 @@ def _record_to_dict(record: InjectionRecord) -> dict:
 
 
 def _record_from_dict(payload: dict) -> InjectionRecord:
-    return InjectionRecord(
-        site_index=payload["site_index"],
-        site_name=payload["site_name"],
-        unit=payload["unit"],
-        kind=LatchKind(payload["kind"]),
-        ring=payload["ring"],
-        testcase_seed=payload["testcase_seed"],
-        inject_cycle=payload["inject_cycle"],
-        outcome=Outcome(payload["outcome"]),
-        trace=tuple(MachineEvent(cycle, EventKind(kind), detail)
-                    for cycle, kind, detail in payload.get("trace", [])),
-    )
+    try:
+        return InjectionRecord(
+            site_index=payload["site_index"],
+            site_name=payload["site_name"],
+            unit=payload["unit"],
+            kind=LatchKind(payload["kind"]),
+            ring=payload["ring"],
+            testcase_seed=payload["testcase_seed"],
+            inject_cycle=payload["inject_cycle"],
+            outcome=Outcome(payload["outcome"]),
+            trace=tuple(MachineEvent(cycle, EventKind(kind), detail)
+                        for cycle, kind, detail in payload.get("trace", [])),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise CampaignStorageError(
+            f"campaign record is missing or has a bad field: {exc!r}") from exc
+
+
+def _parse_line(path: Path, number: int, line: str, *, is_last: bool):
+    """Parse one record line; a torn *final* line (crash mid-append) is
+    skipped with a warning, anything else malformed is an error."""
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as exc:
+        if is_last:
+            warnings.warn(
+                f"{path}: skipping truncated trailing line {number} "
+                f"(crash mid-write?)", RuntimeWarning, stacklevel=3)
+            return None
+        raise CampaignStorageError(
+            f"{path}:{number}: malformed JSON line: {exc}") from exc
 
 
 def save_campaign(result: CampaignResult, path: str | Path) -> None:
@@ -63,24 +107,35 @@ def save_campaign(result: CampaignResult, path: str | Path) -> None:
 
 
 def load_campaign(path: str | Path) -> CampaignResult:
-    """Read a campaign written by :func:`save_campaign`."""
+    """Read a campaign written by :func:`save_campaign`.
+
+    Raises :class:`CampaignStorageError` (a ``ValueError``) on an empty
+    file, unknown format version, malformed line or short record count; a
+    torn trailing line is skipped with a warning before the count check.
+    """
     path = Path(path)
     with path.open() as handle:
-        header_line = handle.readline()
-        if not header_line:
-            raise ValueError(f"{path}: empty campaign file")
-        header = json.loads(header_line)
-        if header.get("format") != _FORMAT_VERSION:
-            raise ValueError(
-                f"{path}: unsupported campaign format {header.get('format')}")
-        result = CampaignResult(
-            population_bits=header.get("population_bits", 0))
-        for line in handle:
-            if line.strip():
-                result.add(_record_from_dict(json.loads(line)))
+        lines = handle.readlines()
+    if not lines or not lines[0].strip():
+        raise CampaignStorageError(f"{path}: empty campaign file")
+    header = _parse_line(path, 1, lines[0], is_last=len(lines) == 1)
+    if not isinstance(header, dict) or header.get("format") != _FORMAT_VERSION:
+        got = header.get("format") if isinstance(header, dict) else header
+        raise CampaignStorageError(
+            f"{path}: unsupported campaign format {got!r} "
+            f"(this build reads version {_FORMAT_VERSION})")
+    result = CampaignResult(population_bits=header.get("population_bits", 0))
+    body = [(number, line) for number, line in enumerate(lines[1:], start=2)
+            if line.strip()]
+    for offset, (number, line) in enumerate(body):
+        payload = _parse_line(path, number, line,
+                              is_last=offset == len(body) - 1)
+        if payload is not None:
+            result.add(_record_from_dict(payload))
     if result.total != header.get("records", result.total):
-        raise ValueError(f"{path}: truncated campaign file "
-                         f"({result.total} of {header['records']} records)")
+        raise CampaignStorageError(
+            f"{path}: truncated campaign file "
+            f"({result.total} of {header['records']} records)")
     return result
 
 
@@ -93,3 +148,123 @@ def merge_campaigns(paths: list[str | Path]) -> CampaignResult:
         merged.population_bits = merged.population_bits or loaded.population_bits
         merged.records.extend(loaded.records)
     return merged
+
+
+# ----------------------------------------------------------------------
+# Incremental journal: the supervisor's crash-consistent record stream.
+
+class CampaignJournal:
+    """Append-only JSON-lines journal of completed injections.
+
+    One header line describes the campaign (seed, planned total, format
+    version); every completed injection then appends one line carrying
+    its campaign ``position`` alongside the record, written in a single
+    ``write`` call and flushed immediately.  A campaign killed at any
+    point — even mid-``write`` — recovers by :meth:`recover`: complete
+    lines are kept, a torn final line is dropped, and the supervisor
+    re-runs exactly the positions that are missing.
+    """
+
+    def __init__(self, path: str | Path, header: dict,
+                 handle=None) -> None:
+        self.path = Path(path)
+        self.header = header
+        self._handle = handle
+        self._since_sync = 0
+
+    # -- creation / recovery ------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | Path, *, seed: int, total_sites: int,
+               population_bits: int = 0, meta: dict | None = None,
+               kind: str = _JOURNAL_KIND) -> "CampaignJournal":
+        """Start a fresh journal (truncating any previous file)."""
+        path = Path(path)
+        header = {"format": _JOURNAL_FORMAT_VERSION, "kind": kind,
+                  "seed": seed, "total_sites": total_sites,
+                  "population_bits": population_bits}
+        if meta:
+            header["meta"] = meta
+        handle = path.open("w")
+        handle.write(json.dumps(header) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+        return cls(path, header, handle)
+
+    @classmethod
+    def recover(cls, path: str | Path,
+                record_decoder=None,
+                kind: str = _JOURNAL_KIND) -> tuple["CampaignJournal", dict]:
+        """Reopen an interrupted journal for resumption.
+
+        Returns ``(journal, covered)`` where ``covered`` maps campaign
+        position -> decoded record for every complete line; the journal
+        is reopened for appending (after dropping any torn final line).
+        """
+        path = Path(path)
+        decoder = record_decoder or _record_from_dict
+        try:
+            with path.open() as handle:
+                lines = handle.readlines()
+        except FileNotFoundError as exc:
+            raise CampaignStorageError(
+                f"{path}: no journal to resume from") from exc
+        if not lines or not lines[0].strip():
+            raise CampaignStorageError(f"{path}: empty journal")
+        header = _parse_line(path, 1, lines[0], is_last=len(lines) == 1)
+        if (not isinstance(header, dict)
+                or header.get("format") != _JOURNAL_FORMAT_VERSION
+                or header.get("kind") != kind):
+            raise CampaignStorageError(
+                f"{path}: not a {kind} journal this build can read "
+                f"(header {header!r})")
+        covered: dict[int, object] = {}
+        keep = [lines[0]]
+        body = [(number, line) for number, line in enumerate(lines[1:], 2)
+                if line.strip()]
+        for offset, (number, line) in enumerate(body):
+            payload = _parse_line(path, number, line,
+                                  is_last=offset == len(body) - 1)
+            if payload is None:
+                continue
+            if "pos" not in payload or "record" not in payload:
+                raise CampaignStorageError(
+                    f"{path}:{number}: journal line missing pos/record")
+            covered[payload["pos"]] = decoder(payload["record"])
+            keep.append(line if line.endswith("\n") else line + "\n")
+        # Rewrite without the torn tail so future appends start clean.
+        if len(keep) != len(lines):
+            with path.open("w") as handle:
+                handle.writelines(keep)
+                handle.flush()
+                os.fsync(handle.fileno())
+        handle = path.open("a")
+        return cls(path, header, handle), covered
+
+    # -- appending -----------------------------------------------------
+
+    def append(self, position: int, record, record_encoder=None) -> None:
+        """Journal one completed injection (atomic single-line append)."""
+        if self._handle is None:
+            raise CampaignStorageError(f"{self.path}: journal is closed")
+        encoder = record_encoder or _record_to_dict
+        line = json.dumps({"pos": position, "record": encoder(record)})
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self._since_sync += 1
+        if self._since_sync >= _JOURNAL_SYNC_EVERY:
+            os.fsync(self._handle.fileno())
+            self._since_sync = 0
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

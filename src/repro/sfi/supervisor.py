@@ -1,0 +1,484 @@
+"""Supervised, fault-tolerant campaign execution.
+
+The paper's case for SFI over beam testing is that "multiple concurrent
+copies of the simulation environment can be run relatively easily"
+(§2.2) — which is only true if one wedged or crashed copy cannot take
+hours of accumulated injections with it.  This module supervises a
+campaign the way a RAS design supervises a core:
+
+* every shard is an individually tracked job running in its own worker
+  process, with a per-shard timeout;
+* a failed or timed-out shard is retried with exponential backoff and,
+  once its retry budget is exhausted, *split* and requeued — a straggler
+  costs its own retries, never the campaign;
+* completed injections stream back to the parent and are journaled
+  incrementally (:class:`~repro.sfi.storage.CampaignJournal`), so a
+  campaign killed at any point — worker or parent, SIGKILL included —
+  resumes from the journal and produces the same merged result as an
+  uninterrupted run;
+* if worker processes cannot be spawned at all, the supervisor degrades
+  to in-process serial execution rather than aborting.
+
+Determinism holds across all of this because every injection is a
+self-contained :class:`~repro.sfi.campaign.InjectionPlan` item whose RNG
+stream is keyed by ``(seed, site, occurrence)`` — never by shard shape,
+retry count or resume point.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+
+from repro.sfi.campaign import (
+    CampaignConfig,
+    InjectionPlan,
+    SfiExperiment,
+    plan_injections,
+)
+from repro.sfi.results import CampaignResult
+from repro.sfi.storage import CampaignJournal, CampaignStorageError
+
+
+class CampaignExecutionError(RuntimeError):
+    """A campaign could not complete without dropping injections."""
+
+
+# ----------------------------------------------------------------------
+# Progress observation.
+
+class CampaignProgress:
+    """Observer hook for supervised campaigns.
+
+    Every method is a no-op; subclass and override the events you care
+    about.  The supervisor guarantees that every abnormal path — retry,
+    split, degradation — is reported here, so nothing fails silently.
+    """
+
+    def on_start(self, total: int, pending: int) -> None:
+        """Campaign begins: ``total`` planned injections, ``pending`` of
+        them still to run (the rest were recovered from a journal)."""
+
+    def on_resume(self, recovered: int) -> None:
+        """``recovered`` injections were loaded from the journal."""
+
+    def on_record(self, position: int, record) -> None:
+        """One injection completed (any execution path)."""
+
+    def on_shard_complete(self, shard_id: int, size: int, attempt: int) -> None:
+        """A shard finished all its injections."""
+
+    def on_shard_retry(self, shard_id: int, attempt: int, reason: str,
+                       delay: float) -> None:
+        """A shard failed (``reason``) and will re-run after ``delay``."""
+
+    def on_shard_split(self, shard_id: int, remaining: int) -> None:
+        """A shard exhausted its retries and was split into halves."""
+
+    def on_degrade(self, reason: str) -> None:
+        """Execution fell back to in-process serial mode."""
+
+
+class PrintProgress(CampaignProgress):
+    """Progress observer that narrates to stdout (the CLI's default)."""
+
+    def __init__(self, every: int = 50) -> None:
+        self.every = max(1, every)
+        self._done = 0
+        self._total = 0
+
+    def on_start(self, total: int, pending: int) -> None:
+        self._total = total
+        self._done = total - pending
+        if total != pending:
+            print(f"[supervisor] resuming: {self._done}/{total} injections "
+                  f"already journaled")
+
+    def on_record(self, position: int, record) -> None:
+        self._done += 1
+        if self._done % self.every == 0 or self._done == self._total:
+            print(f"[supervisor] {self._done}/{self._total} injections")
+
+    def on_shard_retry(self, shard_id: int, attempt: int, reason: str,
+                       delay: float) -> None:
+        print(f"[supervisor] shard {shard_id} attempt {attempt} failed "
+              f"({reason}); retrying in {delay:.2f}s")
+
+    def on_shard_split(self, shard_id: int, remaining: int) -> None:
+        print(f"[supervisor] shard {shard_id} exhausted retries; "
+              f"splitting {remaining} remaining injections")
+
+    def on_degrade(self, reason: str) -> None:
+        print(f"[supervisor] degraded to serial execution: {reason}")
+
+
+# ----------------------------------------------------------------------
+# Worker side.
+
+# Worker-side cache: one prepared machine per (config, process), so a
+# long-lived worker re-running shards does not re-prepare the model.
+_WORKER_EXPERIMENT: SfiExperiment | None = None
+_WORKER_CONFIG: CampaignConfig | None = None
+
+
+def _cached_experiment(config: CampaignConfig) -> SfiExperiment:
+    global _WORKER_EXPERIMENT, _WORKER_CONFIG
+    if _WORKER_EXPERIMENT is None or _WORKER_CONFIG != config:
+        _WORKER_EXPERIMENT = SfiExperiment(config)
+        _WORKER_CONFIG = config
+    return _WORKER_EXPERIMENT
+
+
+def run_shard(config: CampaignConfig, items: list[InjectionPlan], seed: int,
+              emit) -> int:
+    """Default shard runner: prepare (or reuse) a machine and execute the
+    plan items, emitting each record as it completes.  Returns the latch
+    population size so the parent can report coverage fractions."""
+    experiment = _cached_experiment(config)
+    experiment.run_plan(items, seed=seed,
+                        record_hook=lambda pos, rec: emit(pos, rec))
+    return len(experiment.latch_map)
+
+
+def _shard_worker(runner, config: CampaignConfig, shard_id: int,
+                  items: list[InjectionPlan], seed: int, out_queue) -> None:
+    """Process entry point: run one shard, streaming records back."""
+    try:
+        population = runner(config, items, seed,
+                            lambda pos, rec: out_queue.put(
+                                ("record", shard_id, pos, rec)))
+        out_queue.put(("done", shard_id, population))
+    except BaseException as exc:  # noqa: BLE001 - report, don't crash silently
+        out_queue.put(("error", shard_id, f"{type(exc).__name__}: {exc}"))
+
+
+# ----------------------------------------------------------------------
+# Parent side.
+
+def _shard_items(items: list[InjectionPlan],
+                 shards: int) -> list[list[InjectionPlan]]:
+    """Contiguous, size-balanced split (same shape as
+    :func:`repro.sfi.parallel.shard_sites`, over plan items)."""
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    base, extra = divmod(len(items), shards)
+    slices, start = [], 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        slices.append(items[start:start + size])
+        start += size
+    return [s for s in slices if s]
+
+
+@dataclass
+class _ShardJob:
+    """One tracked unit of dispatch."""
+
+    shard_id: int
+    items: list[InjectionPlan]
+    attempt: int = 0
+    process: multiprocessing.process.BaseProcess | None = None
+    deadline: float | None = None
+    done_positions: set[int] = field(default_factory=set)
+
+    def remaining(self) -> list[InjectionPlan]:
+        return [item for item in self.items
+                if item.position not in self.done_positions]
+
+
+class CampaignSupervisor:
+    """Dispatch a campaign plan across supervised worker processes.
+
+    Parameters mirror the failure policy: ``shard_timeout`` (seconds a
+    shard may run before it is killed; ``None`` disables), ``max_retries``
+    (re-runs of a shard before it is split), ``backoff_base`` (first retry
+    delay; doubles per attempt).  ``journal`` names a JSONL journal file;
+    with ``resume=True`` an existing journal is recovered and its
+    positions skipped.  ``runner`` is the shard execution function
+    (top-level, picklable); tests substitute fault-injecting runners.
+    """
+
+    def __init__(self, config: CampaignConfig, *,
+                 workers: int | None = None,
+                 shard_timeout: float | None = None,
+                 max_retries: int = 2,
+                 backoff_base: float = 0.25,
+                 journal: str | os.PathLike | None = None,
+                 resume: bool = False,
+                 population_bits: int = 0,
+                 progress: CampaignProgress | None = None,
+                 runner=run_shard,
+                 mp_context: str = "spawn") -> None:
+        self.config = config
+        self.workers = workers if workers is not None \
+            else min(4, os.cpu_count() or 1)
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.journal_path = journal
+        self.resume = resume
+        self.population_bits = population_bits
+        self.progress = progress or CampaignProgress()
+        self.runner = runner
+        self._mp_context = mp_context
+        self._ids = itertools.count()
+        self._degraded = False
+
+    # -- public entry points ------------------------------------------
+
+    def run(self, sites: list[int], seed: int = 0) -> CampaignResult:
+        """Run ``sites`` as a supervised campaign (see module docstring)."""
+        plan = plan_injections(sites, self.config.suite_size)
+        return self.run_plan(plan, seed)
+
+    def run_plan(self, plan: list[InjectionPlan],
+                 seed: int = 0) -> CampaignResult:
+        journal, records = self._open_journal(plan, seed)
+        try:
+            pending = [item for item in plan if item.position not in records]
+            self.progress.on_start(len(plan), len(pending))
+
+            def collect(position: int, record) -> None:
+                records[position] = record
+                if journal is not None:
+                    journal.append(position, record)
+                self.progress.on_record(position, record)
+
+            if pending:
+                if self.workers <= 1:
+                    self._run_serial(pending, seed, collect)
+                else:
+                    self._run_supervised(pending, seed, collect)
+
+            missing = [item.position for item in plan
+                       if item.position not in records]
+            if missing:
+                raise CampaignExecutionError(
+                    f"campaign dropped {len(missing)} injections "
+                    f"(positions {missing[:5]}...)")
+            result = CampaignResult(population_bits=self.population_bits)
+            for position in sorted(records):
+                result.add(records[position])
+            return result
+        finally:
+            if journal is not None:
+                journal.close()
+
+    # -- journal ------------------------------------------------------
+
+    def _open_journal(self, plan: list[InjectionPlan],
+                      seed: int) -> tuple[CampaignJournal | None, dict]:
+        if self.journal_path is None:
+            return None, {}
+        if self.resume and os.path.exists(self.journal_path):
+            journal, covered = CampaignJournal.recover(self.journal_path)
+            header = journal.header
+            if header.get("seed") != seed or \
+                    header.get("total_sites") != len(plan):
+                raise CampaignStorageError(
+                    f"{self.journal_path}: journal is for a different "
+                    f"campaign (seed={header.get('seed')}, "
+                    f"total={header.get('total_sites')}; this run has "
+                    f"seed={seed}, total={len(plan)})")
+            self.population_bits = self.population_bits or \
+                header.get("population_bits", 0)
+            # Drop journaled positions beyond the plan defensively.
+            covered = {pos: rec for pos, rec in covered.items()
+                       if 0 <= pos < len(plan)}
+            self.progress.on_resume(len(covered))
+            return journal, covered
+        journal = CampaignJournal.create(
+            self.journal_path, seed=seed, total_sites=len(plan),
+            population_bits=self.population_bits)
+        return journal, {}
+
+    # -- serial / degraded path ---------------------------------------
+
+    def _run_serial(self, items: list[InjectionPlan], seed: int,
+                    collect) -> None:
+        population = self.runner(self.config, items, seed, collect)
+        if not self.population_bits and isinstance(population, int):
+            self.population_bits = population
+
+    def _degrade(self, reason: str, jobs: list[_ShardJob], seed: int,
+                 collect) -> None:
+        self._degraded = True
+        self.progress.on_degrade(reason)
+        remaining = [item for job in jobs for item in job.remaining()]
+        remaining.sort(key=lambda item: item.position)
+        self._run_serial(remaining, seed, collect)
+
+    # -- supervised pool ----------------------------------------------
+
+    def _spawn(self, job: _ShardJob, seed: int, out_queue) -> None:
+        """Start one worker process for ``job`` (patchable in tests)."""
+        context = multiprocessing.get_context(self._mp_context)
+        process = context.Process(
+            target=_shard_worker,
+            args=(self.runner, self.config, job.shard_id, job.remaining(),
+                  seed, out_queue),
+            daemon=True)
+        process.start()
+        job.process = process
+        job.deadline = (time.monotonic() + self.shard_timeout
+                        if self.shard_timeout else None)
+
+    def _run_supervised(self, items: list[InjectionPlan], seed: int,
+                        collect) -> None:
+        shards = _shard_items(items, min(self.workers, len(items)))
+        todo: list[_ShardJob] = [
+            _ShardJob(shard_id=next(self._ids), items=shard)
+            for shard in shards]
+        context = multiprocessing.get_context(self._mp_context)
+        out_queue = context.Queue()
+        running: dict[int, _ShardJob] = {}
+        backoff_until: dict[int, float] = {}
+
+        def fail(job: _ShardJob, reason: str) -> None:
+            """Retry, split, or degrade one failed shard."""
+            job.process = None
+            job.attempt += 1
+            remaining = job.remaining()
+            if not remaining:
+                # Every record arrived before the worker died; treat the
+                # shard as complete.
+                self.progress.on_shard_complete(
+                    job.shard_id, len(job.items), job.attempt)
+                return
+            if job.attempt <= self.max_retries:
+                delay = self.backoff_base * (2 ** (job.attempt - 1))
+                self.progress.on_shard_retry(
+                    job.shard_id, job.attempt, reason, delay)
+                backoff_until[job.shard_id] = time.monotonic() + delay
+                todo.append(job)
+                return
+            if len(remaining) > 1:
+                self.progress.on_shard_split(job.shard_id, len(remaining))
+                half = len(remaining) // 2
+                for piece in (remaining[:half], remaining[half:]):
+                    todo.append(_ShardJob(shard_id=next(self._ids),
+                                          items=piece))
+                return
+            # A single injection that keeps failing in workers: last
+            # resort is running it in-process — loud failure if even
+            # that raises, never a silent drop.
+            self.progress.on_degrade(
+                f"shard {job.shard_id} (1 injection) exhausted "
+                f"{self.max_retries} retries; running in-process")
+            self._degraded = True
+            self._run_serial(remaining, seed, collect)
+
+        def handle(message) -> None:
+            kind, shard_id = message[0], message[1]
+            job = running.get(shard_id)
+            if kind == "record":
+                _, _, position, record = message
+                if job is not None:
+                    job.done_positions.add(position)
+                collect(position, record)
+            elif kind == "done" and job is not None:
+                _, _, population = message
+                if not self.population_bits and isinstance(population, int):
+                    self.population_bits = population
+                self._reap(job)
+                del running[shard_id]
+                self.progress.on_shard_complete(
+                    shard_id, len(job.items), job.attempt + 1)
+            elif kind == "error" and job is not None:
+                self._reap(job)
+                del running[shard_id]
+                fail(job, message[2])
+
+        def settle(job: _ShardJob, grace: float) -> bool:
+            """Give a dead/killed worker's queued messages ``grace``
+            seconds to surface; True if the shard completed after all."""
+            deadline = time.monotonic() + grace
+            while job.shard_id in running and time.monotonic() < deadline:
+                try:
+                    handle(out_queue.get(timeout=0.05))
+                except queue_module.Empty:
+                    break
+            return job.shard_id not in running
+
+        while todo or running:
+            # Launch whatever fits, respecting per-shard backoff.
+            now = time.monotonic()
+            launchable = [job for job in todo
+                          if backoff_until.get(job.shard_id, 0) <= now]
+            while launchable and len(running) < self.workers:
+                job = launchable.pop(0)
+                todo.remove(job)
+                try:
+                    self._spawn(job, seed, out_queue)
+                except OSError as exc:
+                    # The pool itself is broken (fork/spawn failure):
+                    # stop every worker and finish in-process.
+                    job.process = None
+                    for other in running.values():
+                        if other.process is not None:
+                            other.process.kill()
+                            other.process.join()
+                    while True:  # salvage already-reported records
+                        try:
+                            handle(out_queue.get_nowait())
+                        except queue_module.Empty:
+                            break
+                    self._degrade(f"cannot spawn workers ({exc})",
+                                  [job] + todo + list(running.values()),
+                                  seed, collect)
+                    return
+                running[job.shard_id] = job
+
+            if not running:
+                # Everything pending is backing off; sleep it out.
+                wake = min(backoff_until.get(job.shard_id, now)
+                           for job in todo)
+                time.sleep(max(0.0, min(wake - now, 0.2)))
+                continue
+
+            # Drain worker messages (records stream in continuously, so a
+            # later crash only loses the not-yet-reported tail).
+            try:
+                handle(out_queue.get(timeout=0.05))
+                continue
+            except queue_module.Empty:
+                pass
+
+            # No message pending: check deadlines and silent deaths.
+            now = time.monotonic()
+            for shard_id, job in list(running.items()):
+                process = job.process
+                if shard_id not in running or process is None:
+                    continue
+                if job.deadline is not None and now > job.deadline:
+                    process.kill()
+                    process.join()
+                    if not settle(job, grace=0.2):
+                        del running[shard_id]
+                        fail(job, f"timed out after {self.shard_timeout:.1f}s")
+                elif not process.is_alive():
+                    # Died without an error message (e.g. SIGKILL, OOM).
+                    process.join()
+                    if not settle(job, grace=0.5):
+                        del running[shard_id]
+                        fail(job, f"worker died (exit {process.exitcode})")
+
+    @staticmethod
+    def _reap(job: _ShardJob) -> None:
+        if job.process is not None:
+            job.process.join(timeout=5)
+            if job.process.is_alive():
+                job.process.kill()
+                job.process.join()
+            job.process = None
+
+
+def run_supervised_campaign(config: CampaignConfig, sites: list[int],
+                            seed: int = 0, **kwargs) -> CampaignResult:
+    """Convenience wrapper: build a :class:`CampaignSupervisor` and run."""
+    supervisor = CampaignSupervisor(config, **kwargs)
+    return supervisor.run(sites, seed)

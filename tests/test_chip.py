@@ -92,3 +92,27 @@ class TestChipCampaign:
     def test_targeted_core_campaign(self, chip_experiment):
         result = chip_experiment.run_campaign(10, seed=6, core_index=1)
         assert all(record.core_index == 1 for record in result.records)
+
+    def test_per_trial_streams_are_deterministic(self, chip_experiment):
+        a = chip_experiment.run_campaign(8, seed=9)
+        b = chip_experiment.run_campaign(8, seed=9)
+        assert [r.site_name for r in a.records] == \
+            [r.site_name for r in b.records]
+        assert [r.outcome for r in a.records] == \
+            [r.outcome for r in b.records]
+
+    def test_journal_resume_roundtrip(self, chip_experiment, tmp_path):
+        """A chip campaign resumed from a half-written journal replays
+        the missing trials and matches the uninterrupted run."""
+        journal = tmp_path / "chip.journal"
+        full = chip_experiment.run_campaign(8, seed=7, journal=journal)
+        # Keep header + 4 trials, as if the campaign was killed mid-run.
+        lines = journal.read_text().splitlines(keepends=True)
+        journal.write_text("".join(lines[:5]))
+        resumed = chip_experiment.run_campaign(8, seed=7, journal=journal,
+                                               resume=True)
+        assert [r.site_name for r in resumed.records] == \
+            [r.site_name for r in full.records]
+        assert [r.outcome for r in resumed.records] == \
+            [r.outcome for r in full.records]
+        assert resumed.isolation_rate() == full.isolation_rate()

@@ -38,6 +38,16 @@ class TestParallelExecution:
         result = run_parallel_campaign(config, [10, 20, 30], seed=1, workers=1)
         assert result.total == 3
 
+    def test_single_shard_keeps_population_bits(self, config):
+        """The serial fallback must report the same coverage denominator
+        as a parallel run (regression: it used to drop population_bits)."""
+        explicit = run_parallel_campaign(config, [10, 20, 30], seed=1,
+                                         workers=1, population_bits=5000)
+        assert explicit.population_bits == 5000
+        implicit = run_parallel_campaign(config, [10, 20, 30], seed=1,
+                                         workers=1)
+        assert implicit.population_bits > 0  # workers' own latch count
+
     @pytest.mark.slow
     def test_two_workers_merge_all_records(self, config):
         rng = random.Random(3)
@@ -54,3 +64,17 @@ class TestParallelExecution:
         a = run_parallel_campaign(config, sites, seed=7, workers=2)
         b = run_parallel_campaign(config, sites, seed=7, workers=2)
         assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
+
+    @pytest.mark.slow
+    def test_worker_count_does_not_change_results(self, config):
+        """Per-site RNG streams are keyed by (seed, site, occurrence),
+        so the merged campaign is bit-identical for any ``workers``."""
+        sites = list(range(200, 212)) + [205, 205]  # repeats included
+        serial = run_parallel_campaign(config, sites, seed=9, workers=1)
+        parallel = run_parallel_campaign(config, sites, seed=9, workers=3)
+        assert [r.site_name for r in serial.records] == \
+            [r.site_name for r in parallel.records]
+        assert [r.inject_cycle for r in serial.records] == \
+            [r.inject_cycle for r in parallel.records]
+        assert [r.outcome for r in serial.records] == \
+            [r.outcome for r in parallel.records]

@@ -1,9 +1,16 @@
 """Campaign persistence and macro-targeted campaigns."""
 
+import json
+
 import pytest
 
 from repro.sfi.outcomes import OUTCOME_ORDER
-from repro.sfi.storage import load_campaign, merge_campaigns, save_campaign
+from repro.sfi.storage import (
+    CampaignStorageError,
+    load_campaign,
+    merge_campaigns,
+    save_campaign,
+)
 from repro.sfi.targeted import macro_campaign
 
 
@@ -56,6 +63,57 @@ class TestStorage:
         path.write_text("")
         with pytest.raises(ValueError, match="empty"):
             load_campaign(path)
+
+
+class TestStorageErrors:
+    """Hardened loading: clear CampaignStorageError, never a bare
+    KeyError/JSONDecodeError, and tolerant recovery of a torn tail."""
+
+    def _saved(self, experiment, tmp_path, count=6):
+        result = experiment.run_random_campaign(count, seed=3)
+        path = tmp_path / "c.jsonl"
+        save_campaign(result, path)
+        return result, path
+
+    def test_unknown_format_version(self, experiment, tmp_path):
+        _, path = self._saved(experiment, tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        header = json.loads(lines[0])
+        header["format"] = 99
+        path.write_text(json.dumps(header) + "\n" + "".join(lines[1:]))
+        with pytest.raises(CampaignStorageError, match="unsupported"):
+            load_campaign(path)
+
+    def test_malformed_middle_line(self, experiment, tmp_path):
+        _, path = self._saved(experiment, tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        lines[2] = "{this is not json}\n"
+        path.write_text("".join(lines))
+        with pytest.raises(CampaignStorageError, match="malformed JSON"):
+            load_campaign(path)
+
+    def test_missing_record_field(self, experiment, tmp_path):
+        _, path = self._saved(experiment, tmp_path)
+        lines = path.read_text().splitlines(keepends=True)
+        payload = json.loads(lines[1])
+        del payload["outcome"]
+        lines[1] = json.dumps(payload) + "\n"
+        path.write_text("".join(lines))
+        with pytest.raises(CampaignStorageError, match="missing or has a bad"):
+            load_campaign(path)
+
+    def test_torn_trailing_line_warns_then_counts(self, experiment, tmp_path):
+        """A crash mid-append leaves a torn last line: it is skipped with
+        a warning, and the archive's count check then reports the loss."""
+        _, path = self._saved(experiment, tmp_path)
+        text = path.read_text()
+        path.write_text(text[:-30])  # tear the final record line
+        with pytest.warns(RuntimeWarning, match="truncated trailing"):
+            with pytest.raises(CampaignStorageError, match="truncated"):
+                load_campaign(path)
+
+    def test_storage_error_is_a_value_error(self):
+        assert issubclass(CampaignStorageError, ValueError)
 
 
 class TestMacroCampaign:
