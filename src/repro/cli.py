@@ -11,12 +11,16 @@ modes::
     repro-sfi beam --events 1000           # Table 2's beam side
     repro-sfi workload                     # Table 1
     repro-sfi trace --flips 300 --show 5   # cause-and-effect narratives
+    repro-sfi trace --journal camp.jsonl   # same, from a saved journal
+    repro-sfi monitor --journal camp.jsonl # tail a running campaign
+    repro-sfi stats --metrics out.prom     # render a metrics snapshot
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -121,41 +125,89 @@ def cmd_info(args) -> int:
     return 0
 
 
+class _TraceLogProgress:
+    """Progress observer feeding an :class:`repro.obs.TraceWriter`
+    (composed with narration via TeeProgress)."""
+
+    def __init__(self, writer) -> None:
+        self.writer = writer
+
+    def on_record(self, position: int, record) -> None:
+        self.writer.write(position, record)
+
+    def __getattr__(self, name):
+        # Remaining CampaignProgress events are no-ops.
+        return lambda *args, **kwargs: None
+
+
 def cmd_campaign(args) -> int:
     config = _config(args)
     start = time.perf_counter()
+    observed = bool(args.metrics or args.metrics_jsonl or args.trace_log)
+    # Metrics/trace sinks route through the supervised engine even at
+    # workers=1, so shard wall-time histograms and streaming records
+    # exist on every instrumented run.
     supervised = (args.workers > 1 or args.journal is not None
-                  or args.resume)
-    if supervised:
-        from repro.sfi.parallel import run_parallel_campaign
-        from repro.sfi.sampling import random_sample
-        from repro.sfi.supervisor import PrintProgress
-        import random as random_module
-        if args.resume and not args.journal:
-            print("--resume requires --journal", file=sys.stderr)
-            return 2
-        probe = SfiExperiment(config)
-        # Site selection is a pure function of (seed, flips), so a resumed
-        # run regenerates the same plan its journal was written against.
-        sites = random_sample(probe.latch_map, args.flips,
-                              random_module.Random(args.seed ^ 0x5F1))
-        result = run_parallel_campaign(
-            config, sites, seed=args.seed,
-            workers=args.workers,
-            population_bits=len(probe.latch_map),
-            journal=args.journal,
-            resume=args.resume,
-            shard_timeout=args.shard_timeout,
-            max_retries=args.max_retries,
-            progress=None if args.json else PrintProgress(
-                every=max(1, args.flips // 10)))
-    else:
-        experiment = SfiExperiment(config)
-        result = experiment.run_random_campaign(args.flips, seed=args.seed)
+                  or args.resume or observed)
+    registry = None
+    trace_writer = None
+    if observed:
+        from repro.obs import MetricsRegistry, TraceWriter, set_default_registry
+        registry = MetricsRegistry()
+        set_default_registry(registry)
+        if args.trace_log:
+            trace_writer = TraceWriter(args.trace_log)
+    try:
+        if supervised:
+            from repro.sfi.parallel import run_parallel_campaign
+            from repro.sfi.sampling import random_sample
+            from repro.sfi.supervisor import PrintProgress, TeeProgress
+            import random as random_module
+            if args.resume and not args.journal:
+                print("--resume requires --journal", file=sys.stderr)
+                return 2
+            probe = SfiExperiment(config)
+            # Site selection is a pure function of (seed, flips), so a
+            # resumed run regenerates the same plan its journal was
+            # written against.
+            sites = random_sample(probe.latch_map, args.flips,
+                                  random_module.Random(args.seed ^ 0x5F1))
+            observers = []
+            if not args.json:
+                observers.append(PrintProgress(
+                    every=max(1, args.flips // 10)))
+            if trace_writer is not None:
+                observers.append(_TraceLogProgress(trace_writer))
+            result = run_parallel_campaign(
+                config, sites, seed=args.seed,
+                workers=args.workers,
+                population_bits=len(probe.latch_map),
+                journal=args.journal,
+                resume=args.resume,
+                shard_timeout=args.shard_timeout,
+                max_retries=args.max_retries,
+                metrics=registry,
+                progress=TeeProgress(*observers) if observers else None)
+        else:
+            experiment = SfiExperiment(config)
+            result = experiment.run_random_campaign(args.flips,
+                                                    seed=args.seed)
+    finally:
+        if trace_writer is not None:
+            trace_writer.close()
+    if registry is not None:
+        from repro.obs import write_jsonl, write_prometheus
+        if args.metrics:
+            write_prometheus(registry, args.metrics)
+        if args.metrics_jsonl:
+            write_jsonl(registry, args.metrics_jsonl)
     elapsed = time.perf_counter() - start
     if not args.json:
         print(f"{result.total} injections in {elapsed:.1f}s "
               f"({1000 * elapsed / max(1, result.total):.0f} ms each)")
+        if trace_writer is not None:
+            print(f"{trace_writer.written} span chains -> {args.trace_log} "
+                  f"({trace_writer.filtered} vanished filtered)")
     _print_result(result, args.json)
     return 0
 
@@ -235,14 +287,69 @@ def cmd_workload(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    experiment = SfiExperiment(_config(args))
-    result = experiment.run_random_campaign(args.flips, seed=args.seed)
+    if args.journal:
+        # Render from a saved journal — read-only, no re-simulation, and
+        # safe on a journal another process is still appending to.
+        from repro.sfi.results import CampaignResult
+        from repro.sfi.storage import CampaignStorageError, read_journal
+        try:
+            header, covered = read_journal(args.journal)
+        except CampaignStorageError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        result = CampaignResult(
+            population_bits=header.get("population_bits", 0))
+        positions = sorted(covered)
+        for position in positions:
+            result.add(covered[position])
+        if args.trace_log:
+            from repro.obs import TraceWriter
+            with TraceWriter(args.trace_log) as writer:
+                for position in positions:
+                    writer.write(position, covered[position])
+            print(f"{writer.written} span chains -> {args.trace_log} "
+                  f"({writer.filtered} vanished filtered)")
+    else:
+        experiment = SfiExperiment(_config(args))
+        result = experiment.run_random_campaign(args.flips, seed=args.seed)
+        if args.trace_log:
+            from repro.obs import TraceWriter
+            with TraceWriter(args.trace_log) as writer:
+                for position, record in enumerate(result.records):
+                    writer.write(position, record)
+            print(f"{writer.written} span chains -> {args.trace_log} "
+                  f"({writer.filtered} vanished filtered)")
     visible = [record for record in result.records
                if record.outcome is not Outcome.VANISHED]
     for record in visible[:args.show]:
         print(render_cause_effect(record))
         print()
     print(render_trace_summary(summarize_traces(result)))
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    from repro.obs import monitor_campaign
+    return monitor_campaign(
+        args.journal,
+        metrics_path=args.metrics,
+        interval=args.interval,
+        follow=not args.once,
+        max_updates=args.max_updates)
+
+
+def cmd_stats(args) -> int:
+    from repro.obs import load_metrics_file, render_stats
+    registry = load_metrics_file(args.metrics)
+    if registry is None:
+        print(f"{args.metrics}: unreadable or empty metrics snapshot",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(registry.snapshot(), sys.stdout, indent=2)
+        print()
+        return 0
+    print(render_stats(registry))
     return 0
 
 
@@ -277,6 +384,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-retries", type=int, default=2,
                    help="per-shard retries before the shard is split "
                         "and requeued (default 2)")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write a Prometheus textfile metrics snapshot "
+                        "(campaign/shard timings, per-outcome counters)")
+    p.add_argument("--metrics-jsonl", metavar="PATH",
+                   help="write the metrics snapshot as JSONL")
+    p.add_argument("--trace-log", metavar="PATH",
+                   help="stream one JSONL span chain per non-vanished "
+                        "injection (see repro.obs.trace)")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("units", help="per-unit campaigns (Figures 3 & 4)")
@@ -305,14 +420,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--flips", type=int, default=300)
     p.add_argument("--show", type=int, default=5)
+    p.add_argument("--journal", metavar="PATH",
+                   help="render traces from a saved campaign journal "
+                        "instead of running new injections")
+    p.add_argument("--trace-log", metavar="PATH",
+                   help="also write machine-readable JSONL span chains")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("monitor",
+                       help="live view of a running campaign's journal")
+    p.add_argument("--journal", metavar="PATH", required=True,
+                   help="the campaign's --journal file to tail")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="also show headline series from this metrics "
+                        "snapshot (Prometheus textfile or JSONL)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between updates (default 2)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit instead of following")
+    p.add_argument("--max-updates", type=int, default=None,
+                   help="stop after this many frames (default: until "
+                        "the campaign completes)")
+    p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser("stats",
+                       help="render a finished run's metrics snapshot")
+    p.add_argument("--metrics", metavar="PATH", required=True,
+                   help="metrics snapshot (Prometheus textfile or JSONL)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw snapshot as JSON")
+    p.set_defaults(func=cmd_stats)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; exit
+        # quietly with the conventional SIGPIPE status instead of a
+        # traceback.  Detach stdout so interpreter shutdown does not
+        # raise again while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 128 + 13
 
 
 if __name__ == "__main__":

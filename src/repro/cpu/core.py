@@ -57,6 +57,11 @@ class Power6Core:
         self.commits_prev = 0
         self.committed = 0
         self.event_log = EventLog()
+        # Sampled observability hook: when set (repro.obs.CoreProfiler),
+        # called every `profile_interval` cycles.  Costs one attribute
+        # load + None check per cycle when unset.
+        self.profile_hook = None
+        self.profile_interval = 2048
 
         self.pervasive = Pervasive(self, self.params)
         self.rut = Rut(self, self.params)
@@ -181,6 +186,9 @@ class Power6Core:
         """Advance the machine by one clock."""
         self.cycles += 1
         self.commits_this_cycle = 0
+        hook = self.profile_hook
+        if hook is not None and self.cycles % self.profile_interval == 0:
+            hook(self)
         perv = self.pervasive
         perv.cycle()
         if perv.xstop.value:

@@ -12,6 +12,7 @@ full causal chain from the flip to the final outcome.
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
 
 
@@ -43,21 +44,47 @@ class MachineEvent:
 
 
 class EventLog:
-    """Bounded in-order event recorder attached to a core."""
+    """Bounded in-order event recorder attached to a core.
 
-    def __init__(self, capacity: int = 256) -> None:
+    Two independent bounds, both optional:
+
+    * ``capacity`` — legacy head-biased cap: once full, *new* events are
+      counted in ``dropped`` and discarded (the log keeps the beginning
+      of the story).
+    * ``max_events`` — ring buffer: once full, the *oldest* event is
+      evicted per append (the log keeps the end of the story — the
+      terminal checkstop/hang/halt a classifier and tracer care about).
+      Hang-heavy workloads emit events indefinitely, so campaign paths
+      pass a ring bound to keep a wedged run's memory flat; ``None``
+      (the default) leaves the ring unbounded.
+
+    When both are set the ring bound wins (a ring never refuses an
+    append).  Evictions and refusals share the ``dropped`` counter.
+    """
+
+    def __init__(self, capacity: int | None = 256,
+                 max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be at least 1")
         self.capacity = capacity
-        self.events: list[MachineEvent] = []
+        self.max_events = max_events
+        self.events: deque[MachineEvent] = deque()
         self.dropped = 0
 
     def record(self, cycle: int, kind: EventKind, detail: str = "") -> None:
-        if len(self.events) >= self.capacity:
+        if self.max_events is not None:
+            if len(self.events) >= self.max_events:
+                self.events.popleft()
+                self.dropped += 1
+            self.events.append(MachineEvent(cycle, kind, detail))
+            return
+        if self.capacity is not None and len(self.events) >= self.capacity:
             self.dropped += 1
             return
         self.events.append(MachineEvent(cycle, kind, detail))
 
     def clear(self) -> None:
-        self.events = []
+        self.events = deque()
         self.dropped = 0
 
     def of_kind(self, kind: EventKind) -> list[MachineEvent]:
@@ -73,7 +100,7 @@ class EventLog:
         return (tuple(self.events), self.dropped)
 
     def restore(self, snap: tuple) -> None:
-        self.events = list(snap[0])
+        self.events = deque(snap[0])
         self.dropped = snap[1]
 
     def __len__(self) -> int:

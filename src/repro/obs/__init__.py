@@ -1,0 +1,82 @@
+"""Observability: metrics, structured traces, profiling and monitoring.
+
+The measurement substrate for campaign execution (see DESIGN.md
+"Observability"): a dependency-free metrics registry with Prometheus
+textfile and JSONL exporters, a structured fault-propagation trace
+layer, a sampled core profiler, and the journal-tailing monitor behind
+``repro-sfi monitor`` / ``repro-sfi stats``.
+
+This package only *observes*: it never imports the execution layers
+(``repro.sfi``, ``repro.cpu``), which instead accept a registry or a
+trace writer and report into it.
+"""
+
+from repro.obs.exporters import (
+    ParsedMetrics,
+    load_jsonl_snapshot,
+    parse_prometheus_text,
+    render_jsonl,
+    render_prometheus,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricError,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from repro.obs.monitor import (
+    JournalProgress,
+    format_duration,
+    load_metrics_file,
+    monitor_campaign,
+    read_journal_progress,
+    render_monitor_frame,
+    render_stats,
+)
+from repro.obs.profile import CoreProfiler
+from repro.obs.trace import (
+    TRACE_FORMAT_VERSION,
+    TraceWriter,
+    chain_from_record,
+    read_trace_log,
+    spans_from_events,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "TRACE_FORMAT_VERSION",
+    "CoreProfiler",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JournalProgress",
+    "Metric",
+    "MetricError",
+    "MetricsRegistry",
+    "ParsedMetrics",
+    "TraceWriter",
+    "chain_from_record",
+    "default_registry",
+    "format_duration",
+    "load_jsonl_snapshot",
+    "load_metrics_file",
+    "monitor_campaign",
+    "parse_prometheus_text",
+    "read_journal_progress",
+    "read_trace_log",
+    "render_jsonl",
+    "render_monitor_frame",
+    "render_prometheus",
+    "render_stats",
+    "set_default_registry",
+    "spans_from_events",
+    "write_jsonl",
+    "write_prometheus",
+]

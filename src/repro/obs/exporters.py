@@ -1,0 +1,229 @@
+"""Metric snapshot exporters and parsers.
+
+Two interchange formats, both plain text so campaign artefacts stay
+inspectable with ``less`` and diffable in CI:
+
+* **Prometheus textfile** (:func:`render_prometheus`,
+  :func:`write_prometheus`) — the node-exporter textfile-collector
+  dialect: ``# HELP`` / ``# TYPE`` comments, one sample per line,
+  histograms expanded into cumulative ``_bucket{le=...}`` plus ``_sum``
+  and ``_count``.  :func:`parse_prometheus_text` reads the dialect back
+  (used by the round-trip tests and the CI snapshot check).
+* **JSONL snapshot** (:func:`render_jsonl`, :func:`write_jsonl`,
+  :func:`load_jsonl_snapshot`) — one JSON object per metric family,
+  lossless against :meth:`MetricsRegistry.snapshot`, so snapshots can be
+  reloaded, merged across shards and re-exported.
+
+Writers replace the target atomically (write to ``path.tmp`` then
+``os.replace``) so a monitor tailing the file never observes a torn
+snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import Histogram, MetricError, MetricsRegistry
+
+__all__ = [
+    "ParsedMetrics",
+    "load_jsonl_snapshot",
+    "parse_prometheus_text",
+    "render_jsonl",
+    "render_prometheus",
+    "write_jsonl",
+    "write_prometheus",
+]
+
+
+# ----------------------------------------------------------------------
+# Prometheus textfile format.
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\"", "\\\"")
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"'
+                     for name, value in labels.items())
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus textfile exposition format."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for key in sorted(metric.series()):
+                labels = metric.labels_of(key)
+                for bound, cumulative in metric.cumulative_buckets(key):
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(f"{metric.name}_bucket"
+                                 f"{_format_labels(bucket_labels)} "
+                                 f"{cumulative}")
+                series = metric.series()[key]
+                lines.append(f"{metric.name}_sum{_format_labels(labels)} "
+                             f"{_format_value(series.sum)}")
+                lines.append(f"{metric.name}_count{_format_labels(labels)} "
+                             f"{series.count}")
+        else:
+            for key, value in sorted(metric.series().items()):
+                labels = metric.labels_of(key)
+                lines.append(f"{metric.name}{_format_labels(labels)} "
+                             f"{_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _atomic_write(path: str | os.PathLike, text: str) -> None:
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | os.PathLike) -> None:
+    """Atomically write the Prometheus textfile snapshot."""
+    _atomic_write(path, render_prometheus(registry))
+
+
+@dataclass
+class ParsedMetrics:
+    """Parsed exposition text: types, help and flat samples."""
+
+    types: dict[str, str] = field(default_factory=dict)
+    help: dict[str, str] = field(default_factory=dict)
+    #: (sample name, ((label, value), ...) sorted) -> float
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = \
+        field(default_factory=dict)
+
+    def value(self, name: str, **labels) -> float:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return self.samples[key]
+
+    def sample_names(self) -> set[str]:
+        return {name for name, _ in self.samples}
+
+
+def _parse_label_block(block: str, where: str) -> tuple[tuple[str, str], ...]:
+    labels: list[tuple[str, str]] = []
+    index = 0
+    while index < len(block):
+        eq = block.index("=", index)
+        name = block[index:eq].strip().lstrip(",").strip()
+        if block[eq + 1] != "\"":
+            raise MetricError(f"{where}: unquoted label value")
+        value_chars: list[str] = []
+        index = eq + 2
+        while True:
+            ch = block[index]
+            if ch == "\\":
+                nxt = block[index + 1]
+                value_chars.append({"n": "\n", "\\": "\\", "\"": "\""}
+                                   .get(nxt, nxt))
+                index += 2
+                continue
+            if ch == "\"":
+                index += 1
+                break
+            value_chars.append(ch)
+            index += 1
+        labels.append((name, "".join(value_chars)))
+    return tuple(sorted(labels))
+
+
+def parse_prometheus_text(text: str) -> ParsedMetrics:
+    """Parse Prometheus exposition text back into flat samples.
+
+    Understands exactly the dialect :func:`render_prometheus` emits
+    (plus arbitrary whitespace and comments), enough for round-trip
+    tests and snapshot assertions — not a general scrape parser.
+    """
+    parsed = ParsedMetrics()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        where = f"metrics text line {lineno}"
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                parsed.types[parts[2]] = parts[3] if len(parts) > 3 else ""
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                parsed.help[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            block, value_text = rest.rsplit("}", 1)
+            labels = _parse_label_block(block, where)
+        else:
+            try:
+                name, value_text = line.split(None, 1)
+            except ValueError as exc:
+                raise MetricError(f"{where}: malformed sample "
+                                  f"{line!r}") from exc
+            labels = ()
+        value_text = value_text.strip()
+        try:
+            value = (math.inf if value_text == "+Inf"
+                     else -math.inf if value_text == "-Inf"
+                     else float(value_text))
+        except ValueError as exc:
+            raise MetricError(f"{where}: bad sample value "
+                              f"{value_text!r}") from exc
+        parsed.samples[(name.strip(), labels)] = value
+    return parsed
+
+
+# ----------------------------------------------------------------------
+# JSONL snapshots.
+
+def render_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per metric family (lossless snapshot)."""
+    return "".join(json.dumps(entry) + "\n"
+                   for entry in registry.snapshot())
+
+
+def write_jsonl(registry: MetricsRegistry, path: str | os.PathLike) -> None:
+    """Atomically write the JSONL snapshot."""
+    _atomic_write(path, render_jsonl(registry))
+
+
+def load_jsonl_snapshot(source: str | os.PathLike) -> MetricsRegistry:
+    """Rebuild a registry from a JSONL snapshot file."""
+    path = Path(source)
+    entries = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise MetricError(
+                f"{path}:{lineno}: malformed metrics snapshot line: "
+                f"{exc}") from exc
+    return MetricsRegistry.from_snapshot(entries)

@@ -1,0 +1,297 @@
+"""Live campaign monitoring and snapshot rendering.
+
+``repro-sfi monitor`` tails a running campaign's journal (the
+crash-consistent JSONL stream the supervisor appends to) plus an
+optional metrics snapshot file and renders a live throughput/outcome
+summary; ``repro-sfi stats`` renders a finished run's metrics snapshot.
+Both read files only — they attach to a campaign from the outside, so a
+wedged campaign can still be observed and a monitor crash cannot hurt
+the run.
+
+Journal parsing here is deliberately schema-light (header dict + lines
+with ``pos`` and a ``record`` whose ``outcome`` is a string): it works
+for core and chip journals alike and tolerates the torn trailing line a
+live writer may momentarily expose.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.exporters import load_jsonl_snapshot, parse_prometheus_text
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "JournalProgress",
+    "format_duration",
+    "load_metrics_file",
+    "monitor_campaign",
+    "read_journal_progress",
+    "render_monitor_frame",
+    "render_stats",
+]
+
+
+# ----------------------------------------------------------------------
+# Journal tailing.
+
+@dataclass
+class JournalProgress:
+    """What a campaign journal says about its campaign right now."""
+
+    path: Path
+    header: dict = field(default_factory=dict)
+    done: int = 0
+    outcomes: Counter = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        return int(self.header.get("total_sites", 0))
+
+    @property
+    def complete(self) -> bool:
+        return self.total > 0 and self.done >= self.total
+
+
+def read_journal_progress(path: str | Path) -> JournalProgress:
+    """One read-only pass over a (possibly still growing) journal."""
+    path = Path(path)
+    progress = JournalProgress(path=path)
+    try:
+        lines = path.read_text().splitlines()
+    except FileNotFoundError:
+        return progress
+    if not lines:
+        return progress
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        return progress
+    if isinstance(header, dict):
+        progress.header = header
+    positions = set()
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail of a live append — next poll sees it whole
+        if not isinstance(payload, dict) or "pos" not in payload:
+            continue
+        if payload["pos"] in positions:
+            continue
+        positions.add(payload["pos"])
+        record = payload.get("record", {})
+        outcome = record.get("outcome") if isinstance(record, dict) else None
+        progress.outcomes[outcome or "?"] += 1
+    progress.done = len(positions)
+    return progress
+
+
+# ----------------------------------------------------------------------
+# Rendering.
+
+def format_duration(seconds: float) -> str:
+    """``95`` -> ``1m35s`` (coarse, for ETA lines)."""
+    if not math.isfinite(seconds):
+        return "?"
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def render_monitor_frame(progress: JournalProgress, rate: float | None,
+                         eta: float | None,
+                         metrics_lines: list[str] | None = None) -> str:
+    """One monitor update: progress bar line, outcome mix, hot metrics."""
+    total = progress.total
+    done = progress.done
+    lines = []
+    pct = f" ({100 * done / total:.1f}%)" if total else ""
+    head = f"[monitor] {done}/{total or '?'} injections{pct}"
+    if rate is not None:
+        head += f"  {rate:.1f} inj/s"
+    if eta is not None and not progress.complete:
+        head += f"  ETA {format_duration(eta)}"
+    if progress.complete:
+        head += "  [complete]"
+    lines.append(head)
+    if progress.outcomes:
+        mix = "  ".join(f"{outcome}: {count}"
+                        for outcome, count in sorted(progress.outcomes.items(),
+                                                     key=lambda kv: -kv[1]))
+        lines.append(f"[monitor] outcomes: {mix}")
+    for line in metrics_lines or []:
+        lines.append(f"[monitor] {line}")
+    return "\n".join(lines)
+
+
+def _interesting_metric_lines(registry: MetricsRegistry) -> list[str]:
+    """A few high-signal series for the live frame."""
+    lines = []
+    for name in ("sfi_injections_per_second", "core_cycles_per_second"):
+        metric = registry.get(name)
+        if metric is None:
+            continue
+        for key, value in sorted(metric.series().items()):
+            label = f"{name}{dict(metric.labels_of(key)) or ''}"
+            lines.append(f"{label} = {value:.1f}")
+    for name in ("sfi_shard_retries_total", "sfi_shard_splits_total",
+                 "sfi_degrades_total"):
+        metric = registry.get(name)
+        if metric is None:
+            continue
+        total = sum(metric.series().values())
+        if total:
+            lines.append(f"{name} = {total:g}")
+    return lines
+
+
+def load_metrics_file(path: str | Path) -> MetricsRegistry | None:
+    """Load a snapshot file in either export format (None if unreadable).
+
+    Format is sniffed from the content (`#`/bare sample = Prometheus
+    text, `{` = JSONL), so any file extension works.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    if not text.strip():
+        return None
+    try:
+        if text.lstrip().startswith("{"):
+            return load_jsonl_snapshot(path)
+        parsed = parse_prometheus_text(text)
+        # Rebuild a registry shape good enough for rendering: bucket
+        # samples fold back into plain gauges keyed by their full name.
+        registry = MetricsRegistry()
+        for (name, labels), value in parsed.samples.items():
+            kind = parsed.types.get(name)
+            if kind == "counter":
+                metric = registry.counter(name,
+                                          labelnames=tuple(k for k, _ in labels))
+                metric.inc(value, **dict(labels))
+            else:
+                metric = registry.gauge(name,
+                                        labelnames=tuple(k for k, _ in labels))
+                metric.set(value, **dict(labels))
+        return registry
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# The live loop.
+
+def monitor_campaign(journal_path: str | Path, *,
+                     metrics_path: str | Path | None = None,
+                     interval: float = 2.0,
+                     follow: bool = True,
+                     max_updates: int | None = None,
+                     out=None,
+                     clock=time.monotonic,
+                     sleep=time.sleep) -> int:
+    """Tail a campaign journal (and metrics file) until it completes.
+
+    Each poll re-reads the journal, derives injections/sec from the
+    covered-position delta since the previous poll, and prints one
+    frame.  Returns 0 when the campaign completed (or on a clean
+    ``follow=False`` single shot), 1 when the journal never appeared.
+    ``max_updates`` bounds the loop for tests and cron use.
+    """
+    out = out if out is not None else sys.stdout
+    journal_path = Path(journal_path)
+    previous_done: int | None = None
+    previous_time: float | None = None
+    rate: float | None = None
+    updates = 0
+    while True:
+        progress = read_journal_progress(journal_path)
+        now = clock()
+        if previous_done is not None and now > previous_time \
+                and progress.done >= previous_done:
+            window_rate = (progress.done - previous_done) / (now - previous_time)
+            # Light smoothing so one slow poll doesn't zero the display.
+            rate = (window_rate if rate is None
+                    else 0.5 * rate + 0.5 * window_rate)
+        previous_done, previous_time = progress.done, now
+        eta = None
+        if rate and progress.total:
+            eta = (progress.total - progress.done) / rate
+        metrics_lines: list[str] = []
+        if metrics_path is not None:
+            registry = load_metrics_file(metrics_path)
+            if registry is not None:
+                metrics_lines = _interesting_metric_lines(registry)
+        if not progress.header and not journal_path.exists():
+            print(f"[monitor] waiting for journal {journal_path}", file=out)
+        else:
+            print(render_monitor_frame(progress, rate, eta, metrics_lines),
+                  file=out)
+        updates += 1
+        if progress.complete or not follow:
+            return 0 if (progress.complete or progress.header) else 1
+        if max_updates is not None and updates >= max_updates:
+            return 0 if progress.header else 1
+        sleep(interval)
+
+
+# ----------------------------------------------------------------------
+# Snapshot rendering (`repro-sfi stats`).
+
+def render_stats(registry: MetricsRegistry) -> str:
+    """Human-readable table of every series in a snapshot."""
+    lines = []
+    for metric in registry.metrics():
+        title = f"{metric.name} ({metric.kind})"
+        if metric.help:
+            title += f" — {metric.help}"
+        lines.append(title)
+        if isinstance(metric, Histogram):
+            for key, series in sorted(metric.series().items()):
+                labels = metric.labels_of(key)
+                prefix = f"  {labels} " if labels else "  "
+                mean = series.sum / series.count if series.count else 0.0
+                lines.append(f"{prefix}count={series.count} "
+                             f"sum={series.sum:.4f} mean={mean:.4f}")
+                quantiles = _histogram_quantile_line(metric, key)
+                if quantiles:
+                    lines.append(f"    {quantiles}")
+        else:
+            for key, value in sorted(metric.series().items()):
+                labels = metric.labels_of(key)
+                prefix = f"  {labels} " if labels else "  "
+                lines.append(f"{prefix}{value:g}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + ("\n" if lines else "")
+
+
+def _histogram_quantile_line(metric: Histogram,
+                             key: tuple[str, ...]) -> str | None:
+    """Coarse p50/p90/p99 upper bounds from the cumulative buckets."""
+    pairs = metric.cumulative_buckets(key)
+    total = pairs[-1][1] if pairs else 0
+    if not total:
+        return None
+    estimates = []
+    for quantile in (0.5, 0.9, 0.99):
+        target = quantile * total
+        bound = next((le for le, cumulative in pairs
+                      if cumulative >= target), math.inf)
+        text = "+Inf" if bound == math.inf else f"{bound:g}"
+        estimates.append(f"p{int(quantile * 100)}<={text}")
+    return " ".join(estimates)

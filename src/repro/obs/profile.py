@@ -1,0 +1,117 @@
+"""Sampled cycle-loop profiling.
+
+The core's ``cycle()`` is the hottest loop in the system — a campaign is
+millions of simulated cycles — so it cannot afford per-cycle metric
+calls.  Instead :class:`CoreProfiler` installs itself as the core's
+``profile_hook`` and is invoked once every ``interval`` cycles; each
+invocation updates a cycles-per-second gauge and drains the core's
+existing :class:`~repro.cpu.events.EventLog` incrementally to count
+checker fires and recovery cycles by unit.  When no profiler is
+attached the hot loop pays exactly one attribute load and ``None``
+check per cycle (guarded by the overhead benchmark).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["CoreProfiler"]
+
+
+def _unit_of_checker(detail: str) -> str:
+    """``FXU_PARITY (ifar=...)`` -> ``FXU`` (checkers prefix their unit)."""
+    token = detail.split(" ", 1)[0] if detail else ""
+    return token.split("_", 1)[0] if token else "?"
+
+
+class CoreProfiler:
+    """Samples a core's execution rate and RAS activity into a registry."""
+
+    def __init__(self, core, registry: MetricsRegistry, *,
+                 interval: int = 2048,
+                 clock=time.perf_counter) -> None:
+        self.core = core
+        self.interval = max(1, interval)
+        self._clock = clock
+        self._last_time: float | None = None
+        self._last_cycles = 0
+        self._seen_events = 0      # absolute index: dropped + consumed
+        self._recovery_start: int | None = None
+        self._recovery_unit = "?"
+
+        self.cycles_per_second = registry.gauge(
+            "core_cycles_per_second",
+            "simulated cycles per wall second (sampled)")
+        self.cycles_total = registry.counter(
+            "core_cycles_total", "simulated cycles (sampled resolution)")
+        self.checker_fires = registry.counter(
+            "core_checker_fires_total",
+            "checker detections seen in the event log", ("unit",))
+        self.recovery_cycles = registry.counter(
+            "core_recovery_cycles_total",
+            "cycles spent in recovery sequences", ("unit",))
+        self.events_dropped = registry.gauge(
+            "core_event_log_dropped", "events the bounded log discarded")
+
+        core.profile_interval = self.interval
+        core.profile_hook = self
+
+    def detach(self) -> None:
+        if getattr(self.core, "profile_hook", None) is self:
+            self.core.profile_hook = None
+
+    # -- sampling ------------------------------------------------------
+
+    def __call__(self, core) -> None:
+        self.sample()
+
+    def sample(self) -> None:
+        """Take one sample (also callable manually, e.g. at campaign end)."""
+        core = self.core
+        now = self._clock()
+        cycles = core.cycles
+        if self._last_time is not None:
+            elapsed = now - self._last_time
+            advanced = cycles - self._last_cycles
+            if advanced > 0:
+                self.cycles_total.inc(advanced)
+            if elapsed > 0 and advanced > 0:
+                self.cycles_per_second.set(advanced / elapsed)
+        self._last_time = now
+        self._last_cycles = cycles
+        self._drain_events(core.event_log)
+
+    def _drain_events(self, log) -> None:
+        """Consume events appended since the last sample.
+
+        The log is cleared on program load and rewound by checkpoint
+        restore, and may evict from the front when ring-bounded, so
+        progress is tracked as an absolute position (``dropped`` +
+        length) and reset whenever the log went backwards.
+        """
+        dropped = getattr(log, "dropped", 0)
+        total = dropped + len(log)
+        if total < self._seen_events:
+            self._seen_events = 0
+            self._recovery_start = None
+        self.events_dropped.set(dropped)
+        fresh = total - self._seen_events
+        if fresh <= 0:
+            return
+        events = list(log)[-min(fresh, len(log)):]
+        self._seen_events = total
+        for event in events:
+            kind = getattr(event.kind, "value", str(event.kind))
+            if kind == "error-detected":
+                self.checker_fires.inc(unit=_unit_of_checker(event.detail))
+            elif kind == "recovery-start":
+                self._recovery_start = event.cycle
+                self._recovery_unit = _unit_of_checker(event.detail)
+            elif kind == "recovery-done" and self._recovery_start is not None:
+                duration = event.cycle - self._recovery_start
+                if duration > 0:
+                    self.recovery_cycles.inc(duration,
+                                             unit=self._recovery_unit)
+                self._recovery_start = None

@@ -10,6 +10,7 @@ the drain window, classify, repeat — the loop of Figure 1.
 from __future__ import annotations
 
 import random
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -18,6 +19,7 @@ from repro.avp.runner import AvpBaselineError, ReferenceRun
 from repro.avp.suite import make_suite
 from repro.avp.testcase import AvpTestcase
 from repro.cpu.core import Power6Core
+from repro.cpu.events import EventLog
 from repro.cpu.params import CoreParams
 from repro.emulator.awan import AwanEmulator
 from repro.emulator.host import CommHost
@@ -91,22 +93,80 @@ class CampaignConfig:
     mode_overrides: dict = field(default_factory=dict)
     classify_options: ClassifyOptions = ClassifyOptions()
     core_params: CoreParams | None = None
+    # Ring bound on the per-injection event log: a hang-heavy injection
+    # keeps emitting events until the drain window expires, so campaign
+    # cores cap the log (keeping the newest — terminal — events) rather
+    # than growing without limit.  None: unbounded.
+    trace_max_events: int | None = 512
+
+
+# Injection latency is milliseconds-scale on the software backend.
+_INJECTION_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                      0.1, 0.25, 0.5, 1.0, 2.5, float("inf"))
+
+
+class _ExperimentInstruments:
+    """The experiment-level series (shared metric names with the
+    supervisor's outcome counters, so either path feeds one dashboard)."""
+
+    def __init__(self, registry) -> None:
+        self.injections = registry.counter(
+            "sfi_injections_total", "completed injections by outcome",
+            ("outcome",))
+        self.injection_seconds = registry.histogram(
+            "sfi_injection_seconds", "wall time per injection",
+            buckets=_INJECTION_BUCKETS)
+        self.campaign_seconds = registry.gauge(
+            "sfi_campaign_seconds", "wall time of the last campaign run")
+        self.prepare_seconds = registry.gauge(
+            "sfi_prepare_seconds",
+            "model prepare time (checkpoints + references)")
+        self.rate = registry.gauge(
+            "sfi_injections_per_second", "campaign injection throughput")
 
 
 class SfiExperiment:
-    """A prepared machine + workload, ready to run injection campaigns."""
+    """A prepared machine + workload, ready to run injection campaigns.
+
+    Pass ``metrics`` (a :class:`repro.obs.MetricsRegistry`) — or call
+    :meth:`instrument` later — to record per-outcome counters, injection
+    latency histograms, campaign/prepare timings and sampled core
+    profiling (cycles/sec, checker fires, recovery cycles by unit).
+    Uninstrumented experiments pay no metric calls on the hot path.
+    """
 
     def __init__(self, config: CampaignConfig | None = None,
-                 emulator_cls=AwanEmulator) -> None:
+                 emulator_cls=AwanEmulator, metrics=None) -> None:
         self.config = config or CampaignConfig()
         self.core = Power6Core(self.config.core_params)
+        # Campaign cores bound their event log as a ring: hang outcomes
+        # otherwise accumulate events for the whole drain window.
+        self.core.event_log = EventLog(
+            capacity=None, max_events=self.config.trace_max_events)
         self.emulator = emulator_cls(self.core)
         self.host = CommHost(self.emulator, self.config.poll_interval)
         self.latch_map = self.emulator.latch_map
         self.suite: list[AvpTestcase] = make_suite(
             self.config.suite_size, self.config.suite_seed, self.config.weights)
         self.references: list[ReferenceRun] = []
+        self.metrics = None
+        self._instruments = None
+        self._profiler = None
+        prepare_start = time.perf_counter()
         self._prepare()
+        self.prepare_seconds = time.perf_counter() - prepare_start
+        if metrics is not None:
+            self.instrument(metrics)
+
+    def instrument(self, registry) -> None:
+        """Attach a metrics registry (and a sampled core profiler)."""
+        from repro.obs.profile import CoreProfiler
+        self.metrics = registry
+        self._instruments = _ExperimentInstruments(registry)
+        self._instruments.prepare_seconds.set(self.prepare_seconds)
+        if self._profiler is not None:
+            self._profiler.detach()
+        self._profiler = CoreProfiler(self.core, registry)
 
     # ------------------------------------------------------------------
 
@@ -193,15 +253,28 @@ class SfiExperiment:
         through it).
         """
         result = CampaignResult(population_bits=len(self.latch_map))
+        inst = self._instruments
+        campaign_start = time.perf_counter()
         for item in plan:
             reference = self.references[item.testcase_index]
             rng = injection_rng(seed, item.site_index, item.occurrence)
             inject_cycle = rng.randrange(0, reference.cycles)
+            start = time.perf_counter() if inst is not None else 0.0
             record = self.run_one(item.site_index, item.testcase_index,
                                   inject_cycle)
+            if inst is not None:
+                inst.injection_seconds.observe(time.perf_counter() - start)
+                inst.injections.inc(outcome=record.outcome.value)
             result.add(record)
             if record_hook is not None:
                 record_hook(item.position, record)
+        if inst is not None:
+            elapsed = time.perf_counter() - campaign_start
+            inst.campaign_seconds.set(elapsed)
+            if elapsed > 0 and result.total:
+                inst.rate.set(result.total / elapsed)
+            if self._profiler is not None:
+                self._profiler.sample()
         return result
 
     def run_campaign(self, sites: list[int], seed: int = 0,

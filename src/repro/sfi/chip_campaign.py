@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from dataclasses import dataclass, field
 
 from repro.avp.runner import AvpBaselineError
 from repro.avp.suite import make_suite
 from repro.cpu.chip import Power6Chip
+from repro.cpu.events import EventLog
 from repro.cpu.params import CoreParams
 from repro.rtl.fault import FaultSite, expand_sites
 
@@ -25,6 +27,26 @@ from repro.sfi.storage import CampaignJournal, CampaignStorageError
 from repro.sfi.supervisor import CampaignProgress
 
 _CHIP_JOURNAL_KIND = "sfi-chip-journal"
+
+
+class _ChipInstruments:
+    """Chip-campaign metric series (distinct names from the single-core
+    campaign: chip trials carry a core label and an isolation axis)."""
+
+    def __init__(self, registry) -> None:
+        self.injections = registry.counter(
+            "sfi_chip_injections_total",
+            "completed chip injections by outcome and struck core",
+            ("outcome", "core"))
+        self.isolation_violations = registry.counter(
+            "sfi_chip_isolation_violations_total",
+            "injections that corrupted a core other than the struck one")
+        self.campaign_seconds = registry.gauge(
+            "sfi_chip_campaign_seconds",
+            "wall time of the last chip campaign run")
+        self.rate = registry.gauge(
+            "sfi_chip_injections_per_second",
+            "chip campaign injection throughput")
 
 
 @dataclass(frozen=True)
@@ -95,8 +117,14 @@ class ChipExperiment:
 
     def __init__(self, core_params: CoreParams | None = None,
                  core_count: int = 2, suite_seed: int = 2008,
-                 drain_cycles: int = 1500) -> None:
+                 drain_cycles: int = 1500,
+                 trace_max_events: int | None = 512) -> None:
         self.chip = Power6Chip(core_params, core_count)
+        # Ring-bound each core's event log: a hang-heavy injection on
+        # either core must not grow memory for the whole drain window.
+        for core in self.chip.cores:
+            core.event_log = EventLog(capacity=None,
+                                      max_events=trace_max_events)
         self.drain_cycles = drain_cycles
         # One testcase per core (distinct seeds: distinct workloads).
         self.testcases = make_suite(core_count, seed=suite_seed)
@@ -162,7 +190,8 @@ class ChipExperiment:
                      core_index: int | None = None, *,
                      journal: str | os.PathLike | None = None,
                      resume: bool = False,
-                     progress: CampaignProgress | None = None) -> ChipCampaignResult:
+                     progress: CampaignProgress | None = None,
+                     metrics=None) -> ChipCampaignResult:
         """Inject ``count`` random flips (into ``core_index``, or spread
         uniformly across the chip when None).
 
@@ -194,6 +223,9 @@ class ChipExperiment:
                     journal, seed=seed, total_sites=count,
                     kind=_CHIP_JOURNAL_KIND)
         progress.on_start(count, count - len(covered))
+        inst = _ChipInstruments(metrics) if metrics is not None else None
+        started = time.perf_counter()
+        executed = 0
         result = ChipCampaignResult()
         try:
             for trial in range(count):
@@ -207,11 +239,22 @@ class ChipExperiment:
                 inject_cycle = rng.randrange(max(1, self.reference_cycles))
                 record = self.run_one(target, site_number, inject_cycle)
                 result.records.append(record)
+                if inst is not None:
+                    executed += 1
+                    inst.injections.inc(outcome=record.outcome.value,
+                                        core=str(record.core_index))
+                    if not record.other_cores_clean:
+                        inst.isolation_violations.inc()
+                    elapsed = time.perf_counter() - started
+                    if elapsed > 0:
+                        inst.rate.set(executed / elapsed)
                 if journal_obj is not None:
                     journal_obj.append(trial, record,
                                        record_encoder=_chip_record_to_dict)
                 progress.on_record(trial, record)
         finally:
+            if inst is not None:
+                inst.campaign_seconds.set(time.perf_counter() - started)
             if journal_obj is not None:
                 journal_obj.close()
         return result

@@ -150,6 +150,47 @@ def merge_campaigns(paths: list[str | Path]) -> CampaignResult:
     return merged
 
 
+def read_journal(path: str | Path, record_decoder=None,
+                 kind: str = _JOURNAL_KIND) -> tuple[dict, dict]:
+    """Read a journal without reopening it for writing.
+
+    Returns ``(header, covered)`` exactly as :meth:`CampaignJournal.recover`
+    would decode them, but never rewrites the file, drops no torn tail
+    and opens no append handle — safe on a journal another process is
+    still appending to (``repro-sfi trace --journal`` / ``monitor``).
+    A torn final line is simply skipped.
+    """
+    path = Path(path)
+    decoder = record_decoder or _record_from_dict
+    try:
+        with path.open() as handle:
+            lines = handle.readlines()
+    except FileNotFoundError as exc:
+        raise CampaignStorageError(f"{path}: no such journal") from exc
+    if not lines or not lines[0].strip():
+        raise CampaignStorageError(f"{path}: empty journal")
+    header = _parse_line(path, 1, lines[0], is_last=len(lines) == 1)
+    if (not isinstance(header, dict)
+            or header.get("format") != _JOURNAL_FORMAT_VERSION
+            or header.get("kind") != kind):
+        raise CampaignStorageError(
+            f"{path}: not a {kind} journal this build can read "
+            f"(header {header!r})")
+    covered: dict[int, object] = {}
+    body = [(number, line) for number, line in enumerate(lines[1:], 2)
+            if line.strip()]
+    for offset, (number, line) in enumerate(body):
+        payload = _parse_line(path, number, line,
+                              is_last=offset == len(body) - 1)
+        if payload is None:
+            continue
+        if "pos" not in payload or "record" not in payload:
+            raise CampaignStorageError(
+                f"{path}:{number}: journal line missing pos/record")
+        covered[payload["pos"]] = decoder(payload["record"])
+    return header, covered
+
+
 # ----------------------------------------------------------------------
 # Incremental journal: the supervisor's crash-consistent record stream.
 

@@ -84,24 +84,67 @@ class CampaignProgress:
 
 
 class PrintProgress(CampaignProgress):
-    """Progress observer that narrates to stdout (the CLI's default)."""
+    """Progress observer that narrates to stdout (the CLI's default).
 
-    def __init__(self, every: int = 50) -> None:
+    Narration is rate-limited: at most one progress line per
+    ``min_interval`` seconds (default 0.5s) regardless of ``every``, so
+    a large fast campaign cannot flood stdout; the final line always
+    prints.  Each line carries the running injections/sec and an ETA
+    derived from it.
+    """
+
+    def __init__(self, every: int = 50, min_interval: float = 0.5,
+                 clock=time.monotonic) -> None:
         self.every = max(1, every)
+        self.min_interval = min_interval
+        self._clock = clock
         self._done = 0
         self._total = 0
+        self._started_at: float | None = None
+        self._start_done = 0
+        self._last_line = float("-inf")
 
     def on_start(self, total: int, pending: int) -> None:
         self._total = total
         self._done = total - pending
+        self._started_at = self._clock()
+        self._start_done = self._done
         if total != pending:
             print(f"[supervisor] resuming: {self._done}/{total} injections "
                   f"already journaled")
 
+    @staticmethod
+    def _format_eta(seconds: float) -> str:
+        seconds = max(0, int(round(seconds)))
+        if seconds < 60:
+            return f"{seconds}s"
+        minutes, secs = divmod(seconds, 60)
+        if minutes < 60:
+            return f"{minutes}m{secs:02d}s"
+        hours, minutes = divmod(minutes, 60)
+        return f"{hours}h{minutes:02d}m"
+
     def on_record(self, position: int, record) -> None:
         self._done += 1
-        if self._done % self.every == 0 or self._done == self._total:
-            print(f"[supervisor] {self._done}/{self._total} injections")
+        final = self._done == self._total
+        if not final and self._done % self.every:
+            return
+        now = self._clock()
+        if not final and now - self._last_line < self.min_interval:
+            return
+        self._last_line = now
+        line = f"[supervisor] {self._done}/{self._total} injections"
+        executed = self._done - self._start_done
+        elapsed = (now - self._started_at
+                   if self._started_at is not None else 0.0)
+        if executed > 0 and elapsed > 0:
+            rate = executed / elapsed
+            line += f" ({rate:.1f} inj/s"
+            if not final and rate > 0:
+                remaining = (self._total - self._done) / rate
+                line += f", ETA {self._format_eta(remaining)}"
+            line += ")"
+        print(line)
 
     def on_shard_retry(self, shard_id: int, attempt: int, reason: str,
                        delay: float) -> None:
@@ -114,6 +157,89 @@ class PrintProgress(CampaignProgress):
 
     def on_degrade(self, reason: str) -> None:
         print(f"[supervisor] degraded to serial execution: {reason}")
+
+
+class TeeProgress(CampaignProgress):
+    """Forward every progress event to several observers (narration and
+    trace/metric sinks compose without knowing about each other)."""
+
+    def __init__(self, *observers: CampaignProgress) -> None:
+        self.observers = [obs for obs in observers if obs is not None]
+
+    def on_start(self, total: int, pending: int) -> None:
+        for observer in self.observers:
+            observer.on_start(total, pending)
+
+    def on_resume(self, recovered: int) -> None:
+        for observer in self.observers:
+            observer.on_resume(recovered)
+
+    def on_record(self, position: int, record) -> None:
+        for observer in self.observers:
+            observer.on_record(position, record)
+
+    def on_shard_complete(self, shard_id: int, size: int, attempt: int) -> None:
+        for observer in self.observers:
+            observer.on_shard_complete(shard_id, size, attempt)
+
+    def on_shard_retry(self, shard_id: int, attempt: int, reason: str,
+                       delay: float) -> None:
+        for observer in self.observers:
+            observer.on_shard_retry(shard_id, attempt, reason, delay)
+
+    def on_shard_split(self, shard_id: int, remaining: int) -> None:
+        for observer in self.observers:
+            observer.on_shard_split(shard_id, remaining)
+
+    def on_degrade(self, reason: str) -> None:
+        for observer in self.observers:
+            observer.on_degrade(reason)
+
+
+# ----------------------------------------------------------------------
+# Metrics instrumentation (series consumed by `repro-sfi stats`/`monitor`
+# and the Prometheus/JSONL exporters in repro.obs).
+
+_SHARD_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+                  60.0, 120.0, 300.0, float("inf"))
+_QUEUE_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0,
+                  60.0, float("inf"))
+
+
+def _outcome_value(record) -> str:
+    outcome = getattr(record, "outcome", None)
+    return getattr(outcome, "value", None) or str(outcome)
+
+
+class _SupervisorInstruments:
+    """Supervisor-side series: shard lifecycle, failure policy, throughput."""
+
+    def __init__(self, registry) -> None:
+        self.injections = registry.counter(
+            "sfi_injections_total", "completed injections by outcome",
+            ("outcome",))
+        self.recovered = registry.counter(
+            "sfi_injections_recovered_total",
+            "injections recovered from a journal on resume")
+        self.rate = registry.gauge(
+            "sfi_injections_per_second", "campaign injection throughput")
+        self.campaign_seconds = registry.gauge(
+            "sfi_campaign_seconds", "wall time of the last campaign run")
+        self.shard_wall = registry.histogram(
+            "sfi_shard_wall_seconds", "shard wall time by completion status",
+            ("status",), buckets=_SHARD_BUCKETS)
+        self.queue_wait = registry.histogram(
+            "sfi_shard_queue_wait_seconds",
+            "time shards spent queued (backoff included) before a worker",
+            buckets=_QUEUE_BUCKETS)
+        self.retries = registry.counter(
+            "sfi_shard_retries_total", "shard retry attempts")
+        self.splits = registry.counter(
+            "sfi_shard_splits_total", "shards split after exhausted retries")
+        self.degrades = registry.counter(
+            "sfi_degrades_total", "fallbacks to in-process serial execution")
+        self.workers_running = registry.gauge(
+            "sfi_workers_running", "live worker processes")
 
 
 # ----------------------------------------------------------------------
@@ -184,6 +310,8 @@ class _ShardJob:
     process: multiprocessing.process.BaseProcess | None = None
     deadline: float | None = None
     done_positions: set[int] = field(default_factory=set)
+    queued_at: float | None = None    # when last (re)queued, for queue-wait
+    started_at: float | None = None   # when last spawned, for wall time
 
     def remaining(self) -> list[InjectionPlan]:
         return [item for item in self.items
@@ -212,6 +340,7 @@ class CampaignSupervisor:
                  population_bits: int = 0,
                  progress: CampaignProgress | None = None,
                  runner=run_shard,
+                 metrics=None,
                  mp_context: str = "spawn") -> None:
         self.config = config
         self.workers = workers if workers is not None \
@@ -224,6 +353,9 @@ class CampaignSupervisor:
         self.population_bits = population_bits
         self.progress = progress or CampaignProgress()
         self.runner = runner
+        self.metrics = metrics
+        self._inst = (_SupervisorInstruments(metrics)
+                      if metrics is not None else None)
         self._mp_context = mp_context
         self._ids = itertools.count()
         self._degraded = False
@@ -238,14 +370,26 @@ class CampaignSupervisor:
     def run_plan(self, plan: list[InjectionPlan],
                  seed: int = 0) -> CampaignResult:
         journal, records = self._open_journal(plan, seed)
+        inst = self._inst
+        started = time.perf_counter()
+        executed = 0
+        if inst is not None and records:
+            inst.recovered.inc(len(records))
         try:
             pending = [item for item in plan if item.position not in records]
             self.progress.on_start(len(plan), len(pending))
 
             def collect(position: int, record) -> None:
+                nonlocal executed
                 records[position] = record
                 if journal is not None:
                     journal.append(position, record)
+                if inst is not None:
+                    executed += 1
+                    inst.injections.inc(outcome=_outcome_value(record))
+                    elapsed = time.perf_counter() - started
+                    if elapsed > 0:
+                        inst.rate.set(executed / elapsed)
                 self.progress.on_record(position, record)
 
             if pending:
@@ -265,6 +409,9 @@ class CampaignSupervisor:
                 result.add(records[position])
             return result
         finally:
+            if inst is not None:
+                inst.campaign_seconds.set(time.perf_counter() - started)
+                inst.workers_running.set(0)
             if journal is not None:
                 journal.close()
 
@@ -300,13 +447,19 @@ class CampaignSupervisor:
 
     def _run_serial(self, items: list[InjectionPlan], seed: int,
                     collect) -> None:
+        start = time.monotonic()
         population = self.runner(self.config, items, seed, collect)
+        if self._inst is not None:
+            self._inst.shard_wall.observe(time.monotonic() - start,
+                                          status="serial")
         if not self.population_bits and isinstance(population, int):
             self.population_bits = population
 
     def _degrade(self, reason: str, jobs: list[_ShardJob], seed: int,
                  collect) -> None:
         self._degraded = True
+        if self._inst is not None:
+            self._inst.degrades.inc()
         self.progress.on_degrade(reason)
         remaining = [item for job in jobs for item in job.remaining()]
         remaining.sort(key=lambda item: item.position)
@@ -324,22 +477,35 @@ class CampaignSupervisor:
             daemon=True)
         process.start()
         job.process = process
-        job.deadline = (time.monotonic() + self.shard_timeout
+        now = time.monotonic()
+        if self._inst is not None and job.queued_at is not None:
+            self._inst.queue_wait.observe(now - job.queued_at)
+        job.started_at = now
+        job.deadline = (now + self.shard_timeout
                         if self.shard_timeout else None)
 
     def _run_supervised(self, items: list[InjectionPlan], seed: int,
                         collect) -> None:
         shards = _shard_items(items, min(self.workers, len(items)))
+        now = time.monotonic()
         todo: list[_ShardJob] = [
-            _ShardJob(shard_id=next(self._ids), items=shard)
+            _ShardJob(shard_id=next(self._ids), items=shard, queued_at=now)
             for shard in shards]
         context = multiprocessing.get_context(self._mp_context)
         out_queue = context.Queue()
         running: dict[int, _ShardJob] = {}
         backoff_until: dict[int, float] = {}
+        inst = self._inst
+
+        def observe_shard_end(job: _ShardJob, status: str) -> None:
+            if inst is not None and job.started_at is not None:
+                inst.shard_wall.observe(time.monotonic() - job.started_at,
+                                        status=status)
+                job.started_at = None
 
         def fail(job: _ShardJob, reason: str) -> None:
             """Retry, split, or degrade one failed shard."""
+            observe_shard_end(job, "failed")
             job.process = None
             job.attempt += 1
             remaining = job.remaining()
@@ -351,21 +517,29 @@ class CampaignSupervisor:
                 return
             if job.attempt <= self.max_retries:
                 delay = self.backoff_base * (2 ** (job.attempt - 1))
+                if inst is not None:
+                    inst.retries.inc()
                 self.progress.on_shard_retry(
                     job.shard_id, job.attempt, reason, delay)
                 backoff_until[job.shard_id] = time.monotonic() + delay
+                job.queued_at = time.monotonic()
                 todo.append(job)
                 return
             if len(remaining) > 1:
+                if inst is not None:
+                    inst.splits.inc()
                 self.progress.on_shard_split(job.shard_id, len(remaining))
                 half = len(remaining) // 2
                 for piece in (remaining[:half], remaining[half:]):
                     todo.append(_ShardJob(shard_id=next(self._ids),
-                                          items=piece))
+                                          items=piece,
+                                          queued_at=time.monotonic()))
                 return
             # A single injection that keeps failing in workers: last
             # resort is running it in-process — loud failure if even
             # that raises, never a silent drop.
+            if inst is not None:
+                inst.degrades.inc()
             self.progress.on_degrade(
                 f"shard {job.shard_id} (1 injection) exhausted "
                 f"{self.max_retries} retries; running in-process")
@@ -384,6 +558,7 @@ class CampaignSupervisor:
                 _, _, population = message
                 if not self.population_bits and isinstance(population, int):
                     self.population_bits = population
+                observe_shard_end(job, "ok")
                 self._reap(job)
                 del running[shard_id]
                 self.progress.on_shard_complete(
@@ -405,6 +580,8 @@ class CampaignSupervisor:
             return job.shard_id not in running
 
         while todo or running:
+            if inst is not None:
+                inst.workers_running.set(len(running))
             # Launch whatever fits, respecting per-shard backoff.
             now = time.monotonic()
             launchable = [job for job in todo

@@ -70,3 +70,94 @@ class TestCli:
         code, out = run_cli(capsys, "trace", "--flips", "40", "--show", "2",
                             *BASE)
         assert "Cause-and-effect tracing summary" in out
+
+
+class TestObservabilityCli:
+    def test_campaign_exports_and_journal_trace(self, capsys, tmp_path):
+        """The full telemetry loop: instrumented campaign, exported
+        snapshots, span chains, then journal-based re-rendering."""
+        journal = tmp_path / "camp.jsonl"
+        prom = tmp_path / "out.prom"
+        jsonl = tmp_path / "out.jsonl"
+        traces = tmp_path / "traces.jsonl"
+        code, out = run_cli(capsys, "campaign", "--flips", "30", *BASE,
+                            "--journal", str(journal),
+                            "--metrics", str(prom),
+                            "--metrics-jsonl", str(jsonl),
+                            "--trace-log", str(traces))
+        assert code == 0
+
+        from repro.obs import (
+            load_jsonl_snapshot,
+            parse_prometheus_text,
+            read_trace_log,
+        )
+        parsed = parse_prometheus_text(prom.read_text())
+        assert parsed.types["sfi_injections_total"] == "counter"
+        assert parsed.types["sfi_shard_wall_seconds"] == "histogram"
+        total = sum(value for (name, _), value in parsed.samples.items()
+                    if name == "sfi_injections_total")
+        assert total == 30
+        assert parsed.value("sfi_shard_wall_seconds_count",
+                            status="serial") == 1
+        assert parsed.value("sfi_injections_per_second") > 0
+
+        loaded = load_jsonl_snapshot(jsonl)
+        assert sum(loaded.get("sfi_injections_total")
+                   .series().values()) == 30
+
+        vanished = sum(value for (name, labels), value
+                       in parsed.samples.items()
+                       if name == "sfi_injections_total"
+                       and ("outcome", "Vanished") in labels)
+        chains = read_trace_log(traces)
+        assert len(chains) == 30 - vanished, \
+            "one span chain per non-vanished injection"
+
+        # Satellite: render traces from the journal without re-running.
+        code, out = run_cli(capsys, "trace", "--journal", str(journal),
+                            "--show", "1")
+        assert code == 0
+        assert "Cause-and-effect tracing summary" in out
+
+    def test_trace_journal_missing_file(self, capsys, tmp_path):
+        code = cli.main(["trace", "--journal",
+                         str(tmp_path / "missing.jsonl")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no such journal" in captured.err
+
+    def test_monitor_once(self, capsys, tmp_path):
+        import json as json_module
+        journal = tmp_path / "camp.jsonl"
+        lines = [json_module.dumps({"format": 1, "kind": "sfi-journal",
+                                    "seed": 1, "total_sites": 4})]
+        lines += [json_module.dumps({"pos": position,
+                                     "record": {"outcome": "Vanished"}})
+                  for position in range(4)]
+        journal.write_text("\n".join(lines) + "\n")
+        code, out = run_cli(capsys, "monitor", "--journal", str(journal),
+                            "--once")
+        assert code == 0
+        assert "4/4 injections" in out and "[complete]" in out
+
+    def test_stats_renders_and_json(self, capsys, tmp_path):
+        from repro.obs import MetricsRegistry, write_prometheus
+        registry = MetricsRegistry()
+        registry.counter("sfi_injections_total", "by outcome",
+                         ("outcome",)).inc(9, outcome="Hang")
+        path = tmp_path / "out.prom"
+        write_prometheus(registry, path)
+        code, out = run_cli(capsys, "stats", "--metrics", str(path))
+        assert code == 0
+        assert "sfi_injections_total" in out and "9" in out
+        code, out = run_cli(capsys, "stats", "--metrics", str(path),
+                            "--json")
+        assert code == 0
+        assert json.loads(out)
+
+    def test_stats_unreadable_snapshot(self, capsys, tmp_path):
+        code = cli.main(["stats", "--metrics", str(tmp_path / "missing")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unreadable" in captured.err

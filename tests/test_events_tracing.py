@@ -55,6 +55,60 @@ class TestEventLog:
         assert len(log) == 0 and log.dropped == 0
 
 
+class TestEventLogRing:
+    """The ``max_events`` ring bound (campaign paths use it so a
+    hang-heavy injection cannot grow memory for the whole drain window)."""
+
+    def test_ring_keeps_newest_events(self):
+        log = EventLog(capacity=None, max_events=3)
+        for i in range(5):
+            log.record(i, EventKind.HALT)
+        assert [event.cycle for event in log] == [2, 3, 4]
+        assert log.dropped == 2
+
+    def test_ring_wins_over_capacity(self):
+        log = EventLog(capacity=2, max_events=3)
+        for i in range(5):
+            log.record(i, EventKind.HALT)
+        # Ring semantics: full length, newest retained.
+        assert [event.cycle for event in log] == [2, 3, 4]
+
+    def test_unbounded_when_both_none(self):
+        log = EventLog(capacity=None, max_events=None)
+        for i in range(1000):
+            log.record(i, EventKind.HALT)
+        assert len(log) == 1000 and log.dropped == 0
+
+    def test_max_events_validation(self):
+        with pytest.raises(ValueError, match="max_events"):
+            EventLog(max_events=0)
+
+    def test_snapshot_restore_keeps_ring_state(self):
+        log = EventLog(capacity=None, max_events=2)
+        log.record(1, EventKind.INJECTION, "a")
+        log.record(2, EventKind.HALT)
+        log.record(3, EventKind.HALT)
+        snap = log.snapshot()
+        log.clear()
+        log.restore(snap)
+        assert [event.cycle for event in log] == [2, 3]
+        assert log.dropped == 1
+        # The bound still applies after restore.
+        log.record(4, EventKind.HALT)
+        assert [event.cycle for event in log] == [3, 4]
+
+    def test_campaign_cores_are_ring_bounded(self, experiment):
+        assert experiment.core.event_log.max_events == 512
+        assert experiment.core.event_log.capacity is None
+
+    def test_terminal_events_survive_a_hangy_log(self):
+        log = EventLog(capacity=None, max_events=4)
+        for i in range(100):
+            log.record(i, EventKind.ERROR_DETECTED, "CHK")
+        log.record(100, EventKind.HANG_DETECTED, "wedged")
+        assert log.first_of(EventKind.HANG_DETECTED) is not None
+
+
 class TestCoreEventIntegration:
     def test_fault_free_run_logs_only_halt(self, core, testcase):
         core.load_program(testcase.program)

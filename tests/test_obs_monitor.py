@@ -1,0 +1,178 @@
+"""Journal tailing, the live monitor loop and snapshot rendering."""
+
+import io
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    format_duration,
+    load_metrics_file,
+    monitor_campaign,
+    read_journal_progress,
+    render_monitor_frame,
+    render_stats,
+    write_jsonl,
+    write_prometheus,
+)
+
+
+def _journal_lines(total=10, done=4, outcome="Vanished"):
+    lines = [json.dumps({"format": 1, "kind": "sfi-journal", "seed": 1,
+                         "total_sites": total})]
+    for position in range(done):
+        lines.append(json.dumps(
+            {"pos": position, "record": {"outcome": outcome}}))
+    return lines
+
+
+class TestJournalProgress:
+    def test_reads_header_and_outcomes(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        path.write_text("\n".join(_journal_lines()) + "\n")
+        progress = read_journal_progress(path)
+        assert progress.total == 10
+        assert progress.done == 4
+        assert progress.outcomes["Vanished"] == 4
+        assert not progress.complete
+
+    def test_tolerates_torn_tail_and_duplicates(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        lines = _journal_lines(total=5, done=3)
+        lines.append(lines[1])          # duplicate position (retried shard)
+        lines.append('{"pos": 99, "rec')  # torn live append
+        path.write_text("\n".join(lines) + "\n")
+        progress = read_journal_progress(path)
+        assert progress.done == 3
+
+    def test_missing_file_is_empty_progress(self, tmp_path):
+        progress = read_journal_progress(tmp_path / "nope.jsonl")
+        assert progress.done == 0 and progress.total == 0
+
+    def test_complete(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        path.write_text("\n".join(_journal_lines(total=3, done=3)) + "\n")
+        assert read_journal_progress(path).complete
+
+
+class TestRendering:
+    def test_format_duration(self):
+        assert format_duration(42) == "42s"
+        assert format_duration(95) == "1m35s"
+        assert format_duration(3725) == "1h02m"
+        assert format_duration(float("inf")) == "?"
+
+    def test_frame_shows_rate_eta_and_mix(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        path.write_text("\n".join(_journal_lines()) + "\n")
+        progress = read_journal_progress(path)
+        frame = render_monitor_frame(progress, rate=2.0, eta=3.0,
+                                     metrics_lines=["x = 1.0"])
+        assert "4/10 injections (40.0%)" in frame
+        assert "2.0 inj/s" in frame
+        assert "ETA 3s" in frame
+        assert "Vanished: 4" in frame
+        assert "[monitor] x = 1.0" in frame
+
+    def test_complete_frame_flags_completion(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        path.write_text("\n".join(_journal_lines(total=4, done=4)) + "\n")
+        frame = render_monitor_frame(read_journal_progress(path), None, None)
+        assert "[complete]" in frame
+
+
+class TestMonitorLoop:
+    def test_follows_until_complete_and_reports_rate(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        lines = _journal_lines(total=6, done=2)
+        path.write_text("\n".join(lines) + "\n")
+
+        clock_now = [0.0]
+
+        def clock():
+            return clock_now[0]
+
+        def sleep(seconds):
+            # Each poll interval, two more injections complete.
+            clock_now[0] += seconds
+            done = min(6, 2 + 2 * int(clock_now[0]))
+            path.write_text("\n".join(_journal_lines(total=6, done=done))
+                            + "\n")
+
+        out = io.StringIO()
+        code = monitor_campaign(path, interval=1.0, out=out,
+                                clock=clock, sleep=sleep)
+        assert code == 0
+        text = out.getvalue()
+        assert "6/6 injections (100.0%)" in text
+        assert "[complete]" in text
+        assert "inj/s" in text
+
+    def test_missing_journal_returns_one(self, tmp_path):
+        out = io.StringIO()
+        code = monitor_campaign(tmp_path / "never.jsonl", follow=True,
+                                max_updates=2, out=out,
+                                sleep=lambda seconds: None)
+        assert code == 1
+        assert "waiting for journal" in out.getvalue()
+
+    def test_once_mode_single_frame(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        path.write_text("\n".join(_journal_lines()) + "\n")
+        out = io.StringIO()
+        code = monitor_campaign(path, follow=False, out=out)
+        assert code == 0
+        assert out.getvalue().count("[monitor]") >= 1
+
+    def test_metrics_file_lines_shown(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        journal.write_text("\n".join(_journal_lines(total=2, done=2)) + "\n")
+        registry = MetricsRegistry()
+        registry.gauge("sfi_injections_per_second").set(33.0)
+        metrics = tmp_path / "metrics.prom"
+        write_prometheus(registry, metrics)
+        out = io.StringIO()
+        monitor_campaign(journal, metrics_path=metrics, follow=False, out=out)
+        assert "sfi_injections_per_second = 33.0" in out.getvalue()
+
+
+class TestLoadMetricsFile:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("k",)).inc(2, k="v")
+        registry.gauge("g").set(1.5)
+        return registry
+
+    def test_sniffs_jsonl(self, tmp_path):
+        path = tmp_path / "snap"  # extension-free: format is sniffed
+        write_jsonl(self._registry(), path)
+        loaded = load_metrics_file(path)
+        assert loaded.counter("c", labelnames=("k",)).value(k="v") == 2
+
+    def test_sniffs_prometheus(self, tmp_path):
+        path = tmp_path / "snap"
+        write_prometheus(self._registry(), path)
+        loaded = load_metrics_file(path)
+        assert loaded.get("c").value(k="v") == 2
+        assert loaded.get("g").value() == 1.5
+
+    def test_unreadable_returns_none(self, tmp_path):
+        assert load_metrics_file(tmp_path / "nope") is None
+        empty = tmp_path / "empty"
+        empty.write_text("")
+        assert load_metrics_file(empty) is None
+
+
+class TestRenderStats:
+    def test_table_shows_series_and_quantiles(self):
+        registry = MetricsRegistry()
+        registry.counter("sfi_injections_total", "by outcome",
+                         ("outcome",)).inc(5, outcome="Vanished")
+        hist = registry.histogram("sfi_shard_wall_seconds", "wall",
+                                  buckets=(1.0, 10.0))
+        for value in (0.5, 0.6, 20.0):
+            hist.observe(value)
+        text = render_stats(registry)
+        assert "sfi_injections_total (counter)" in text
+        assert "'outcome': 'Vanished'" in text and "5" in text
+        assert "count=3" in text
+        assert "p50<=1" in text and "p99<=+Inf" in text

@@ -1,0 +1,128 @@
+"""Structured fault-propagation traces: span folding and the writer."""
+
+import json
+
+import pytest
+
+from repro.cpu.events import EventKind, MachineEvent
+from repro.obs import (
+    TRACE_FORMAT_VERSION,
+    TraceWriter,
+    chain_from_record,
+    read_trace_log,
+    spans_from_events,
+)
+from repro.rtl import LatchKind
+from repro.sfi import Outcome
+from repro.sfi.results import InjectionRecord
+
+
+def _record(trace, outcome=Outcome.CORRECTED, inject_cycle=10):
+    return InjectionRecord(0, "fxu.alu.3", "FXU", LatchKind.FUNC, "FXU", 7,
+                           inject_cycle, outcome, trace=tuple(trace))
+
+
+_CHAIN_EVENTS = [
+    MachineEvent(10, EventKind.INJECTION, "fxu.alu.3 -> 1 (toggle)"),
+    MachineEvent(25, EventKind.ERROR_DETECTED, "FXU_PARITY (ifar=0x80)"),
+    MachineEvent(25, EventKind.RECOVERY_START, "FXU_PARITY"),
+    MachineEvent(33, EventKind.RECOVERY_RESTORED, "checkpoint pc=0x74"),
+    MachineEvent(35, EventKind.RECOVERY_DONE, "recovery #1"),
+    MachineEvent(90, EventKind.HALT, "after 40 instructions"),
+]
+
+
+class TestSpanFolding:
+    def test_recovery_folds_into_one_span_with_duration(self):
+        spans = spans_from_events(_CHAIN_EVENTS, unit="FXU")
+        names = [span["name"] for span in spans]
+        assert names == ["injection", "error-detected", "recovery", "halt"]
+        recovery = spans[2]
+        assert recovery["start"] == 25 and recovery["end"] == 35
+
+    def test_point_events_are_zero_length(self):
+        spans = spans_from_events(_CHAIN_EVENTS, unit="FXU")
+        assert spans[0]["start"] == spans[0]["end"] == 10
+
+    def test_unit_from_checker_detail_prefix(self):
+        events = [MachineEvent(5, EventKind.ERROR_DETECTED, "LSU_EA_PARITY x")]
+        spans = spans_from_events(events, unit="FXU")
+        assert spans[0]["unit"] == "LSU"
+
+    def test_unit_fallback_when_detail_is_plain(self):
+        events = [MachineEvent(5, EventKind.HALT, "after 3 instructions")]
+        assert spans_from_events(events, unit="IDU")[0]["unit"] == "IDU"
+
+
+class TestChainFromRecord:
+    def test_chain_carries_identity_and_latency(self):
+        chain = chain_from_record(_record(_CHAIN_EVENTS), position=4)
+        assert chain["format"] == TRACE_FORMAT_VERSION
+        assert chain["position"] == 4
+        assert chain["site"] == "fxu.alu.3"
+        assert chain["unit"] == "FXU"
+        assert chain["kind"] == "FUNC"
+        assert chain["outcome"] == "Corrected"
+        assert chain["inject_cycle"] == 10
+        assert chain["detection_cycle"] == 25
+        assert chain["detection_latency"] == 15
+        assert chain["end_cycle"] == 90
+
+    def test_detection_only_counts_after_injection(self):
+        events = [MachineEvent(3, EventKind.ERROR_DETECTED, "EARLIER x"),
+                  MachineEvent(10, EventKind.INJECTION, "fxu.alu.3 -> 1"),
+                  MachineEvent(40, EventKind.CHECKSTOP, "FXU_PARITY")]
+        chain = chain_from_record(_record(events, outcome=Outcome.CHECKSTOP))
+        assert chain["detection_cycle"] == 40
+
+    def test_undetected_has_null_latency(self):
+        events = [MachineEvent(10, EventKind.INJECTION, "x"),
+                  MachineEvent(90, EventKind.HALT, "")]
+        chain = chain_from_record(_record(events, outcome=Outcome.SDC))
+        assert chain["detection_cycle"] is None
+        assert chain["detection_latency"] is None
+
+    def test_chain_is_json_serializable(self):
+        chain = chain_from_record(_record(_CHAIN_EVENTS))
+        assert json.loads(json.dumps(chain)) == chain
+
+
+class TestTraceWriter:
+    def test_filters_vanished_by_default(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with TraceWriter(path) as writer:
+            assert writer.write(0, _record(_CHAIN_EVENTS)) is True
+            assert writer.write(
+                1, _record([], outcome=Outcome.VANISHED)) is False
+        assert writer.written == 1 and writer.filtered == 1
+        chains = read_trace_log(path)
+        assert len(chains) == 1
+        assert chains[0]["position"] == 0
+
+    def test_include_vanished(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        with TraceWriter(path, include_vanished=True) as writer:
+            writer.write(0, _record([], outcome=Outcome.VANISHED))
+        assert len(read_trace_log(path)) == 1
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.jsonl")
+        writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.write(0, _record(_CHAIN_EVENTS))
+
+    def test_read_trace_log_is_strict(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"ok": 1}\n{"torn', encoding="utf-8")
+        with pytest.raises(ValueError, match="malformed"):
+            read_trace_log(path)
+
+
+class TestCampaignIntegration:
+    def test_campaign_records_serialize_to_chains(self, experiment):
+        result = experiment.run_random_campaign(25, seed=3)
+        for position, record in enumerate(result.records):
+            chain = chain_from_record(record, position)
+            assert chain["spans"], "every record has at least the injection"
+            assert chain["spans"][0]["name"] == "injection"
+            json.dumps(chain)

@@ -19,6 +19,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import MetricsRegistry
 from repro.sfi import (
     CampaignConfig,
     CampaignStorageError,
@@ -26,7 +27,12 @@ from repro.sfi import (
     SfiExperiment,
 )
 from repro.sfi.storage import CampaignJournal
-from repro.sfi.supervisor import CampaignProgress, run_shard
+from repro.sfi.supervisor import (
+    CampaignProgress,
+    PrintProgress,
+    TeeProgress,
+    run_shard,
+)
 
 from tests.conftest import SMALL_PARAMS
 
@@ -65,6 +71,14 @@ def hanging_runner(config, items, seed, emit):
 def sigkill_runner(config, items, seed, emit):
     if _trip_marker():
         os.kill(os.getpid(), signal.SIGKILL)
+    return run_shard(config, items, seed, emit)
+
+
+def oversized_shard_runner(config, items, seed, emit):
+    """Fails every multi-injection shard (drives the split path to
+    single-injection shards, which succeed)."""
+    if len(items) > 1:
+        raise RuntimeError("shard too big")
     return run_shard(config, items, seed, emit)
 
 
@@ -198,6 +212,136 @@ class TestWorkerFailures:
         result = supervisor.run(SITES, seed=11)
         assert _outcomes(result) == _outcomes(serial_reference)
         assert progress.degrades and "spawn" in progress.degrades[0]
+
+
+class TestPrintProgress:
+    """Rate limiting and ETA of the CLI's default narration."""
+
+    @staticmethod
+    def _progress(clock_now, every=1, min_interval=10.0):
+        return PrintProgress(every=every, min_interval=min_interval,
+                             clock=lambda: clock_now[0])
+
+    def test_rate_limited_between_lines(self, capsys):
+        clock_now = [0.0]
+        progress = self._progress(clock_now)
+        progress.on_start(5, 5)
+        for position in range(4):
+            clock_now[0] += 1.0
+            progress.on_record(position, None)
+        out = capsys.readouterr().out
+        # Only the first record's line fits inside min_interval.
+        assert out.count("[supervisor]") == 1
+
+    def test_final_line_always_prints(self, capsys):
+        clock_now = [0.0]
+        progress = self._progress(clock_now)
+        progress.on_start(3, 3)
+        for position in range(3):
+            clock_now[0] += 0.001  # far below min_interval
+            progress.on_record(position, None)
+        out = capsys.readouterr().out
+        assert "3/3 injections" in out
+
+    def test_rate_and_eta_derived_from_clock(self, capsys):
+        clock_now = [0.0]
+        progress = self._progress(clock_now, min_interval=0.0)
+        progress.on_start(4, 4)
+        clock_now[0] += 2.0
+        progress.on_record(0, None)
+        out = capsys.readouterr().out
+        # 1 injection in 2s: 0.5 inj/s, 3 remaining -> 6s.
+        assert "0.5 inj/s" in out
+        assert "ETA 6s" in out
+
+    def test_eta_formatting(self):
+        assert PrintProgress._format_eta(42) == "42s"
+        assert PrintProgress._format_eta(95) == "1m35s"
+        assert PrintProgress._format_eta(3725) == "1h02m"
+
+    def test_resume_banner(self, capsys):
+        progress = self._progress([0.0])
+        progress.on_start(10, 6)
+        assert "resuming: 4/10" in capsys.readouterr().out
+
+    def test_tee_forwards_and_skips_none(self):
+        left, right = RecordingProgress(), RecordingProgress()
+        tee = TeeProgress(left, None, right)
+        tee.on_record(3, "rec")
+        tee.on_degrade("why")
+        assert left.records == right.records == [3]
+        assert left.degrades == right.degrades == ["why"]
+
+
+class TestInstrumentation:
+    """The supervisor's metric series under normal and abnormal paths."""
+
+    def test_serial_run_records_all_series(self):
+        registry = MetricsRegistry()
+        CampaignSupervisor(CONFIG, workers=1, metrics=registry).run(
+            SITES, seed=11)
+        injections = registry.get("sfi_injections_total")
+        assert sum(injections.series().values()) == len(SITES)
+        assert registry.get("sfi_shard_wall_seconds").count(
+            status="serial") == 1
+        assert registry.get("sfi_campaign_seconds").value() > 0
+        assert registry.get("sfi_injections_per_second").value() > 0
+        assert registry.get("sfi_workers_running").value() == 0
+
+    @pytest.mark.slow
+    def test_retry_series(self, marker):
+        registry = MetricsRegistry()
+        supervisor = CampaignSupervisor(
+            CONFIG, workers=2, max_retries=2, backoff_base=0.0,
+            metrics=registry, runner=raising_runner)
+        supervisor.run(SITES, seed=11)
+        assert registry.get("sfi_shard_retries_total").value() >= 1
+        wall = registry.get("sfi_shard_wall_seconds")
+        assert wall.count(status="failed") >= 1
+        assert wall.count(status="ok") >= 1
+        # Every spawned shard waited in the queue at least once.
+        assert registry.get("sfi_shard_queue_wait_seconds").count() >= 2
+        assert sum(registry.get("sfi_injections_total")
+                   .series().values()) == len(SITES)
+
+    @pytest.mark.slow
+    def test_split_series(self):
+        registry = MetricsRegistry()
+        supervisor = CampaignSupervisor(
+            CONFIG, workers=2, max_retries=0, backoff_base=0.0,
+            metrics=registry, runner=oversized_shard_runner)
+        result = supervisor.run(SITES[:4], seed=11)
+        assert result.total == 4
+        assert registry.get("sfi_shard_splits_total").value() == 2
+        assert sum(registry.get("sfi_injections_total")
+                   .series().values()) == 4
+
+    def test_degrade_series(self, monkeypatch):
+        registry = MetricsRegistry()
+
+        def broken_spawn(self, job, seed, out_queue):
+            raise OSError("fork: resource temporarily unavailable")
+
+        monkeypatch.setattr(CampaignSupervisor, "_spawn", broken_spawn)
+        supervisor = CampaignSupervisor(CONFIG, workers=2, metrics=registry)
+        supervisor.run(SITES, seed=11)
+        assert registry.get("sfi_degrades_total").value() == 1
+        assert registry.get("sfi_shard_wall_seconds").count(
+            status="serial") == 1
+        assert sum(registry.get("sfi_injections_total")
+                   .series().values()) == len(SITES)
+
+    def test_resume_counts_recovered(self, tmp_path):
+        journal = tmp_path / "campaign.journal"
+        CampaignSupervisor(CONFIG, workers=1, journal=journal).run(
+            SITES, seed=11)
+        registry = MetricsRegistry()
+        CampaignSupervisor(CONFIG, workers=1, journal=journal, resume=True,
+                           metrics=registry).run(SITES, seed=11)
+        assert registry.get("sfi_injections_recovered_total") \
+            .value() == len(SITES)
+        # Nothing re-ran, so no outcome counts this run.
+        assert registry.get("sfi_injections_total").series() == {}
 
 
 class TestJournalAndResume:
