@@ -159,19 +159,21 @@ def cmd_campaign(args) -> int:
             trace_writer = TraceWriter(args.trace_log)
     try:
         if supervised:
+            from random import Random
+
             from repro.sfi.parallel import run_parallel_campaign
             from repro.sfi.sampling import random_sample
             from repro.sfi.supervisor import PrintProgress, TeeProgress
-            import random as random_module
             if args.resume and not args.journal:
                 print("--resume requires --journal", file=sys.stderr)
                 return 2
             probe = SfiExperiment(config)
             # Site selection is a pure function of (seed, flips), so a
             # resumed run regenerates the same plan its journal was
-            # written against.
+            # written against.  The explicitly seeded Random is the
+            # determinism contract REPRO-D01 enforces repo-wide.
             sites = random_sample(probe.latch_map, args.flips,
-                                  random_module.Random(args.seed ^ 0x5F1))
+                                  Random(args.seed ^ 0x5F1))
             observers = []
             if not args.json:
                 observers.append(PrintProgress(
@@ -328,6 +330,59 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        render_jsonl,
+        render_text,
+        run_lint,
+        write_baseline,
+        write_jsonl,
+    )
+    from repro.lint.policy import render_policy
+
+    if args.show_policy:
+        print(render_policy())
+        return 0
+    root = Path(args.root) if args.root else None
+    try:
+        report = run_lint(
+            root=root,
+            include_audit=not args.no_audit,
+            baseline_path=args.baseline,
+            design_path=args.design)
+    except (OSError, ValueError) as exc:
+        print(f"lint failed: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        from repro.lint.engine import BASELINE_FILENAME, find_repo_file
+        target = args.baseline or find_repo_file(
+            root or Path(), BASELINE_FILENAME) or BASELINE_FILENAME
+        write_baseline(report.findings + report.suppressed, str(target))
+        print(f"{len(report.findings) + len(report.suppressed)} finding(s) "
+              f"accepted into {target}")
+        return 0
+    if args.jsonl:
+        write_jsonl(report.findings, args.jsonl)
+    if args.format == "jsonl":
+        sys.stdout.write(render_jsonl(report.findings))
+    else:
+        if report.findings:
+            print(render_text(report.findings))
+        summary = (f"lint: {report.files_scanned} files, "
+                   f"{len(report.findings)} finding(s), "
+                   f"{len(report.suppressed)} suppressed"
+                   f"{', audit ok' if report.audit_ran else ''}")
+        if report.budget_source:
+            summary += f" (budgets: {report.budget_source})"
+        print(summary)
+        for key in sorted(report.stale_baseline):
+            print(f"stale baseline entry (violation is gone — remove it): "
+                  f"{key[0]} {key[1]}: {key[2]}")
+    return report.exit_code(strict=args.strict)
+
+
 def cmd_monitor(args) -> int:
     from repro.obs import monitor_campaign
     return monitor_campaign(
@@ -426,6 +481,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-log", metavar="PATH",
                    help="also write machine-readable JSONL span chains")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis: determinism lint + "
+             "fault-space audit")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail on warnings and on stale baseline "
+                        "entries (the CI gate)")
+    p.add_argument("--format", choices=("text", "jsonl"), default="text",
+                   help="report format on stdout (default text)")
+    p.add_argument("--jsonl", metavar="PATH",
+                   help="additionally write findings JSONL to this file "
+                        "(written even when empty, for CI artifacts)")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="suppression baseline (default: lint-baseline.jsonl "
+                        "found next to the repo's DESIGN.md)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="accept the current findings into the baseline "
+                        "instead of failing on them")
+    p.add_argument("--root", metavar="PATH",
+                   help="source tree to lint (default: the installed "
+                        "repro package)")
+    p.add_argument("--design", metavar="PATH",
+                   help="DESIGN.md to reconcile latch budgets against "
+                        "(default: auto-discovered)")
+    p.add_argument("--no-audit", action="store_true",
+                   help="skip the fault-space audit (AST passes only)")
+    p.add_argument("--show-policy", action="store_true",
+                   help="print the per-path rule policy table and exit")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("monitor",
                        help="live view of a running campaign's journal")

@@ -1,0 +1,60 @@
+"""Domain-aware static analysis for the SFI reproduction.
+
+The paper's conclusions are *statistical*: they hold only if (a) every
+injection is exactly reproducible — no unseeded randomness or wall-clock
+leaking into simulation state — and (b) the sampled fault space equals
+the model's true latch population — no latch silently missing from the
+netlist, no parity domain without a checker.  ``repro.lint`` verifies
+both properties before a campaign spends cycles on them:
+
+* AST lint passes (:mod:`repro.lint.rules_ast`) enforce determinism,
+  worker-payload safety and naming conventions over the source tree,
+  guided by a per-path policy table (:mod:`repro.lint.policy`).
+* The fault-space audit (:mod:`repro.lint.audit`) instantiates the live
+  core model and cross-checks it against the sampling view and the
+  latch budgets declared in ``DESIGN.md`` — any gap is a
+  statistical-bias finding, not a style nit.
+
+Findings are structured records rendered as text or JSONL, matched
+against a checked-in suppression baseline, and gated in CI via the
+``repro-sfi lint`` subcommand (see :mod:`repro.lint.engine`).
+"""
+
+from __future__ import annotations
+
+from repro.lint.audit import audit_fault_space, parse_design_budgets
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import LintReport, lint_tree, run_lint
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    render_jsonl,
+    render_text,
+    write_jsonl,
+)
+from repro.lint.policy import DEFAULT_POLICY, PathPolicy, RuleGroup
+from repro.lint.rules_ast import lint_source
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "Finding",
+    "LintReport",
+    "PathPolicy",
+    "RuleGroup",
+    "Severity",
+    "apply_baseline",
+    "audit_fault_space",
+    "lint_source",
+    "lint_tree",
+    "load_baseline",
+    "parse_design_budgets",
+    "render_jsonl",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+    "write_jsonl",
+]

@@ -1,0 +1,208 @@
+"""Fault-space audit: the model vs. the sampling view.
+
+The paper's statistics assume the sampled population *is* the machine:
+"the sample size n of the fault injection experiments performed relates
+directly to the latch count N of the model".  A latch that a unit owns
+but the netlist missed can never be struck, so every campaign
+under-reports that unit's contribution — a silent statistical bias no
+amount of sampling fixes.  This audit instantiates the live core model
+and cross-checks three artifacts against each other:
+
+* the **structure** (``core.all_latches()`` / ``core.unit_of``),
+* the **sampling view** (:class:`repro.emulator.netlist.LatchMap`),
+* the **declared budgets** (the "Latch budgets" table in ``DESIGN.md``).
+
+Rules:
+
+* ``REPRO-A01`` unregistered latch — a live latch with missing (or a
+  wrong number of) injectable bits in the netlist.
+* ``REPRO-A02`` ring-less latch — no scan-ring assignment; per-ring
+  (Figure 5) sampling would silently skip it.
+* ``REPRO-A03`` kind-less latch — no :class:`LatchKind`; per-kind
+  stratification would drop it.
+* ``REPRO-A04`` checker-less parity domain — a unit carries
+  parity-protected latches but no parity/ECC checker exists to consume
+  the shadow bit, so "detected" outcomes there are unreachable.
+* ``REPRO-A05`` stale site — the netlist addresses a latch the core no
+  longer owns (injections would mutate orphaned state).
+* ``REPRO-A06`` budget mismatch — per-unit injectable-bit counts
+  disagree with ``DESIGN.md``'s declared budgets.
+* ``REPRO-A07`` duplicate site name — two sites share a
+  ``unit.latch.bit`` path, so journals and resume keys are ambiguous.
+
+The audit duck-types its inputs (anything with ``all_latches()`` /
+``unit_of()`` and an indexable site view) so tests can probe it with
+deliberately broken models.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+from repro.lint.findings import Finding, Severity
+
+_BUDGET_ROW = re.compile(
+    r"^\|\s*`?([A-Za-z][A-Za-z0-9]*)`?\s*\|\s*([0-9][0-9,_]*)\s*\|")
+
+#: Checker-name tags that mark a checker as consuming parity/ECC state.
+_PARITY_TAGS = ("PARITY", "ECC", "MULTIHIT")
+
+
+def parse_design_budgets(design_path: str) -> dict[str, int]:
+    """Parse the "Latch budgets" table out of ``DESIGN.md``.
+
+    Returns ``{unit: injectable_bits}`` (plus a ``TOTAL`` row when the
+    table declares one).  Only rows inside a heading whose text contains
+    "latch budget" are read, so other tables in the document are inert.
+    """
+    budgets: dict[str, int] = {}
+    in_section = False
+    with open(design_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                in_section = "latch budget" in stripped.lower()
+                continue
+            if not in_section:
+                continue
+            match = _BUDGET_ROW.match(stripped)
+            if match:
+                unit = match.group(1).upper()
+                if unit == "UNIT":
+                    continue  # header row
+                bits = int(match.group(2).replace(",", "").replace("_", ""))
+                budgets[unit] = bits
+    return budgets
+
+
+def _finding(rule: str, path: str, message: str) -> Finding:
+    return Finding(rule=rule, severity=Severity.ERROR,
+                   category="fault-space", path=path, line=0,
+                   message=message)
+
+
+def audit_fault_space(core=None, latch_map=None,
+                      budgets: dict[str, int] | None = None,
+                      checkers=None) -> list[Finding]:
+    """Cross-check the live model, the netlist and the declared budgets.
+
+    With no arguments, audits the default :class:`Power6Core` model the
+    campaigns run on.  ``budgets=None`` skips the DESIGN.md
+    reconciliation (pass :func:`parse_design_budgets` output to enable
+    it); ``checkers`` defaults to the hardware checker enum.
+    """
+    if core is None:
+        from repro.cpu.core import Power6Core
+        core = Power6Core()
+    if latch_map is None:
+        from repro.emulator.netlist import LatchMap
+        latch_map = LatchMap(core)
+    if checkers is None:
+        from repro.cpu.checkers import Checker
+        checkers = list(Checker)
+    from repro.rtl.latch import LatchKind
+
+    findings: list[Finding] = []
+    core_latches = core.all_latches()
+    live = {id(latch): latch for latch in core_latches}
+
+    registered_bits: Counter[int] = Counter()
+    site_names: Counter[str] = Counter()
+    stale_reported: set[int] = set()
+    for index in range(len(latch_map)):
+        site = latch_map.site(index)
+        site_names[site.name] += 1
+        key = id(site.latch)
+        registered_bits[key] += 1
+        if key not in live and key not in stale_reported:
+            stale_reported.add(key)
+            findings.append(_finding(
+                "REPRO-A05", site.latch.name,
+                "netlist site addresses a latch the core does not own; "
+                "injecting it mutates orphaned state outside the model"))
+
+    for latch in core_latches:
+        expected = latch.width + (1 if latch.protected else 0)
+        have = registered_bits.get(id(latch), 0)
+        if have == 0:
+            findings.append(_finding(
+                "REPRO-A01", latch.name,
+                f"latch ({expected} injectable bits) is reachable via "
+                "all_latches() but absent from the netlist; campaigns can "
+                "never strike it, biasing every sampled rate"))
+        elif have != expected:
+            findings.append(_finding(
+                "REPRO-A01", latch.name,
+                f"netlist registers {have} bits but the latch exposes "
+                f"{expected} (width {latch.width}"
+                f"{' + parity shadow' if latch.protected else ''}); the "
+                "fault space is mis-sized"))
+        ring = getattr(latch, "ring", "")
+        if not ring:
+            findings.append(_finding(
+                "REPRO-A02", latch.name,
+                "latch has no scan-ring assignment; per-ring (Figure 5) "
+                "sampling silently skips it"))
+        kind = getattr(latch, "kind", None)
+        if not isinstance(kind, LatchKind):
+            findings.append(_finding(
+                "REPRO-A03", latch.name,
+                f"latch kind {kind!r} is not a LatchKind; per-kind "
+                "stratification drops it"))
+
+    for name, count in sorted(site_names.items()):
+        if count > 1:
+            findings.append(_finding(
+                "REPRO-A07", name,
+                f"{count} netlist sites share this name; journal resume "
+                "keys and index_of() lookups are ambiguous"))
+
+    # Parity-protected latches must have at least one checker in their
+    # unit that consumes parity/ECC state, or detection is unreachable.
+    protected_by_unit: Counter[str] = Counter()
+    for latch in core_latches:
+        if latch.protected:
+            protected_by_unit[core.unit_of(latch)] += 1
+    checking_units = {
+        checker.unit for checker in checkers
+        if any(tag in checker.name for tag in _PARITY_TAGS)}
+    for unit in sorted(protected_by_unit):
+        if unit not in checking_units:
+            findings.append(_finding(
+                "REPRO-A04", unit,
+                f"unit owns {protected_by_unit[unit]} parity-protected "
+                "latch(es) but no parity/ECC checker; their detected "
+                "outcomes are unreachable, so checker-effectiveness "
+                "results are biased"))
+
+    if budgets:
+        declared_total = budgets.get("TOTAL")
+        unit_budgets = {unit: bits for unit, bits in budgets.items()
+                        if unit != "TOTAL"}
+        counts = latch_map.unit_bit_counts()
+        for unit in sorted(set(unit_budgets) | set(counts)):
+            declared = unit_budgets.get(unit)
+            actual = counts.get(unit)
+            if declared is None:
+                findings.append(_finding(
+                    "REPRO-A06", unit,
+                    f"unit exists in the model ({actual} injectable bits) "
+                    "but has no declared budget in DESIGN.md"))
+            elif actual is None:
+                findings.append(_finding(
+                    "REPRO-A06", unit,
+                    f"DESIGN.md declares {declared} injectable bits but "
+                    "the model has no such unit"))
+            elif declared != actual:
+                findings.append(_finding(
+                    "REPRO-A06", unit,
+                    f"DESIGN.md declares {declared} injectable bits but "
+                    f"the model exposes {actual}; the declared fault "
+                    "space no longer matches the machine"))
+        if declared_total is not None and declared_total != len(latch_map):
+            findings.append(_finding(
+                "REPRO-A06", "TOTAL",
+                f"DESIGN.md declares {declared_total} total injectable "
+                f"bits but the netlist holds {len(latch_map)}"))
+    return findings

@@ -1,0 +1,75 @@
+"""Suppression baseline: the ratchet that keeps findings at zero.
+
+The baseline is a checked-in JSONL file of *accepted* findings.  A
+finding matching a baseline entry is suppressed; a finding not in the
+baseline fails the gate.  The file ships empty (every pre-existing
+violation was fixed), so any entry added later is a visible, reviewable
+decision — and ``--strict`` additionally fails on *stale* entries whose
+violation no longer exists, so the baseline can only shrink.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import Finding
+
+BaselineKey = tuple[str, str, str]
+
+
+def load_baseline(path: str) -> set[BaselineKey]:
+    """Read baseline keys from a JSONL file.
+
+    Blank lines and ``#`` comment lines are ignored so the checked-in
+    file can carry a header explaining itself.  A malformed line raises:
+    a silently short-read baseline would un-suppress (or worse, a
+    permissive parser could over-suppress) without anyone noticing.
+    """
+    keys: set[BaselineKey] = set()
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                entry = json.loads(line)
+                keys.add((entry["rule"], entry["path"], entry["message"]))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed baseline entry: {exc}"
+                ) from exc
+    return keys
+
+
+def write_baseline(findings: list[Finding], path: str) -> None:
+    """Accept the current findings as the new baseline."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# repro-sfi lint suppression baseline (JSONL).\n")
+        handle.write("# Entries match findings by (rule, path, message); "
+                     "regenerate with `repro-sfi lint --write-baseline`.\n")
+        for finding in sorted(findings, key=lambda f: f.key()):
+            rule, fpath, message = finding.key()
+            handle.write(json.dumps(
+                {"rule": rule, "path": fpath, "message": message},
+                sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: set[BaselineKey],
+) -> tuple[list[Finding], list[Finding], set[BaselineKey]]:
+    """Split findings into (new, suppressed) and report stale keys.
+
+    ``stale`` is the set of baseline entries that matched nothing — dead
+    suppressions that ``--strict`` refuses to carry.
+    """
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    matched: set[BaselineKey] = set()
+    for finding in findings:
+        key = finding.key()
+        if key in baseline:
+            matched.add(key)
+            suppressed.append(finding)
+        else:
+            new.append(finding)
+    return new, suppressed, baseline - matched

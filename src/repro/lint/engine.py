@@ -1,0 +1,138 @@
+"""Lint orchestration: walk the tree, run both engines, gate.
+
+``run_lint()`` is what the ``repro-sfi lint`` subcommand and the CI job
+call: AST passes over every ``.py`` file under the package root (policy
+table deciding which rule groups apply per path), the fault-space audit
+over the live model, baseline suppression, and a single exit-code
+decision.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.audit import audit_fault_space, parse_design_budgets
+from repro.lint.baseline import (
+    BaselineKey,
+    apply_baseline,
+    load_baseline,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.policy import DEFAULT_POLICY, PathPolicy, groups_for
+from repro.lint.rules_ast import lint_source
+
+#: Name of the checked-in suppression baseline at the repo root.
+BASELINE_FILENAME = "lint-baseline.jsonl"
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+    return Path(repro.__file__).resolve().parent
+
+
+def find_repo_file(root: Path, filename: str) -> Path | None:
+    """Walk up from the lint root looking for a repo-level file
+    (``DESIGN.md``, the baseline).  Returns None when not found, e.g.
+    for a site-packages install without a repo checkout."""
+    for candidate_dir in (root, *root.parents[:3]):
+        candidate = candidate_dir / filename
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def iter_source_files(root: Path) -> list[Path]:
+    """Every ``.py`` file under ``root``, deterministic order."""
+    return sorted(path for path in root.rglob("*.py")
+                  if "__pycache__" not in path.parts)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run decided."""
+
+    findings: list[Finding]
+    suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: set[BaselineKey] = field(default_factory=set)
+    files_scanned: int = 0
+    audit_ran: bool = False
+    budget_source: str = ""
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean, 1 findings (warnings gate only under ``--strict``,
+        as do stale baseline entries)."""
+        if self.errors():
+            return 1
+        if strict and (self.findings or self.stale_baseline):
+            return 1
+        return 0
+
+
+def lint_tree(root: Path,
+              policy: tuple[PathPolicy, ...] = DEFAULT_POLICY,
+              ) -> tuple[list[Finding], int]:
+    """Run the AST passes over every source file under ``root``.
+
+    Returns (findings, files scanned).  Finding paths are reported
+    relative to ``root``'s parent (``repro/cpu/core.py``) so reports are
+    stable across checkouts.
+    """
+    findings: list[Finding] = []
+    files = iter_source_files(root)
+    for path in files:
+        relpath = path.relative_to(root).as_posix()
+        report_path = (root.name + "/" + relpath) if root.name else relpath
+        source = path.read_text(encoding="utf-8")
+        groups = groups_for(relpath, policy)
+        for finding in lint_source(source, report_path, groups):
+            findings.append(finding)
+    return findings, len(files)
+
+
+def run_lint(root: Path | None = None,
+             policy: tuple[PathPolicy, ...] = DEFAULT_POLICY,
+             include_audit: bool = True,
+             baseline_path: str | os.PathLike | None = None,
+             design_path: str | os.PathLike | None = None,
+             ) -> LintReport:
+    """One full lint run: AST passes + fault-space audit + baseline.
+
+    ``baseline_path``/``design_path`` default to auto-discovery relative
+    to the lint root; pass an explicit path to pin them, or a path that
+    does not exist to disable that input.
+    """
+    root = Path(root) if root is not None else default_root()
+    findings, files_scanned = lint_tree(root, policy)
+
+    audit_ran = False
+    budget_source = ""
+    if include_audit:
+        if design_path is None:
+            found = find_repo_file(root, "DESIGN.md")
+            design_path = found if found is not None else None
+        budgets = None
+        if design_path is not None and Path(design_path).is_file():
+            budgets = parse_design_budgets(os.fspath(design_path))
+            if budgets:
+                budget_source = os.fspath(design_path)
+        findings.extend(audit_fault_space(budgets=budgets))
+        audit_ran = True
+
+    if baseline_path is None:
+        found = find_repo_file(root, BASELINE_FILENAME)
+        baseline_path = found if found is not None else None
+    suppressed: list[Finding] = []
+    stale: set[BaselineKey] = set()
+    if baseline_path is not None and Path(baseline_path).is_file():
+        baseline = load_baseline(os.fspath(baseline_path))
+        findings, suppressed, stale = apply_baseline(findings, baseline)
+
+    return LintReport(findings=findings, suppressed=suppressed,
+                      stale_baseline=stale, files_scanned=files_scanned,
+                      audit_ran=audit_ran, budget_source=budget_source)

@@ -1,0 +1,100 @@
+"""Structured lint findings and their text / JSONL renderings.
+
+Every rule — AST pass or fault-space audit — reports the same record
+shape, so one baseline, one renderer and one CI gate cover both
+engines.  ``path`` is a source file (``src/repro/cpu/core.py``) for AST
+findings and a latch path (``core0.FXU.ex1.res``) for audit findings;
+``line`` is 0 when a finding has no meaningful source line.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+
+
+class Severity(enum.Enum):
+    """How a finding is treated by the gate.
+
+    ``ERROR`` findings fail ``repro-sfi lint``; ``WARNING`` findings are
+    reported but only fail under ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``rule`` is the stable identifier (``REPRO-D02``); ``category`` is
+    the rule group (``determinism``, ``worker-safety``, ``naming``,
+    ``fault-space``).
+    """
+
+    rule: str
+    severity: Severity
+    category: str
+    path: str
+    line: int
+    message: str
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: line numbers shift under unrelated edits,
+        so suppression matches on (rule, path, message) only."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["severity"] = self.severity.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            severity=Severity(data.get("severity", "error")),
+            category=data.get("category", ""),
+            path=data["path"],
+            line=int(data.get("line", 0)),
+            message=data["message"],
+        )
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return (f"{location}: {self.severity.value} "
+                f"[{self.rule}] {self.message}")
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: errors first, then by location."""
+    return sorted(findings,
+                  key=lambda f: (f.severity is not Severity.ERROR,
+                                 f.path, f.line, f.rule, f.message))
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Human-readable report, one finding per line plus a tally."""
+    ordered = sort_findings(findings)
+    lines = [finding.render() for finding in ordered]
+    errors = sum(1 for f in ordered if f.severity is Severity.ERROR)
+    warnings = len(ordered) - errors
+    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_jsonl(findings: list[Finding]) -> str:
+    """Machine-readable report: one JSON object per finding, sorted the
+    same way as the text report (ends with a newline unless empty)."""
+    ordered = sort_findings(findings)
+    return "".join(json.dumps(finding.to_dict(), sort_keys=True) + "\n"
+                   for finding in ordered)
+
+
+def write_jsonl(findings: list[Finding], path: str) -> None:
+    """Write the JSONL report (an empty file when there are no findings,
+    so CI artifact upload always has something to collect)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_jsonl(findings))

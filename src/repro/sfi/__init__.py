@@ -36,6 +36,7 @@ from repro.sfi.hardening import HardeningReport, harden, harden_rings
 from repro.sfi.outcomes import OUTCOME_ORDER, Outcome
 from repro.sfi.results import CampaignResult, InjectionRecord
 from repro.sfi.sampling import (
+    EmptyPopulationError,
     kind_sample,
     random_sample,
     ring_fraction_sample,
@@ -59,6 +60,7 @@ __all__ = [
     "ChipCampaignResult",
     "ChipExperiment",
     "ChipInjectionRecord",
+    "EmptyPopulationError",
     "InjectionPlan",
     "plan_injections",
     "run_parallel_campaign",

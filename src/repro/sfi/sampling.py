@@ -4,6 +4,12 @@ The paper's methodology is *statistical*: a core holds hundreds of
 thousands of latch bits, so campaigns sample.  Random whole-core sampling
 reproduces the beam-calibration experiment (Table 2); per-unit and
 per-scan-ring sampling are the targeted modes of §3.1 and §3.2.
+
+Every drawing function takes an explicit ``random.Random`` — campaign
+reproducibility (and the REPRO-D01 lint rule) forbids the implicitly
+seeded module singleton.  Sampling an empty population raises
+:class:`EmptyPopulationError` naming the selector, instead of the opaque
+``ValueError`` ``rng.randrange(0)`` would surface.
 """
 
 from __future__ import annotations
@@ -14,6 +20,22 @@ from repro.emulator.netlist import LatchMap
 from repro.rtl.latch import LatchKind
 
 
+class EmptyPopulationError(ValueError):
+    """A sampling request targeted a population with no latch bits.
+
+    Raised instead of the bare ``ValueError`` that ``randrange(0)`` /
+    ``sample()`` would produce, so a campaign misconfiguration (a unit
+    with no latches, a kind absent from this model, an empty netlist)
+    fails with the selector spelled out.
+    """
+
+    def __init__(self, selector: str) -> None:
+        super().__init__(
+            f"cannot sample from {selector}: it contains no latch bits "
+            "(the fault space for this selection is empty)")
+        self.selector = selector
+
+
 def random_sample(latch_map: LatchMap, count: int, rng: random.Random,
                   with_replacement: bool = True) -> list[int]:
     """Uniform random site sample over the entire latch population.
@@ -22,6 +44,8 @@ def random_sample(latch_map: LatchMap, count: int, rng: random.Random,
     struck); pass ``with_replacement=False`` for a distinct-site sample.
     """
     population = len(latch_map)
+    if population == 0:
+        raise EmptyPopulationError("the whole-core latch map")
     if with_replacement:
         return [rng.randrange(population) for _ in range(count)]
     if count > population:
@@ -33,6 +57,8 @@ def unit_sample(latch_map: LatchMap, unit: str, count: int,
                 rng: random.Random) -> list[int]:
     """Uniform random sites within one micro-architectural unit."""
     indices = latch_map.indices_for_unit(unit)
+    if not indices:
+        raise EmptyPopulationError(f"unit {unit!r}")
     return [indices[rng.randrange(len(indices))] for _ in range(count)]
 
 
@@ -43,6 +69,8 @@ def ring_fraction_sample(latch_map: LatchMap, ring: str, fraction: float,
     if not 0 < fraction <= 1:
         raise ValueError("fraction must be in (0, 1]")
     indices = latch_map.indices_for_ring(ring)
+    if not indices:
+        raise EmptyPopulationError(f"scan ring {ring!r}")
     count = max(1, round(len(indices) * fraction))
     return rng.sample(indices, count)
 
@@ -51,6 +79,8 @@ def kind_sample(latch_map: LatchMap, kind: LatchKind, count: int,
                 rng: random.Random) -> list[int]:
     """Uniform random sites of one latch type (MODE/GPTR/REGFILE/FUNC)."""
     indices = latch_map.indices_for_kind(kind)
+    if not indices:
+        raise EmptyPopulationError(f"latch kind {kind.value!r}")
     return [indices[rng.randrange(len(indices))] for _ in range(count)]
 
 

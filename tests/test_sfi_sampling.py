@@ -76,3 +76,54 @@ class TestTargetedSamples:
         units = {latch_map.unit_of(index) for index in sample}
         assert units == set(latch_map.units())
         assert len(sample) == 10 * len(latch_map.units())
+
+
+class TestEmptyPopulation:
+    """Empty selections raise the named error, not ``randrange(0)``'s
+    opaque ``ValueError`` (and the error says which selector was empty)."""
+
+    @pytest.fixture()
+    def empty_map(self):
+        class _BareCore:
+            def all_latches(self):
+                return []
+
+            def unit_of(self, latch):  # pragma: no cover - never reached
+                raise KeyError(latch)
+
+        from repro.emulator import LatchMap
+        return LatchMap(_BareCore())
+
+    def test_random_sample_empty_map(self, empty_map):
+        from repro.sfi import EmptyPopulationError
+        with pytest.raises(EmptyPopulationError, match="whole-core"):
+            random_sample(empty_map, 5, random.Random(1))
+
+    def test_kind_sample_empty_kind(self, latch_map, empty_map):
+        from repro.sfi import EmptyPopulationError
+        with pytest.raises(EmptyPopulationError, match="FUNC"):
+            kind_sample(empty_map, LatchKind.FUNC, 5, random.Random(1))
+
+    def test_unit_sample_empty_unit(self, empty_map):
+        # An unknown unit still raises KeyError (wrong name vs. empty
+        # population are different mistakes); an empty *known* unit is
+        # the EmptyPopulationError path.
+        with pytest.raises(KeyError):
+            unit_sample(empty_map, "IFU", 5, random.Random(1))
+        empty_map._by_unit["IFU"] = []
+        from repro.sfi import EmptyPopulationError
+        with pytest.raises(EmptyPopulationError, match="IFU"):
+            unit_sample(empty_map, "IFU", 5, random.Random(1))
+
+    def test_ring_fraction_empty_ring(self, empty_map):
+        from repro.sfi import EmptyPopulationError
+        empty_map._by_ring["MODE"] = []
+        with pytest.raises(EmptyPopulationError, match="MODE"):
+            ring_fraction_sample(empty_map, "MODE", 0.1, random.Random(1))
+
+    def test_error_is_a_value_error(self):
+        from repro.sfi import EmptyPopulationError
+        assert issubclass(EmptyPopulationError, ValueError)
+        err = EmptyPopulationError("unit 'IFU'")
+        assert err.selector == "unit 'IFU'"
+        assert "no latch bits" in str(err)
