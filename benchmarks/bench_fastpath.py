@@ -1,0 +1,104 @@
+"""Fast-path speedup — checkpoint ladder + golden-digest early exits.
+
+PR 4's campaign fast path claims a >=3x reduction in cycles simulated
+per trial on the Table-1 workload mix (the AVP suite every campaign
+runs) at the default ``--ckpt-stride``, while staying bit-identical to
+the slow path.  This bench runs the same mini-campaign both ways on one
+prepared machine, checks record equality, and publishes the numbers as
+``benchmarks/results/BENCH_fastpath.json`` (plus a rendered text table).
+
+CI runs this as the fast-path smoke: the strict-inequality assertion
+(fast simulates *fewer* cycles) and the 3x floor gate regressions.
+"""
+
+import json
+import random
+import time
+
+from repro.cpu import CoreParams
+from repro.sfi import CampaignConfig, SfiExperiment
+from repro.sfi.sampling import random_sample
+
+from benchmarks.conftest import RESULTS_DIR, publish, scaled
+
+_SEED = 2008
+_PARAMS = CoreParams(scale=0.15, icache_lines=32, dcache_lines=32)
+
+
+def _campaign(fastpath: bool, flips: int):
+    config = CampaignConfig(suite_size=2, suite_seed=99,
+                            core_params=_PARAMS, fastpath=fastpath)
+    experiment = SfiExperiment(config)
+    sites = random_sample(experiment.latch_map, flips,
+                          random.Random(_SEED ^ 0x5F1))
+    start = time.perf_counter()
+    result = experiment.run_campaign(sites, seed=_SEED)
+    wall = time.perf_counter() - start
+    return experiment, result, wall
+
+
+def _side(experiment, wall: float, flips: int) -> dict:
+    cycles = experiment.emulator.stats.cycles_run
+    return {
+        "wall_seconds": round(wall, 4),
+        "trials_per_second": round(flips / wall, 2),
+        "cycles_simulated": cycles,
+        "cycles_per_trial": round(cycles / flips, 1),
+    }
+
+
+def test_fastpath_speedup(benchmark):
+    flips = scaled(120, minimum=40)
+
+    def run():
+        slow_exp, slow_result, slow_wall = _campaign(False, flips)
+        fast_exp, fast_result, fast_wall = _campaign(True, flips)
+        return (slow_exp, slow_result, slow_wall,
+                fast_exp, fast_result, fast_wall)
+
+    (slow_exp, slow_result, slow_wall,
+     fast_exp, fast_result, fast_wall) = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    slow = _side(slow_exp, slow_wall, flips)
+    fast = _side(fast_exp, fast_wall, flips)
+    cycles_speedup = slow["cycles_simulated"] / fast["cycles_simulated"]
+    payload = {
+        "bench": "fastpath",
+        "workload": "AVP suite (Table-1 mix)",
+        "trials": flips,
+        "suite_size": 2,
+        "ckpt_stride": CampaignConfig().ckpt_stride,
+        "slow": slow,
+        "fast": fast,
+        "speedup_cycles": round(cycles_speedup, 2),
+        "speedup_wall": round(slow_wall / fast_wall, 2),
+        "records_bit_identical": slow_result.records == fast_result.records,
+        "early_exits": (fast_exp.emulator.stats.ladder_hits,
+                        fast_exp.emulator.stats.ladder_misses),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_fastpath.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "Fast-path speedup (checkpoint ladder + golden-digest early exit)",
+        f"  trials:                    {flips}  (AVP suite, Table-1 mix)",
+        f"  default ckpt stride:       {payload['ckpt_stride']}",
+        f"  slow  cycles/trial:        {slow['cycles_per_trial']:10.1f}"
+        f"   ({slow['trials_per_second']:.1f} trials/s)",
+        f"  fast  cycles/trial:        {fast['cycles_per_trial']:10.1f}"
+        f"   ({fast['trials_per_second']:.1f} trials/s)",
+        f"  cycles-simulated speedup:  {cycles_speedup:10.2f} x"
+        "   (acceptance floor: 3x)",
+        f"  wall-clock speedup:        {payload['speedup_wall']:10.2f} x",
+        f"  records bit-identical:     {payload['records_bit_identical']}",
+    ]
+    publish("fastpath", "\n".join(lines))
+
+    # The whole point, stated three ways: same answers, strictly less
+    # engine time, and at least the acceptance-floor reduction.
+    assert slow_result.records == fast_result.records
+    assert fast["cycles_simulated"] < slow["cycles_simulated"]
+    assert cycles_speedup >= 3.0, \
+        f"fast path only {cycles_speedup:.2f}x below the 3x floor"

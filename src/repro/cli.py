@@ -61,6 +61,11 @@ def _config(args, **overrides) -> CampaignConfig:
         kwargs["classify_options"] = ClassifyOptions(latent_as_vanished=True)
     if getattr(args, "sticky", False):
         kwargs["injection_mode"] = InjectionMode.STICKY
+    if getattr(args, "no_fastpath", False):
+        kwargs["fastpath"] = False
+    ckpt_stride = getattr(args, "ckpt_stride", None)
+    if ckpt_stride is not None:
+        kwargs["ckpt_stride"] = ckpt_stride or None
     kwargs.update(overrides)
     return CampaignConfig(**kwargs)
 
@@ -189,6 +194,7 @@ def cmd_campaign(args) -> int:
                 shard_timeout=args.shard_timeout,
                 max_retries=args.max_retries,
                 metrics=registry,
+                reference_cycles=[r.cycles for r in probe.references],
                 progress=TeeProgress(*observers) if observers else None)
         else:
             experiment = SfiExperiment(config)
@@ -425,6 +431,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mask every hardware checker (Table 3's Raw mode)")
     p.add_argument("--sticky", action="store_true",
                    help="sticky injection mode instead of toggle")
+    p.add_argument("--ckpt-stride", type=int, default=None, metavar="K",
+                   help="checkpoint-ladder rung every K reference cycles "
+                        "(0 disables rungs; default 64)")
+    p.add_argument("--no-fastpath", action="store_true",
+                   help="disable the fast path (checkpoint ladder + "
+                        "golden-digest early exit); records are "
+                        "bit-identical either way")
     p.add_argument("--workers", type=int, default=1,
                    help="parallel simulation copies (paper §2.2)")
     p.add_argument("--journal", metavar="PATH",

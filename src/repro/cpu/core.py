@@ -257,6 +257,35 @@ class Power6Core:
         )
 
     # ------------------------------------------------------------------
+    # State digests (the fast path's golden-match primitive).
+
+    def state_digest(self) -> int:
+        """Order-stable digest of the complete *machine* state.
+
+        Covers everything that determines future behaviour — every latch
+        value and parity shadow, memory (nonzero words, so write order
+        and dead zero-stores cannot desynchronise equal states), SRAM
+        array contents, cycle/halt/commit bookkeeping — and deliberately
+        excludes the event log, which is observational: two runs whose
+        digests match evolve identically from here even though their
+        logs differ (the injected run carries an INJECTION event).
+
+        Built section-by-section (scalars, per-latch values, memory,
+        arrays) so the cost is one tuple-hash pass over the state rather
+        than a serialisation; at a few thousand latches this is cheap
+        enough to sample every ``digest_stride`` cycles on the campaign
+        hot path.
+        """
+        return hash((
+            self.cycles, self.halted, self.commits_prev, self.committed,
+            tuple(latch.value for latch in self._all_latches),
+            tuple(latch.par for latch in self._all_latches),
+            tuple(sorted(self.memory.nonzero_words().items())),
+            tuple(tuple(tuple(part) for part in array.snapshot())
+                  for array in self._arrays),
+        ))
+
+    # ------------------------------------------------------------------
     # Snapshot/restore (the emulator's checkpoint mechanism).
 
     def snapshot(self) -> CoreSnapshot:

@@ -72,16 +72,30 @@ class EventLog:
         self.dropped = 0
 
     def record(self, cycle: int, kind: EventKind, detail: str = "") -> None:
+        self._append(MachineEvent(cycle, kind, detail))
+
+    def replay(self, events) -> None:
+        """Append pre-recorded events through the normal bounding logic.
+
+        The fast-path early exit splices the golden run's event tail onto
+        a truncated injection run; routing the tail through the same
+        ring/capacity machinery as live :meth:`record` calls guarantees
+        the spliced log truncates exactly as a full drain would have.
+        """
+        for event in events:
+            self._append(event)
+
+    def _append(self, event: MachineEvent) -> None:
         if self.max_events is not None:
             if len(self.events) >= self.max_events:
                 self.events.popleft()
                 self.dropped += 1
-            self.events.append(MachineEvent(cycle, kind, detail))
+            self.events.append(event)
             return
         if self.capacity is not None and len(self.events) >= self.capacity:
             self.dropped += 1
             return
-        self.events.append(MachineEvent(cycle, kind, detail))
+        self.events.append(event)
 
     def clear(self) -> None:
         self.events = deque()

@@ -12,6 +12,7 @@ SFI methodology minimises).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.cpu.core import CoreSnapshot, Power6Core
@@ -37,6 +38,12 @@ class EngineStats:
     checkpoints_saved: int = 0
     checkpoints_loaded: int = 0
     injections: int = 0
+    # Checkpoint-ladder accounting (the fast path's replay cache).
+    rungs_saved: int = 0
+    rung_evictions: int = 0
+    ladder_hits: int = 0
+    ladder_misses: int = 0
+    cycles_skipped: int = 0
 
     @property
     def engine_seconds(self) -> float:
@@ -61,11 +68,16 @@ class _StickyFault:
 class AwanEmulator:
     """A loaded model plus the engine-side execution machinery."""
 
-    def __init__(self, core: Power6Core) -> None:
+    def __init__(self, core: Power6Core, max_rungs: int = 256) -> None:
         self.core = core
         self.latch_map = LatchMap(core)
         self.stats = EngineStats()
+        self.max_rungs = max_rungs
         self._checkpoints: dict[str, CoreSnapshot] = {}
+        # Checkpoint ladder: mid-execution snapshots keyed by
+        # (checkpoint name, cycle), LRU-evicted beyond ``max_rungs`` so
+        # a long reference run cannot grow engine memory without bound.
+        self._ladder: OrderedDict[tuple[str, int], CoreSnapshot] = OrderedDict()
         self._sticky: list[_StickyFault] = []
 
     # ------------------------------------------------------------------
@@ -86,6 +98,63 @@ class AwanEmulator:
 
     def has_checkpoint(self, name: str = "default") -> bool:
         return name in self._checkpoints
+
+    # ------------------------------------------------------------------
+    # Checkpoint ladder (fast-path replay cache).
+
+    @property
+    def sticky_pending(self) -> bool:
+        """True while a sticky fault is still being re-asserted."""
+        return bool(self._sticky)
+
+    def rung_count(self, name: str | None = None) -> int:
+        if name is None:
+            return len(self._ladder)
+        return sum(1 for key in self._ladder if key[0] == name)
+
+    def save_rung(self, name: str) -> None:
+        """Snapshot the current (mid-execution) state as a ladder rung
+        for checkpoint ``name`` at the current cycle."""
+        if self.max_rungs < 1:
+            return
+        key = (name, self.core.cycles)
+        self._ladder[key] = self.core.snapshot()
+        self._ladder.move_to_end(key)
+        self.stats.rungs_saved += 1
+        self.stats.host_interactions += 1
+        while len(self._ladder) > self.max_rungs:
+            self._ladder.popitem(last=False)
+            self.stats.rung_evictions += 1
+
+    def restore_nearest(self, name: str, cycle: int) -> int:
+        """Restore the highest rung of ``name`` at or below ``cycle``
+        (falling back to the base checkpoint); returns the restored
+        cycle so the caller fast-forwards only the remainder."""
+        best: tuple[str, int] | None = None
+        for key in self._ladder:
+            if key[0] == name and key[1] <= cycle and \
+                    (best is None or key[1] > best[1]):
+                best = key
+        if best is None:
+            self.stats.ladder_misses += 1
+            self.reload(name)
+            return self.core.cycles
+        self._ladder.move_to_end(best)
+        self.core.restore(self._ladder[best])
+        self._sticky.clear()
+        self.stats.ladder_hits += 1
+        self.stats.cycles_skipped += best[1]
+        self.stats.checkpoints_loaded += 1
+        self.stats.host_interactions += 1
+        return best[1]
+
+    def drop_rungs(self, name: str | None = None) -> None:
+        """Forget ladder rungs (all of them, or one checkpoint's)."""
+        if name is None:
+            self._ladder.clear()
+            return
+        for key in [k for k in self._ladder if k[0] == name]:
+            del self._ladder[key]
 
     # ------------------------------------------------------------------
     # Clocking.

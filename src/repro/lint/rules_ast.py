@@ -75,7 +75,7 @@ _POOLISH_RECEIVERS = ("pool", "executor")
 _METRIC_CTORS = frozenset({"counter", "gauge", "histogram"})
 _METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 _METRIC_PREFIXES = ("sfi_", "core_", "repro_")
-_HISTOGRAM_SUFFIXES = ("_seconds", "_bytes")
+_HISTOGRAM_SUFFIXES = ("_seconds", "_bytes", "_cycles")
 
 # --- REPRO-N02 ---------------------------------------------------------
 _EVENT_VALUE_RE = re.compile(r"^[a-z][a-z0-9-]*$")
@@ -387,7 +387,7 @@ class _FileChecker(ast.NodeVisitor):
             problems.append("counters must end in _total")
         if kind == "histogram" and not name.endswith(_HISTOGRAM_SUFFIXES):
             problems.append("histograms must end in a unit suffix "
-                            "(_seconds/_bytes)")
+                            "(_seconds/_bytes/_cycles)")
         if problems:
             self._report(
                 "REPRO-N01", Severity.WARNING, "naming", node,

@@ -149,7 +149,8 @@ def _interesting_metric_lines(registry: MetricsRegistry) -> list[str]:
             label = f"{name}{dict(metric.labels_of(key)) or ''}"
             lines.append(f"{label} = {value:.1f}")
     for name in ("sfi_shard_retries_total", "sfi_shard_splits_total",
-                 "sfi_degrades_total"):
+                 "sfi_degrades_total", "sfi_early_exits_total",
+                 "sfi_ladder_hits_total", "sfi_ladder_misses_total"):
         metric = registry.get(name)
         if metric is None:
             continue

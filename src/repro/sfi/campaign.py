@@ -18,8 +18,9 @@ from repro.avp.generator import MixWeights
 from repro.avp.runner import AvpBaselineError, ReferenceRun
 from repro.avp.suite import make_suite
 from repro.avp.testcase import AvpTestcase
-from repro.cpu.core import Power6Core
-from repro.cpu.events import EventLog
+from repro.cpu.core import CoreSnapshot, Power6Core
+from repro.cpu.events import EventLog, MachineEvent
+from repro.cpu.touchtrace import trace_touches, untraced
 from repro.cpu.params import CoreParams
 from repro.emulator.awan import AwanEmulator
 from repro.emulator.host import CommHost
@@ -98,11 +99,62 @@ class CampaignConfig:
     # cores cap the log (keeping the newest — terminal — events) rather
     # than growing without limit.  None: unbounded.
     trace_max_events: int | None = 512
+    # --- Fast path (checkpoint ladder + golden-digest early exit) -----
+    # The fast path is classification-equivalent to the slow path (the
+    # differential suite asserts bit-identical records); ``fastpath=False``
+    # forces the original reload-from-cycle-0, drain-to-quiesce loop.
+    fastpath: bool = True
+    # Snapshot a ladder rung every ``ckpt_stride`` cycles of the
+    # reference run, so ``run_one`` fast-forwards at most one stride of
+    # pre-injection cycles instead of re-simulating from cycle 0.
+    # None (or 0): no mid-execution rungs, only the cycle-0 checkpoint.
+    ckpt_stride: int | None = 64
+    # Record a golden state digest every ``digest_stride`` cycles; the
+    # post-injection drain compares against it at the same cadence and
+    # classifies ``vanished`` the moment the faulty state rejoins the
+    # golden trajectory.
+    digest_stride: int = 16
+    # Ladder memory bound (LRU-evicted rungs across all testcases).
+    ladder_max_rungs: int = 256
+
+
+@dataclass(frozen=True)
+class GoldenTrace:
+    """Fault-free execution fingerprint of one testcase (the fast path's
+    comparison substrate).
+
+    ``digests`` maps cycle -> :meth:`Power6Core.state_digest` sampled at
+    every ``digest_stride`` boundary of the reference run; ``events`` is
+    the complete fault-free event sequence (needed to splice the golden
+    tail onto an early-exited trace); ``end_cycle`` is where the golden
+    run quiesced.  ``usable`` is False when the golden event log dropped
+    events (the tail would be incomplete), which disables early exit for
+    that testcase while leaving the checkpoint ladder active.
+
+    ``final`` is the complete quiesced machine state (the early-exit
+    paths reconstruct the trial's final state from it instead of
+    simulating to it), and ``last_touch`` maps ``id(latch)`` to the last
+    cycle the fault-free run read or wrote that latch (see
+    :mod:`repro.cpu.touchtrace`) — the licence for the masked early
+    exit: a flip confined to a latch the golden run never touches again
+    is frozen, so the trial's future is the golden future.
+    """
+
+    digests: dict[int, int]
+    events: tuple[MachineEvent, ...]
+    end_cycle: int
+    usable: bool
+    final: CoreSnapshot
+    last_touch: dict[int, int]
 
 
 # Injection latency is milliseconds-scale on the software backend.
 _INJECTION_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
                       0.1, 0.25, 0.5, 1.0, 2.5, float("inf"))
+
+# Simulation cycles avoided per injection (rung skip + early exit).
+_CYCLES_SAVED_BUCKETS = (0.0, 16.0, 64.0, 256.0, 1024.0, 4096.0,
+                         16384.0, float("inf"))
 
 
 class _ExperimentInstruments:
@@ -123,6 +175,19 @@ class _ExperimentInstruments:
             "model prepare time (checkpoints + references)")
         self.rate = registry.gauge(
             "sfi_injections_per_second", "campaign injection throughput")
+        self.ladder_hits = registry.counter(
+            "sfi_ladder_hits_total",
+            "injections restored from a mid-execution ladder rung")
+        self.ladder_misses = registry.counter(
+            "sfi_ladder_misses_total",
+            "fast-path injections that fell back to the cycle-0 checkpoint")
+        self.early_exits = registry.counter(
+            "sfi_early_exits_total",
+            "vanished classifications taken at a golden-digest match")
+        self.cycles_saved = registry.histogram(
+            "sfi_fastpath_saved_cycles",
+            "simulation cycles avoided per injection by the fast path",
+            buckets=_CYCLES_SAVED_BUCKETS)
 
 
 class SfiExperiment:
@@ -144,11 +209,24 @@ class SfiExperiment:
         self.core.event_log = EventLog(
             capacity=None, max_events=self.config.trace_max_events)
         self.emulator = emulator_cls(self.core)
+        if hasattr(self.emulator, "max_rungs"):
+            self.emulator.max_rungs = self.config.ladder_max_rungs
+        # The fast path needs the ladder/digest API; a foreign emulator
+        # class without it silently keeps the original slow path.
+        self.fastpath = bool(
+            self.config.fastpath
+            and hasattr(self.emulator, "restore_nearest")
+            and hasattr(self.emulator, "save_rung"))
         self.host = CommHost(self.emulator, self.config.poll_interval)
         self.latch_map = self.emulator.latch_map
+        # Position of each latch in the core's latch order, to look up a
+        # latch's golden-final (value, par) pair in a CoreSnapshot.
+        self._latch_index = {id(latch): i
+                             for i, latch in enumerate(self.core.all_latches())}
         self.suite: list[AvpTestcase] = make_suite(
             self.config.suite_size, self.config.suite_seed, self.config.weights)
         self.references: list[ReferenceRun] = []
+        self.goldens: list[GoldenTrace] = []
         self.metrics = None
         self._instruments = None
         self._profiler = None
@@ -182,20 +260,28 @@ class SfiExperiment:
             latch.write(value)
 
     def _prepare(self) -> None:
-        """Checkpoint each testcase at cycle 0 and establish its fault-free
-        reference execution."""
+        """Checkpoint each testcase at cycle 0, establish its fault-free
+        reference execution, and (on the fast path) build its checkpoint
+        ladder and golden digest trail along the way."""
         for index, testcase in enumerate(self.suite):
             self.core.load_program(testcase.program)
             self._apply_mode_overrides()
             self.emulator.checkpoint(self._ckpt_name(index))
-            reference = self._reference_run(testcase)
+            reference = self._reference_run(testcase, index)
             self.references.append(reference)
             self.emulator.reload(self._ckpt_name(index))
 
-    def _reference_run(self, testcase: AvpTestcase) -> ReferenceRun:
-        budget = 50 * testcase.instructions_retired + 10_000
-        self.host.run_until_quiesce(budget)
+    def _reference_budget(self, testcase: AvpTestcase) -> int:
+        return 50 * testcase.instructions_retired + 10_000
+
+    def _reference_run(self, testcase: AvpTestcase,
+                       index: int) -> ReferenceRun:
+        budget = self._reference_budget(testcase)
         core = self.core
+        if self.fastpath:
+            self._instrumented_reference(index, budget)
+        else:
+            self.host.run_until_quiesce(budget)
         if not core.halted:
             raise AvpBaselineError(
                 f"testcase seed={testcase.seed} did not halt fault-free")
@@ -208,6 +294,54 @@ class SfiExperiment:
         return ReferenceRun(testcase=testcase, cycles=core.cycles,
                             committed=core.committed)
 
+    def _instrumented_reference(self, index: int, budget: int) -> None:
+        """Golden run with ladder rungs and digest samples.
+
+        Clocks in chunks that stop at every ``ckpt_stride`` and
+        ``digest_stride`` boundary (never exceeding ``poll_interval``,
+        the host's normal batching), snapshotting a rung / recording a
+        digest at each; the machine trajectory is identical to one long
+        :meth:`CommHost.run_until_quiesce` because chunking cannot change
+        cycle-by-cycle evolution.  The whole run is latch-touch traced
+        (rung/digest snapshots excepted — they are observational), which
+        licences the masked early exit.
+        """
+        config = self.config
+        core = self.core
+        emulator = self.emulator
+        ckpt_stride = config.ckpt_stride or 0
+        digest_stride = max(1, config.digest_stride)
+        digests: dict[int, int] = {}
+        remaining = budget
+        with trace_touches(core) as trace:
+            while remaining > 0 and not core.quiesced:
+                cycle = core.cycles
+                target = cycle + min(config.poll_interval, remaining,
+                                     digest_stride - cycle % digest_stride)
+                if ckpt_stride:
+                    target = min(target,
+                                 cycle + ckpt_stride - cycle % ckpt_stride)
+                chunk = target - cycle
+                run = emulator.clock(chunk)
+                remaining -= run
+                if run < chunk or core.quiesced:
+                    break
+                with untraced():
+                    if ckpt_stride and core.cycles % ckpt_stride == 0:
+                        emulator.save_rung(self._ckpt_name(index))
+                    if core.cycles % digest_stride == 0:
+                        digests[core.cycles] = core.state_digest()
+            with untraced():
+                final = core.snapshot()
+        self.goldens.append(GoldenTrace(
+            digests=digests,
+            events=tuple(core.event_log),
+            end_cycle=core.cycles,
+            usable=core.event_log.dropped == 0,
+            final=final,
+            last_touch=dict(trace.last_touch),
+        ))
+
     @staticmethod
     def _ckpt_name(index: int) -> str:
         return f"tc{index}"
@@ -216,19 +350,67 @@ class SfiExperiment:
 
     def run_one(self, site_index: int, testcase_index: int,
                 inject_cycle: int) -> InjectionRecord:
-        """Perform a single injection and classify its outcome."""
+        """Perform a single injection and classify its outcome.
+
+        On the fast path this restores the nearest ladder rung at or
+        below ``inject_cycle`` (instead of re-simulating from cycle 0)
+        and ends the drain at the first golden-digest match (instead of
+        draining to quiesce); both are equivalence-preserving, so the
+        returned record is bit-identical to the slow path's — the
+        differential suite (``pytest -m differential``) enforces this.
+        """
         config = self.config
         emulator = self.emulator
+        core = self.core
         reference = self.references[testcase_index]
-        emulator.reload(self._ckpt_name(testcase_index))
-        if inject_cycle:
-            emulator.clock(inject_cycle)
+        inst = self._instruments
+        fast = self.fastpath
+        if fast:
+            start_cycle = emulator.restore_nearest(
+                self._ckpt_name(testcase_index), inject_cycle)
+        else:
+            emulator.reload(self._ckpt_name(testcase_index))
+            start_cycle = core.cycles
+        if inject_cycle > start_cycle:
+            emulator.clock(inject_cycle - start_cycle)
         site = emulator.inject(site_index, config.injection_mode,
                                config.sticky_cycles)
         budget = (reference.cycles - inject_cycle) + config.drain_cycles
-        self.host.run_until_quiesce(budget)
-        outcome = classify(self.core, reference.testcase,
+        golden = self.goldens[testcase_index] if fast else None
+        exit_kind = None
+        if golden is not None and golden.usable:
+            exit_kind = self._drain_with_digests(golden, budget, site)
+        else:
+            self.host.run_until_quiesce(budget)
+        cycles_saved = start_cycle
+        if exit_kind is not None:
+            # The trial's remaining evolution is the golden tail (state
+            # fully rejoined, or the flip is frozen in a latch the golden
+            # run never touches again), so reconstruct the final state
+            # instead of simulating to it: restore the golden-final
+            # snapshot, splice the golden events after the exit cycle
+            # through the ring (so the trace and its truncation match a
+            # full drain), and — for a masked exit — re-freeze the flip.
+            cut = core.cycles
+            cycles_saved += golden.end_cycle - cut
+            frozen = (site.latch.value, site.latch.par)
+            events = core.event_log.snapshot()
+            core.restore(golden.final)
+            core.event_log.restore(events)
+            core.event_log.replay(
+                event for event in golden.events if event.cycle > cut)
+            if exit_kind == "masked":
+                site.latch.value, site.latch.par = frozen
+        outcome = classify(core, reference.testcase,
                            config.classify_options)
+        if inst is not None and fast:
+            if start_cycle > 0:
+                inst.ladder_hits.inc()
+            else:
+                inst.ladder_misses.inc()
+            if exit_kind is not None:
+                inst.early_exits.inc()
+            inst.cycles_saved.observe(cycles_saved)
         return InjectionRecord(
             site_index=site_index,
             site_name=site.name,
@@ -238,8 +420,64 @@ class SfiExperiment:
             testcase_seed=reference.testcase.seed,
             inject_cycle=inject_cycle,
             outcome=outcome,
-            trace=tuple(self.core.event_log),
+            trace=tuple(core.event_log),
         )
+
+    def _drain_with_digests(self, golden: GoldenTrace, budget: int,
+                            site) -> str | None:
+        """Post-injection drain with golden-digest early-exit checks.
+
+        Clocks exactly the cycles the slow path would (same quiesce and
+        budget stops), additionally pausing at every ``digest_stride``
+        boundary before the golden end to compare state digests.  Returns
+        the exit kind on a match — ``"golden"`` when the faulty state has
+        fully rejoined the golden trajectory, ``"masked"`` when it
+        matches everywhere *except* the injected latch and the golden run
+        never touches that latch again (so the flip is frozen and inert);
+        None means the drain completed (quiesce or exhausted budget) and
+        the caller classifies normally.
+        """
+        config = self.config
+        core = self.core
+        emulator = self.emulator
+        stride = max(1, config.digest_stride)
+        digests = golden.digests
+        end = golden.end_cycle
+        latch = site.latch
+        # A latch absent from the trace was never touched at all — the
+        # most eligible case for the masked exit.
+        last_touch = golden.last_touch.get(id(latch), -1)
+        frozen = golden.final.latches[self._latch_index[id(latch)]]
+        remaining = budget
+        while remaining > 0:
+            cycle = core.cycles
+            chunk = min(config.poll_interval, remaining)
+            if cycle < end:
+                chunk = min(chunk, stride - cycle % stride)
+            run = emulator.clock(chunk)
+            remaining -= run
+            if run < chunk or core.quiesced:
+                return None
+            cycle = core.cycles
+            if cycle < end and cycle % stride == 0 \
+                    and not emulator.sticky_pending:
+                digest = digests.get(cycle)
+                if digest is None:
+                    continue
+                if digest == core.state_digest():
+                    return "golden"
+                if last_touch <= cycle:
+                    # Golden never reads or writes the injected latch
+                    # after this cycle, so its golden value here equals
+                    # its golden-final value; compare with the latch
+                    # masked to it.
+                    held = (latch.value, latch.par)
+                    latch.value, latch.par = frozen
+                    masked = core.state_digest()
+                    latch.value, latch.par = held
+                    if masked == digest:
+                        return "masked"
+        return None
 
     def run_plan(self, plan: list[InjectionPlan], seed: int = 0,
                  record_hook=None) -> CampaignResult:
@@ -255,19 +493,33 @@ class SfiExperiment:
         result = CampaignResult(population_bits=len(self.latch_map))
         inst = self._instruments
         campaign_start = time.perf_counter()
-        for item in plan:
-            reference = self.references[item.testcase_index]
-            rng = injection_rng(seed, item.site_index, item.occurrence)
-            inject_cycle = rng.randrange(0, reference.cycles)
+        scheduled = [(item,
+                      injection_rng(seed, item.site_index, item.occurrence)
+                      .randrange(0, self.references[item.testcase_index]
+                                 .cycles))
+                     for item in plan]
+        order = scheduled
+        if self.fastpath:
+            # Visit injections testcase-by-testcase in cycle order so
+            # ladder rungs stay warm (monotone cycles touch each rung
+            # once); every item is self-contained, so execution order
+            # cannot change any record, and results/hook positions are
+            # still reported against the caller's plan.
+            order = sorted(scheduled, key=lambda pair: (
+                pair[0].testcase_index, pair[1], pair[0].position))
+        records: dict[int, InjectionRecord] = {}
+        for item, inject_cycle in order:
             start = time.perf_counter() if inst is not None else 0.0
             record = self.run_one(item.site_index, item.testcase_index,
                                   inject_cycle)
             if inst is not None:
                 inst.injection_seconds.observe(time.perf_counter() - start)
                 inst.injections.inc(outcome=record.outcome.value)
-            result.add(record)
+            records[item.position] = record
             if record_hook is not None:
                 record_hook(item.position, record)
+        for item, _ in scheduled:
+            result.add(records[item.position])
         if inst is not None:
             elapsed = time.perf_counter() - campaign_start
             inst.campaign_seconds.set(elapsed)

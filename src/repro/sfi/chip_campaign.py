@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.avp.runner import AvpBaselineError
 from repro.avp.suite import make_suite
-from repro.cpu.chip import Power6Chip
+from repro.cpu.chip import ChipSnapshot, Power6Chip
 from repro.cpu.events import EventLog
 from repro.cpu.params import CoreParams
 from repro.rtl.fault import FaultSite, expand_sites
@@ -112,13 +112,31 @@ class ChipCampaignResult:
         return [r for r in self.records if not r.other_cores_clean]
 
 
+#: Upper bound on a fault-free chip reference run (matches
+#: :meth:`Power6Chip.run`'s default).
+_CHIP_REFERENCE_BUDGET = 200_000
+
+
 class ChipExperiment:
-    """A prepared two-core chip with per-core AVP workloads."""
+    """A prepared two-core chip with per-core AVP workloads.
+
+    With ``fastpath`` on (the default) the fault-free reference run also
+    builds a chip-wide checkpoint ladder: a :class:`ChipSnapshot` every
+    ``ckpt_stride`` cycles, thinned (drop every other rung, double the
+    stride) whenever it outgrows ``ladder_max_rungs``, so preparation
+    memory stays bounded on long workloads.  :meth:`run_one` then
+    restores the highest rung at or below the injection cycle and
+    fast-forwards only the remainder — equivalence-preserving, because
+    the pre-injection prefix is deterministic and fault-free.
+    """
 
     def __init__(self, core_params: CoreParams | None = None,
                  core_count: int = 2, suite_seed: int = 2008,
                  drain_cycles: int = 1500,
-                 trace_max_events: int | None = 512) -> None:
+                 trace_max_events: int | None = 512,
+                 fastpath: bool = True,
+                 ckpt_stride: int | None = 64,
+                 ladder_max_rungs: int = 64) -> None:
         self.chip = Power6Chip(core_params, core_count)
         # Ring-bound each core's event log: a hang-heavy injection on
         # either core must not grow memory for the whole drain window.
@@ -126,6 +144,11 @@ class ChipExperiment:
             core.event_log = EventLog(capacity=None,
                                       max_events=trace_max_events)
         self.drain_cycles = drain_cycles
+        self.fastpath = bool(fastpath and ckpt_stride)
+        self.ckpt_stride = ckpt_stride
+        self.ladder_max_rungs = max(1, ladder_max_rungs)
+        self.ladder_hits = 0
+        self.ladder_misses = 0
         # One testcase per core (distinct seeds: distinct workloads).
         self.testcases = make_suite(core_count, seed=suite_seed)
         self._sites_per_core: list[list[FaultSite]] = [
@@ -136,7 +159,29 @@ class ChipExperiment:
         chip = self.chip
         chip.load_programs([t.program for t in self.testcases])
         self._checkpoint = chip.snapshot()
-        self.reference_cycles = chip.run()
+        self._rungs: list[tuple[int, ChipSnapshot]] = []
+        self._rung_stride = self.ckpt_stride or 0
+        if self.fastpath:
+            # Stepped reference run: chunks stop at every stride boundary
+            # to save a ladder rung.  The trajectory (and the final cycle
+            # count) is identical to one uninterrupted chip.run().
+            cycles = 0
+            while not chip.quiesced and cycles < _CHIP_REFERENCE_BUDGET:
+                step = min(self._rung_stride - cycles % self._rung_stride,
+                           _CHIP_REFERENCE_BUDGET - cycles)
+                ran = chip.run(max_cycles=step)
+                cycles += ran
+                if ran < step or chip.quiesced:
+                    break
+                self._rungs.append((cycles, chip.snapshot()))
+                if len(self._rungs) > self.ladder_max_rungs:
+                    # Thin the ladder: keep every other rung, double the
+                    # stride, so memory stays bounded on long workloads.
+                    self._rungs = self._rungs[1::2]
+                    self._rung_stride *= 2
+            self.reference_cycles = cycles
+        else:
+            self.reference_cycles = chip.run()
         for core, testcase in zip(chip.cores, self.testcases):
             if not core.halted or not core.error_free():
                 raise AvpBaselineError(
@@ -150,12 +195,28 @@ class ChipExperiment:
     def site_count(self, core_index: int) -> int:
         return len(self._sites_per_core[core_index])
 
+    def rung_count(self) -> int:
+        return len(self._rungs)
+
     def run_one(self, core_index: int, site_number: int,
                 inject_cycle: int,
                 options: ClassifyOptions = ClassifyOptions()) -> ChipInjectionRecord:
         chip = self.chip
-        chip.restore(self._checkpoint)
-        for _ in range(inject_cycle):
+        start_cycle = 0
+        rung = None
+        for cycle, snap in self._rungs:
+            if cycle > inject_cycle:
+                break
+            rung = (cycle, snap)
+        if rung is not None:
+            start_cycle, snap = rung
+            chip.restore(snap)
+            self.ladder_hits += 1
+        else:
+            chip.restore(self._checkpoint)
+            if self.fastpath:
+                self.ladder_misses += 1
+        for _ in range(inject_cycle - start_cycle):
             chip.cycle()
             if chip.quiesced:
                 break
@@ -199,6 +260,11 @@ class ChipExperiment:
         campaign resumed from ``journal`` (see the sfi supervisor) replays
         exactly the trials an uninterrupted run would have performed;
         already-journaled trials are skipped on ``resume=True``.
+
+        On the fast path pending trials execute in injection-cycle order
+        (warm ladder rungs); each trial is self-contained, so execution
+        order cannot change any record, and ``result.records`` stays in
+        trial order.
         """
         progress = progress or CampaignProgress()
         covered: dict[int, ChipInjectionRecord] = {}
@@ -228,17 +294,23 @@ class ChipExperiment:
         executed = 0
         result = ChipCampaignResult()
         try:
+            pending = []
             for trial in range(count):
                 if trial in covered:
-                    result.records.append(covered[trial])
                     continue
                 rng = random.Random(f"chip:{seed}:{trial}")
                 target = (core_index if core_index is not None
                           else rng.randrange(len(self.chip.cores)))
                 site_number = rng.randrange(self.site_count(target))
                 inject_cycle = rng.randrange(max(1, self.reference_cycles))
+                pending.append((trial, target, site_number, inject_cycle))
+            if self.fastpath and self._rungs:
+                # Monotone injection cycles touch each ladder rung once.
+                pending.sort(key=lambda t: (t[3], t[0]))
+            records: dict[int, ChipInjectionRecord] = {}
+            for trial, target, site_number, inject_cycle in pending:
                 record = self.run_one(target, site_number, inject_cycle)
-                result.records.append(record)
+                records[trial] = record
                 if inst is not None:
                     executed += 1
                     inst.injections.inc(outcome=record.outcome.value,
@@ -252,6 +324,8 @@ class ChipExperiment:
                     journal_obj.append(trial, record,
                                        record_encoder=_chip_record_to_dict)
                 progress.on_record(trial, record)
+            for trial in range(count):
+                result.records.append(covered.get(trial) or records[trial])
         finally:
             if inst is not None:
                 inst.campaign_seconds.set(time.perf_counter() - started)

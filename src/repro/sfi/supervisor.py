@@ -38,6 +38,7 @@ from repro.sfi.campaign import (
     CampaignConfig,
     InjectionPlan,
     SfiExperiment,
+    injection_rng,
     plan_injections,
 )
 from repro.sfi.results import CampaignResult
@@ -328,6 +329,14 @@ class CampaignSupervisor:
     with ``resume=True`` an existing journal is recovered and its
     positions skipped.  ``runner`` is the shard execution function
     (top-level, picklable); tests substitute fault-injecting runners.
+
+    ``reference_cycles`` (fault-free cycle count per testcase, e.g. from
+    a probe experiment) lets the parent pre-sort the pending plan by
+    (testcase, injection cycle) before sharding, so each fast-path
+    worker sees a narrow monotone cycle band and its checkpoint-ladder
+    rungs stay warm.  The sort is purely a scheduling hint: every plan
+    item is self-contained, so the merged result is bit-identical with
+    or without it.
     """
 
     def __init__(self, config: CampaignConfig, *,
@@ -341,7 +350,8 @@ class CampaignSupervisor:
                  progress: CampaignProgress | None = None,
                  runner=run_shard,
                  metrics=None,
-                 mp_context: str = "spawn") -> None:
+                 mp_context: str = "spawn",
+                 reference_cycles: list[int] | None = None) -> None:
         self.config = config
         self.workers = workers if workers is not None \
             else min(4, os.cpu_count() or 1)
@@ -357,6 +367,7 @@ class CampaignSupervisor:
         self._inst = (_SupervisorInstruments(metrics)
                       if metrics is not None else None)
         self._mp_context = mp_context
+        self.reference_cycles = reference_cycles
         self._ids = itertools.count()
         self._degraded = False
 
@@ -377,6 +388,7 @@ class CampaignSupervisor:
             inst.recovered.inc(len(records))
         try:
             pending = [item for item in plan if item.position not in records]
+            pending = self._cycle_sorted(pending, seed)
             self.progress.on_start(len(plan), len(pending))
 
             def collect(position: int, record) -> None:
@@ -414,6 +426,25 @@ class CampaignSupervisor:
                 inst.workers_running.set(0)
             if journal is not None:
                 journal.close()
+
+    def _cycle_sorted(self, pending: list[InjectionPlan],
+                      seed: int) -> list[InjectionPlan]:
+        """Order pending items by (testcase, injection cycle) when the
+        fast path is on and per-testcase reference lengths are known, so
+        contiguous shards carry monotone cycle bands (warm ladder rungs
+        in every worker).  Records are order-independent (each item's
+        RNG stream is self-contained), so this never changes results."""
+        cycles = self.reference_cycles
+        if not cycles or not self.config.fastpath:
+            return pending
+
+        def key(item: InjectionPlan) -> tuple[int, int, int]:
+            length = cycles[item.testcase_index % len(cycles)]
+            inject = injection_rng(seed, item.site_index, item.occurrence) \
+                .randrange(0, length) if length > 0 else 0
+            return (item.testcase_index, inject, item.position)
+
+        return sorted(pending, key=key)
 
     # -- journal ------------------------------------------------------
 

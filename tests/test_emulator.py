@@ -161,3 +161,97 @@ class TestSoftwareSimulator:
         awan = min(timed(AwanEmulator) for _ in range(2))
         soft = min(timed(SoftwareSimulator) for _ in range(2))
         assert soft > awan
+
+
+class TestCheckpointLadder:
+    """Fast-path replay cache: rungs, LRU eviction, sticky hygiene."""
+
+    def _climb(self, emulator, rungs, step=40):
+        """Checkpoint, then save `rungs` ladder rungs `step` cycles apart.
+        Returns the saved cycles."""
+        emulator.checkpoint("tc")
+        cycles = []
+        for _ in range(rungs):
+            emulator.clock(step)
+            emulator.save_rung("tc")
+            cycles.append(emulator.core.cycles)
+        return cycles
+
+    def test_restore_nearest_picks_highest_rung_at_or_below(self, emulator):
+        cycles = self._climb(emulator, 3)
+        assert emulator.rung_count("tc") == 3
+        emulator.clock(200)
+        assert emulator.restore_nearest("tc", cycles[1] + 5) == cycles[1]
+        assert emulator.core.cycles == cycles[1]
+        assert emulator.restore_nearest("tc", cycles[2]) == cycles[2]
+        assert emulator.stats.ladder_hits == 2
+        assert emulator.stats.cycles_skipped == cycles[1] + cycles[2]
+
+    def test_restore_below_lowest_rung_reloads_base(self, emulator):
+        cycles = self._climb(emulator, 2)
+        base_cycle = cycles[0] - 40
+        assert emulator.restore_nearest("tc", cycles[0] - 1) == base_cycle
+        assert emulator.core.cycles == base_cycle
+        assert emulator.stats.ladder_misses == 1
+
+    def test_lru_eviction_beyond_max_rungs(self, testcase):
+        core = Power6Core(SMALL_PARAMS)
+        core.load_program(testcase.program)
+        emulator = AwanEmulator(core, max_rungs=3)
+        cycles = self._climb(emulator, 5)
+        assert emulator.rung_count("tc") == 3
+        assert emulator.stats.rungs_saved == 5
+        assert emulator.stats.rung_evictions == 2
+        # The two oldest rungs are gone: asking for them falls back to
+        # the base checkpoint.
+        assert emulator.restore_nearest("tc", cycles[1]) == 0
+        assert emulator.stats.ladder_misses == 1
+
+    def test_restore_refreshes_lru_order(self, testcase):
+        core = Power6Core(SMALL_PARAMS)
+        core.load_program(testcase.program)
+        emulator = AwanEmulator(core, max_rungs=2)
+        cycles = self._climb(emulator, 2)
+        # Touch the older rung, then save a third: the *untouched* middle
+        # rung is the eviction victim.
+        assert emulator.restore_nearest("tc", cycles[0]) == cycles[0]
+        emulator.clock(300)
+        emulator.save_rung("tc")
+        assert emulator.rung_count("tc") == 2
+        assert emulator.restore_nearest("tc", cycles[1]) == cycles[0]
+
+    def test_max_rungs_below_one_disables_ladder(self, testcase):
+        core = Power6Core(SMALL_PARAMS)
+        core.load_program(testcase.program)
+        emulator = AwanEmulator(core, max_rungs=0)
+        emulator.checkpoint("tc")
+        emulator.clock(40)
+        emulator.save_rung("tc")
+        assert emulator.rung_count() == 0
+        assert emulator.stats.rungs_saved == 0
+
+    def test_drop_rungs_by_name_and_all(self, emulator):
+        self._climb(emulator, 2)
+        emulator.checkpoint("other")
+        emulator.clock(40)
+        emulator.save_rung("other")
+        assert emulator.rung_count() == 3
+        emulator.drop_rungs("tc")
+        assert emulator.rung_count("tc") == 0
+        assert emulator.rung_count("other") == 1
+        emulator.drop_rungs()
+        assert emulator.rung_count() == 0
+
+    def test_restore_clears_sticky_faults(self, emulator):
+        cycles = self._climb(emulator, 1)
+        emulator.inject(0, InjectionMode.STICKY, sticky_cycles=1_000)
+        assert emulator.sticky_pending
+        emulator.restore_nearest("tc", cycles[0])
+        assert not emulator.sticky_pending
+
+    def test_reload_clears_sticky_faults(self, emulator):
+        emulator.checkpoint("tc")
+        emulator.inject(0, InjectionMode.STICKY, sticky_cycles=1_000)
+        assert emulator.sticky_pending
+        emulator.reload("tc")
+        assert not emulator.sticky_pending

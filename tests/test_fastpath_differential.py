@@ -1,0 +1,145 @@
+"""Differential equivalence suite for the fast-path campaign layer.
+
+The fast path (checkpoint ladder + golden-digest early exit, see
+``repro/sfi/campaign.py``) claims to be *bit-identical* to the seed slow
+path: same outcome, same inject cycle, same event trace, for every
+(site, cycle, testcase, stride).  This suite enforces the claim over
+randomized mini-campaigns whose slow-path outcomes span every class —
+vanished, corrected, hang, checkstop and SDC — across ladder strides
+K in {1, 7, 64, inf}.
+
+On a mismatch, a repro line per differing record is appended to the file
+named by ``FASTPATH_REPRO_FILE`` (default ``fastpath-failing-seeds.txt``
+in the working directory); CI uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.cpu import CoreParams
+from repro.rtl.fault import InjectionMode
+from repro.sfi import CampaignConfig, ClassifyOptions, SfiExperiment
+from repro.sfi.outcomes import Outcome
+from repro.sfi.sampling import random_sample
+
+pytestmark = pytest.mark.differential
+
+SMALL_PARAMS = CoreParams(scale=0.15, icache_lines=32, dcache_lines=32)
+
+_BASE = dict(suite_size=2, suite_seed=99, core_params=SMALL_PARAMS)
+
+#: name -> (config overrides, campaign seed, flips).  Seeds are chosen so
+#: the slow-path outcomes of these mini-campaigns jointly cover every
+#: outcome class (asserted below, so drift is loud).
+CASES = {
+    "toggle": (dict(), 4, 40),
+    "sticky-checkstop": (dict(injection_mode=InjectionMode.STICKY,
+                              sticky_cycles=64), 7, 60),
+    "sticky-sdc": (dict(injection_mode=InjectionMode.STICKY,
+                        sticky_cycles=64), 8, 60),
+    "raw-hang": (dict(checker_mask=0,
+                      classify_options=ClassifyOptions(
+                          latent_as_vanished=True)), 1, 60),
+}
+
+#: Ladder strides under test; None is the K = inf case (no mid-execution
+#: rungs: every injection falls back to the cycle-0 checkpoint while the
+#: digest early exit stays active).
+STRIDES = {"K1": 1, "K7": 7, "K64": 64, "Kinf": None}
+
+
+def _campaign(case: str, *, fastpath: bool, ckpt_stride=64):
+    overrides, seed, flips = CASES[case]
+    config = CampaignConfig(**_BASE, **overrides, fastpath=fastpath,
+                            ckpt_stride=ckpt_stride)
+    experiment = SfiExperiment(config)
+    sites = random_sample(experiment.latch_map, flips,
+                          random.Random(seed ^ 0x5F1))
+    result = experiment.run_campaign(sites, seed)
+    return experiment, result
+
+
+@pytest.fixture(scope="module")
+def slow_records():
+    """Slow-path reference records, computed once per case."""
+    cache = {}
+
+    def get(case: str):
+        if case not in cache:
+            cache[case] = _campaign(case, fastpath=False)[1].records
+        return cache[case]
+
+    return get
+
+
+def _report_mismatches(case: str, stride_name: str, seed: int,
+                       slow, fast) -> list[str]:
+    lines = []
+    for index, (a, b) in enumerate(zip(slow, fast)):
+        if a != b:
+            lines.append(
+                f"case={case} stride={stride_name} seed={seed} "
+                f"record={index} site={a.site_index} "
+                f"testcase_seed={a.testcase_seed} cycle={a.inject_cycle} "
+                f"slow={a.outcome.value} fast={b.outcome.value} "
+                f"trace_equal={a.trace == b.trace}")
+    if lines:
+        path = os.environ.get("FASTPATH_REPRO_FILE",
+                              "fastpath-failing-seeds.txt")
+        with open(path, "a", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+    return lines
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+@pytest.mark.parametrize("stride_name", sorted(STRIDES))
+def test_fast_path_records_bit_identical(case, stride_name, slow_records):
+    slow = slow_records(case)
+    experiment, result = _campaign(case, fastpath=True,
+                                   ckpt_stride=STRIDES[stride_name])
+    mismatches = _report_mismatches(case, stride_name, CASES[case][1],
+                                    slow, result.records)
+    assert not mismatches, \
+        "fast path diverged from slow path:\n" + "\n".join(mismatches)
+    assert len(slow) == len(result.records)
+
+
+def test_cases_cover_every_outcome_class(slow_records):
+    """The mini-campaigns exercise all five outcome destinies, so the
+    bit-identical assertions above cover every classification path."""
+    seen = {record.outcome
+            for case in CASES for record in slow_records(case)}
+    assert seen == set(Outcome)
+
+
+def test_fast_path_simulates_fewer_cycles(slow_records):
+    """The point of the ladder + early exits: strictly less engine time."""
+    slow_exp, _ = _campaign("toggle", fastpath=False)
+    fast_exp, _ = _campaign("toggle", fastpath=True)
+    assert fast_exp.emulator.stats.cycles_run \
+        < slow_exp.emulator.stats.cycles_run
+
+
+def test_trace_ring_truncation_under_pressure(slow_records):
+    """PR 2's 512-event ring bound, shrunk to 4: an early-exited trial
+    splices the golden event tail through the same ring machinery a full
+    drain records through, so truncation (which events survive, and the
+    dropped count baked into the trace) is bit-identical."""
+    overrides, seed, flips = CASES["toggle"]
+    for fastpath in (False, True):
+        config = CampaignConfig(**_BASE, **overrides, fastpath=fastpath,
+                                trace_max_events=4)
+        experiment = SfiExperiment(config)
+        sites = random_sample(experiment.latch_map, flips,
+                              random.Random(seed ^ 0x5F1))
+        result = experiment.run_campaign(sites, seed)
+        if not fastpath:
+            slow = result.records
+    assert [r.trace for r in slow] == [r.trace for r in result.records]
+    assert slow == result.records
+    assert all(len(r.trace) <= 4 for r in slow)
