@@ -28,6 +28,14 @@ from repro.analysis.ser import (
     render_budgets,
     unit_budgets,
 )
+from repro.analysis.provenance import (
+    ProvenanceFormatError,
+    propagation_chain,
+    read_provenance_jsonl,
+    render_propagation_story,
+    render_provenance_report,
+    write_provenance_jsonl,
+)
 from repro.analysis.report import (
     render_fig2,
     render_fig3,
@@ -58,6 +66,12 @@ __all__ = [
     "derating_factor",
     "effective_ser_reduction",
     "per_unit_derating",
+    "ProvenanceFormatError",
+    "propagation_chain",
+    "read_provenance_jsonl",
+    "render_propagation_story",
+    "render_provenance_report",
+    "write_provenance_jsonl",
     "render_fig2",
     "render_fig3",
     "render_fig4",

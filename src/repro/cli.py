@@ -12,6 +12,8 @@ modes::
     repro-sfi workload                     # Table 1
     repro-sfi trace --flips 300 --show 5   # cause-and-effect narratives
     repro-sfi trace --journal camp.jsonl   # same, from a saved journal
+    repro-sfi explain 17 --journal camp.jsonl  # taint provenance of one flip
+    repro-sfi propagation --flips 200      # per-unit propagation matrix
     repro-sfi monitor --journal camp.jsonl # tail a running campaign
     repro-sfi stats --metrics out.prom     # render a metrics snapshot
 """
@@ -336,6 +338,106 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    """Re-run one campaign injection with taint tracking and render its
+    propagation story.
+
+    Plans and injection cycles are pure functions of ``(seed, flips,
+    suite_size)`` (the REPRO-D01 determinism contract), so the trial is
+    regenerated exactly — from a journal header, or from the same
+    ``--flips``/``--seed`` the campaign ran with.  The re-run record is
+    cross-checked against the journaled one when available.
+    """
+    from random import Random
+
+    from repro.analysis import render_propagation_story
+    from repro.sfi.campaign import injection_rng, plan_injections
+    from repro.sfi.sampling import random_sample
+    from repro.sfi.storage import CampaignStorageError, read_journal
+
+    seed, flips, suite_size = args.seed, args.flips, args.suite_size
+    journaled = None
+    if args.journal:
+        try:
+            header, covered = read_journal(args.journal)
+        except CampaignStorageError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        seed = header.get("seed", seed)
+        flips = header.get("total_sites", flips)
+        suite_size = header.get("meta", {}).get("suite_size", suite_size)
+        journaled = covered.get(args.position)
+    if flips is None:
+        print("explain needs --journal or --flips to regenerate the "
+              "campaign plan", file=sys.stderr)
+        return 2
+    if not 0 <= args.position < flips:
+        print(f"position {args.position} outside campaign "
+              f"(0..{flips - 1})", file=sys.stderr)
+        return 2
+    experiment = SfiExperiment(_config(args, suite_size=suite_size))
+    sites = random_sample(experiment.latch_map, flips,
+                          Random(seed ^ 0x5F1))
+    plan = plan_injections(sites, len(experiment.suite))
+    item = plan[args.position]
+    inject_cycle = injection_rng(seed, item.site_index, item.occurrence) \
+        .randrange(0, experiment.references[item.testcase_index].cycles)
+    record = experiment.run_one(item.site_index, item.testcase_index,
+                                inject_cycle, provenance=True)
+    if journaled is not None and journaled.outcome is not record.outcome:
+        print(f"journal mismatch: position {args.position} was journaled "
+              f"as {journaled.outcome.value!r} but replays as "
+              f"{record.outcome.value!r} — campaign flags (--raw/--sticky/"
+              f"--suite-size) probably differ", file=sys.stderr)
+        return 2
+    payload = experiment.last_provenance
+    if args.json:
+        json.dump({"pos": args.position, "payload": payload},
+                  sys.stdout, indent=2)
+        print()
+        return 0
+    print(render_propagation_story(payload))
+    return 0
+
+
+def cmd_propagation(args) -> int:
+    """Taint-track a campaign and render the per-unit propagation matrix,
+    detection-latency statistics, and masking attribution."""
+    from repro.analysis import render_provenance_report, write_provenance_jsonl
+
+    config = _config(args, provenance=True)
+    if args.workers > 1:
+        from random import Random
+
+        from repro.sfi.sampling import random_sample
+        from repro.sfi.supervisor import CampaignSupervisor
+        probe = SfiExperiment(config)
+        sites = random_sample(probe.latch_map, args.flips,
+                              Random(args.seed ^ 0x5F1))
+        supervisor = CampaignSupervisor(config, workers=args.workers,
+                                        population_bits=len(probe.latch_map))
+        supervisor.run(sites, seed=args.seed)
+        report = supervisor.provenance_report
+        payloads = supervisor.provenance_payloads
+    else:
+        experiment = SfiExperiment(config)
+        payloads = {}
+        experiment.provenance_hook = \
+            lambda pos, payload: payloads.setdefault(pos, payload)
+        experiment.run_random_campaign(args.flips, seed=args.seed)
+        report = experiment.provenance_report
+    if args.jsonl:
+        write_provenance_jsonl(payloads, args.jsonl)
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        print()
+        return 0
+    print(render_provenance_report(report))
+    if args.jsonl:
+        print(f"{len(payloads)} per-injection payloads -> {args.jsonl}")
+    return 0
+
+
 def cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -494,6 +596,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-log", metavar="PATH",
                    help="also write machine-readable JSONL span chains")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("explain",
+                       help="taint-provenance story for one campaign "
+                            "injection (re-run with tracking)")
+    _add_common(p)
+    p.add_argument("position", type=int,
+                   help="campaign position of the injection to explain")
+    p.add_argument("--journal", metavar="PATH",
+                   help="derive seed/flips/suite-size from this campaign "
+                        "journal and cross-check the replayed outcome")
+    p.add_argument("--flips", type=int, default=None,
+                   help="campaign size, when no --journal is given "
+                        "(must match the original campaign)")
+    p.add_argument("--raw", action="store_true",
+                   help="match a campaign run with --raw")
+    p.add_argument("--sticky", action="store_true",
+                   help="match a campaign run with --sticky")
+    p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("propagation",
+                       help="taint-tracked campaign: per-unit propagation "
+                            "matrix, detection latency, masking")
+    _add_common(p)
+    p.add_argument("--flips", type=int, default=200)
+    p.add_argument("--raw", action="store_true",
+                   help="mask every hardware checker (Table 3's Raw mode)")
+    p.add_argument("--sticky", action="store_true",
+                   help="sticky injection mode instead of toggle")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel simulation copies (the merged report "
+                        "is identical for any worker count)")
+    p.add_argument("--jsonl", metavar="PATH",
+                   help="write per-injection provenance payloads to this "
+                        "JSONL sidecar")
+    p.set_defaults(func=cmd_propagation)
 
     p = sub.add_parser(
         "lint",

@@ -62,6 +62,11 @@ class Power6Core:
         # load + None check per cycle when unset.
         self.profile_hook = None
         self.profile_interval = 2048
+        # Per-cycle provenance hook: when set (repro.cpu.tainttrace), it
+        # marks the cycle boundary for the taint pending window.  Unlike
+        # profile_hook it must fire every cycle, so provenance-enabled
+        # trials pay the call; unset it is the same load + None check.
+        self.taint_hook = None
 
         self.pervasive = Pervasive(self, self.params)
         self.rut = Rut(self, self.params)
@@ -188,6 +193,9 @@ class Power6Core:
         self.commits_this_cycle = 0
         hook = self.profile_hook
         if hook is not None and self.cycles % self.profile_interval == 0:
+            hook(self)
+        hook = self.taint_hook
+        if hook is not None:
             hook(self)
         perv = self.pervasive
         perv.cycle()

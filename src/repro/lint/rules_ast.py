@@ -75,10 +75,13 @@ _POOLISH_RECEIVERS = ("pool", "executor")
 _METRIC_CTORS = frozenset({"counter", "gauge", "histogram"})
 _METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 _METRIC_PREFIXES = ("sfi_", "core_", "repro_")
-_HISTOGRAM_SUFFIXES = ("_seconds", "_bytes", "_cycles")
+_HISTOGRAM_SUFFIXES = ("_seconds", "_bytes", "_cycles", "_bits")
 
 # --- REPRO-N02 ---------------------------------------------------------
 _EVENT_VALUE_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+# Enum classes whose values are serialized wire format: machine events
+# plus the provenance vocabulary (masking causes, taint node kinds).
+_SERIALIZED_ENUM_MARKERS = ("Event", "Taint", "Masking")
 
 _ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow\[([A-Z0-9*,\- ]+)\]")
 
@@ -387,14 +390,15 @@ class _FileChecker(ast.NodeVisitor):
             problems.append("counters must end in _total")
         if kind == "histogram" and not name.endswith(_HISTOGRAM_SUFFIXES):
             problems.append("histograms must end in a unit suffix "
-                            "(_seconds/_bytes/_cycles)")
+                            "(_seconds/_bytes/_cycles/_bits)")
         if problems:
             self._report(
                 "REPRO-N01", Severity.WARNING, "naming", node,
                 f"metric {kind} name {name!r}: " + "; ".join(problems))
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        if RuleGroup.NAMING in self.groups and "Event" in node.name:
+        if RuleGroup.NAMING in self.groups and any(
+                marker in node.name for marker in _SERIALIZED_ENUM_MARKERS):
             enum_based = any(
                 _terminal_name(base).endswith("Enum") for base in node.bases)
             if enum_based:

@@ -41,6 +41,11 @@ from repro.obs.monitor import (
     render_stats,
 )
 from repro.obs.profile import CoreProfiler
+from repro.obs.provenance import (
+    MaskingEvent,
+    ProvenanceReport,
+    TaintNodeKind,
+)
 from repro.obs.trace import (
     TRACE_FORMAT_VERSION,
     TraceWriter,
@@ -57,10 +62,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JournalProgress",
+    "MaskingEvent",
     "Metric",
     "MetricError",
     "MetricsRegistry",
     "ParsedMetrics",
+    "ProvenanceReport",
+    "TaintNodeKind",
     "TraceWriter",
     "chain_from_record",
     "default_registry",

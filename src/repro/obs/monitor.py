@@ -49,6 +49,12 @@ class JournalProgress:
     header: dict = field(default_factory=dict)
     done: int = 0
     outcomes: Counter = field(default_factory=Counter)
+    # Fast-path sidecars (the ``{"fastpath": ...}`` journal-line extras):
+    # how many records carried one, summed cycles saved, and the
+    # golden-digest early exits by reason ("golden" / "masked").
+    fastpath: int = 0
+    saved_cycles: int = 0
+    early_exits: Counter = field(default_factory=Counter)
 
     @property
     def total(self) -> int:
@@ -91,6 +97,12 @@ def read_journal_progress(path: str | Path) -> JournalProgress:
         record = payload.get("record", {})
         outcome = record.get("outcome") if isinstance(record, dict) else None
         progress.outcomes[outcome or "?"] += 1
+        sidecar = payload.get("fastpath")
+        if isinstance(sidecar, dict):
+            progress.fastpath += 1
+            progress.saved_cycles += int(sidecar.get("saved_cycles", 0))
+            if sidecar.get("exit"):
+                progress.early_exits[sidecar["exit"]] += 1
     progress.done = len(positions)
     return progress
 
@@ -133,6 +145,14 @@ def render_monitor_frame(progress: JournalProgress, rate: float | None,
                         for outcome, count in sorted(progress.outcomes.items(),
                                                      key=lambda kv: -kv[1]))
         lines.append(f"[monitor] outcomes: {mix}")
+    if progress.fastpath:
+        line = (f"[monitor] fastpath: {progress.fastpath} injections, "
+                f"{progress.saved_cycles:,} cycles saved")
+        if progress.early_exits:
+            exits = "  ".join(f"{reason}: {count}" for reason, count
+                              in sorted(progress.early_exits.items()))
+            line += f"  (early exits — {exits})"
+        lines.append(line)
     for line in metrics_lines or []:
         lines.append(f"[monitor] {line}")
     return "\n".join(lines)
@@ -150,7 +170,8 @@ def _interesting_metric_lines(registry: MetricsRegistry) -> list[str]:
             lines.append(f"{label} = {value:.1f}")
     for name in ("sfi_shard_retries_total", "sfi_shard_splits_total",
                  "sfi_degrades_total", "sfi_early_exits_total",
-                 "sfi_ladder_hits_total", "sfi_ladder_misses_total"):
+                 "sfi_ladder_hits_total", "sfi_ladder_misses_total",
+                 "sfi_taint_edges_total"):
         metric = registry.get(name)
         if metric is None:
             continue

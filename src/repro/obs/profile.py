@@ -31,7 +31,8 @@ class CoreProfiler:
 
     def __init__(self, core, registry: MetricsRegistry, *,
                  interval: int = 2048,
-                 clock=time.perf_counter) -> None:
+                 clock=time.perf_counter,
+                 core_label: str | None = None) -> None:
         self.core = core
         self.interval = max(1, interval)
         self._clock = clock
@@ -40,20 +41,28 @@ class CoreProfiler:
         self._seen_events = 0      # absolute index: dropped + consumed
         self._recovery_start: int | None = None
         self._recovery_unit = "?"
+        # ``core_label`` adds a ``core`` label to every series, so chip
+        # campaigns can attach one profiler per core to a single registry
+        # without their samples colliding.  Labelled and unlabelled
+        # profilers cannot share a registry (the metric shapes differ).
+        self._labels = {"core": core_label} if core_label else {}
+        extra = ("core",) if core_label else ()
 
         self.cycles_per_second = registry.gauge(
             "core_cycles_per_second",
-            "simulated cycles per wall second (sampled)")
+            "simulated cycles per wall second (sampled)", extra)
         self.cycles_total = registry.counter(
-            "core_cycles_total", "simulated cycles (sampled resolution)")
+            "core_cycles_total", "simulated cycles (sampled resolution)",
+            extra)
         self.checker_fires = registry.counter(
             "core_checker_fires_total",
-            "checker detections seen in the event log", ("unit",))
+            "checker detections seen in the event log", ("unit",) + extra)
         self.recovery_cycles = registry.counter(
             "core_recovery_cycles_total",
-            "cycles spent in recovery sequences", ("unit",))
+            "cycles spent in recovery sequences", ("unit",) + extra)
         self.events_dropped = registry.gauge(
-            "core_event_log_dropped", "events the bounded log discarded")
+            "core_event_log_dropped", "events the bounded log discarded",
+            extra)
 
         core.profile_interval = self.interval
         core.profile_hook = self
@@ -76,9 +85,10 @@ class CoreProfiler:
             elapsed = now - self._last_time
             advanced = cycles - self._last_cycles
             if advanced > 0:
-                self.cycles_total.inc(advanced)
+                self.cycles_total.inc(advanced, **self._labels)
             if elapsed > 0 and advanced > 0:
-                self.cycles_per_second.set(advanced / elapsed)
+                self.cycles_per_second.set(advanced / elapsed,
+                                           **self._labels)
         self._last_time = now
         self._last_cycles = cycles
         self._drain_events(core.event_log)
@@ -96,7 +106,7 @@ class CoreProfiler:
         if total < self._seen_events:
             self._seen_events = 0
             self._recovery_start = None
-        self.events_dropped.set(dropped)
+        self.events_dropped.set(dropped, **self._labels)
         fresh = total - self._seen_events
         if fresh <= 0:
             return
@@ -105,7 +115,8 @@ class CoreProfiler:
         for event in events:
             kind = getattr(event.kind, "value", str(event.kind))
             if kind == "error-detected":
-                self.checker_fires.inc(unit=_unit_of_checker(event.detail))
+                self.checker_fires.inc(unit=_unit_of_checker(event.detail),
+                                       **self._labels)
             elif kind == "recovery-start":
                 self._recovery_start = event.cycle
                 self._recovery_unit = _unit_of_checker(event.detail)
@@ -113,5 +124,6 @@ class CoreProfiler:
                 duration = event.cycle - self._recovery_start
                 if duration > 0:
                     self.recovery_cycles.inc(duration,
-                                             unit=self._recovery_unit)
+                                             unit=self._recovery_unit,
+                                             **self._labels)
                 self._recovery_start = None

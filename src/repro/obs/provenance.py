@@ -1,0 +1,204 @@
+"""Fault-provenance data model: per-injection payloads, campaign reports.
+
+The taint tracker (``repro.cpu.tainttrace``) shadows one injected latch
+bit as it propagates and emits, per injection, a plain-dict *provenance
+payload*: a propagation DAG (nodes are latches / array words / memory
+words, edges are value flows tagged with cycle and count), the
+infection-footprint time series, the detection event and latency, and a
+masking-attribution ledger.  This module owns the shared vocabulary for
+those payloads (the masking taxonomy and node kinds) and the campaign
+side: :class:`ProvenanceReport` folds payloads into per-unit-pair edge
+matrices and latency/footprint statistics with commutative merge
+semantics, so reports assembled from any sharding of a campaign — any
+worker count, any arrival order — are identical.
+
+Layering: this module is dependency-free (no ``repro.cpu`` / ``repro.sfi``
+imports); the simulator and campaign layers import *it*.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import Counter
+
+__all__ = [
+    "MaskingEvent",
+    "ProvenanceReport",
+    "TaintNodeKind",
+]
+
+
+class MaskingEvent(enum.Enum):
+    """Why a tainted bit stopped mattering (the masking taxonomy).
+
+    * ``OVERWRITTEN`` — functional logic wrote clean data over the taint
+      before anything consumed it (the paper's dominant vanish cause).
+    * ``PARITY_SCRUBBED`` — a checker fired and the recovery/refill path
+      replaced the tainted state from a clean source.
+    * ``ECC_CORRECTED`` — an ECC read or background scrub corrected the
+      word in place (RUT checkpoint words).
+    * ``ARCHITECTURALLY_DEAD`` — taint survived to the end of the drain
+      but the outcome was benign: the infected state was never consumed.
+    """
+
+    OVERWRITTEN = "overwritten"
+    PARITY_SCRUBBED = "parity-scrubbed"
+    ECC_CORRECTED = "ecc-corrected"
+    ARCHITECTURALLY_DEAD = "architecturally-dead"
+
+
+class TaintNodeKind(enum.Enum):
+    """What kind of storage a propagation-DAG node shadows."""
+
+    LATCH = "latch"
+    ARRAY = "array"
+    MEMORY = "memory"
+
+
+class ProvenanceReport:
+    """Campaign-level aggregate of per-injection provenance payloads.
+
+    Every field is a sum, count, min/max or counter, so :meth:`absorb`
+    and :meth:`merge` are commutative and associative: the supervisor can
+    fold partial reports from shards in completion order and still match
+    a serial run bit for bit.
+    """
+
+    def __init__(self) -> None:
+        self.injections = 0
+        self.outcomes: Counter[str] = Counter()
+        #: (src_unit, dst_unit) -> summed edge traversal count.
+        self.unit_edges: Counter[tuple[str, str]] = Counter()
+        self.edges_dropped = 0
+        self.detections = 0
+        self.detection_latency_sum = 0
+        self.detection_latency_min: int | None = None
+        self.detection_latency_max: int | None = None
+        self.detected_by: Counter[str] = Counter()
+        self.masking: Counter[str] = Counter()
+        self.peak_bits_sum = 0
+        self.peak_bits_max = 0
+        self.residual_bits_sum = 0
+        self.cross_core_edges = 0
+
+    # ------------------------------------------------------------------
+    # Folding.
+
+    def absorb(self, payload: dict) -> None:
+        """Fold one per-injection payload into the aggregate."""
+        self.injections += 1
+        self.outcomes[payload.get("outcome", "?")] += 1
+        nodes = payload.get("nodes", [])
+        for src, dst, _cycle, count in payload.get("edges", []):
+            pair = (nodes[src]["unit"], nodes[dst]["unit"])
+            self.unit_edges[pair] += count
+        self.edges_dropped += payload.get("edges_dropped", 0)
+        detection = payload.get("detection")
+        if detection is not None:
+            latency = detection["latency"]
+            self.detections += 1
+            self.detection_latency_sum += latency
+            self.detection_latency_min = (
+                latency if self.detection_latency_min is None
+                else min(self.detection_latency_min, latency))
+            self.detection_latency_max = (
+                latency if self.detection_latency_max is None
+                else max(self.detection_latency_max, latency))
+            self.detected_by[detection["detector"]] += 1
+        for cause, count in payload.get("masking_counts", {}).items():
+            self.masking[cause] += count
+        peak = payload.get("peak_bits", 0)
+        self.peak_bits_sum += peak
+        self.peak_bits_max = max(self.peak_bits_max, peak)
+        self.residual_bits_sum += payload.get("residual_tainted", 0)
+        self.cross_core_edges += payload.get("cross_core_edges", 0)
+
+    def merge(self, other: ProvenanceReport) -> None:
+        """Fold another (partial) report into this one."""
+        self.injections += other.injections
+        self.outcomes.update(other.outcomes)
+        self.unit_edges.update(other.unit_edges)
+        self.edges_dropped += other.edges_dropped
+        self.detections += other.detections
+        self.detection_latency_sum += other.detection_latency_sum
+        for mine, theirs, pick in (("detection_latency_min",
+                                    other.detection_latency_min, min),
+                                   ("detection_latency_max",
+                                    other.detection_latency_max, max)):
+            if theirs is not None:
+                current = getattr(self, mine)
+                setattr(self, mine,
+                        theirs if current is None else pick(current, theirs))
+        self.detected_by.update(other.detected_by)
+        self.masking.update(other.masking)
+        self.peak_bits_sum += other.peak_bits_sum
+        self.peak_bits_max = max(self.peak_bits_max, other.peak_bits_max)
+        self.residual_bits_sum += other.residual_bits_sum
+        self.cross_core_edges += other.cross_core_edges
+
+    # ------------------------------------------------------------------
+    # Derived views.
+
+    @property
+    def mean_detection_latency(self) -> float:
+        return (self.detection_latency_sum / self.detections
+                if self.detections else math.nan)
+
+    @property
+    def mean_peak_bits(self) -> float:
+        return (self.peak_bits_sum / self.injections
+                if self.injections else math.nan)
+
+    def units(self) -> list[str]:
+        """Every unit appearing in the edge matrix, sorted."""
+        seen = {unit for pair in self.unit_edges for unit in pair}
+        return sorted(seen)
+
+    # ------------------------------------------------------------------
+    # Serialisation (for JSONL sidecars and cross-process transfer).
+
+    def to_dict(self) -> dict:
+        return {
+            "injections": self.injections,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "unit_edges": [[src, dst, count] for (src, dst), count
+                           in sorted(self.unit_edges.items())],
+            "edges_dropped": self.edges_dropped,
+            "detections": self.detections,
+            "detection_latency_sum": self.detection_latency_sum,
+            "detection_latency_min": self.detection_latency_min,
+            "detection_latency_max": self.detection_latency_max,
+            "detected_by": dict(sorted(self.detected_by.items())),
+            "masking": dict(sorted(self.masking.items())),
+            "peak_bits_sum": self.peak_bits_sum,
+            "peak_bits_max": self.peak_bits_max,
+            "residual_bits_sum": self.residual_bits_sum,
+            "cross_core_edges": self.cross_core_edges,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ProvenanceReport:
+        report = cls()
+        report.injections = data.get("injections", 0)
+        report.outcomes = Counter(data.get("outcomes", {}))
+        report.unit_edges = Counter(
+            {(src, dst): count
+             for src, dst, count in data.get("unit_edges", [])})
+        report.edges_dropped = data.get("edges_dropped", 0)
+        report.detections = data.get("detections", 0)
+        report.detection_latency_sum = data.get("detection_latency_sum", 0)
+        report.detection_latency_min = data.get("detection_latency_min")
+        report.detection_latency_max = data.get("detection_latency_max")
+        report.detected_by = Counter(data.get("detected_by", {}))
+        report.masking = Counter(data.get("masking", {}))
+        report.peak_bits_sum = data.get("peak_bits_sum", 0)
+        report.peak_bits_max = data.get("peak_bits_max", 0)
+        report.residual_bits_sum = data.get("residual_bits_sum", 0)
+        report.cross_core_edges = data.get("cross_core_edges", 0)
+        return report
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProvenanceReport):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()

@@ -20,13 +20,16 @@ from repro.avp.suite import make_suite
 from repro.avp.testcase import AvpTestcase
 from repro.cpu.core import CoreSnapshot, Power6Core
 from repro.cpu.events import EventLog, MachineEvent
+from repro.cpu.tainttrace import detection_info, taint_trace
 from repro.cpu.touchtrace import trace_touches, untraced
 from repro.cpu.params import CoreParams
 from repro.emulator.awan import AwanEmulator
 from repro.emulator.host import CommHost
+from repro.obs.provenance import MaskingEvent, ProvenanceReport
 from repro.rtl.fault import InjectionMode
 
 from repro.sfi.classify import ClassifyOptions, classify
+from repro.sfi.outcomes import Outcome
 from repro.sfi.results import CampaignResult, InjectionRecord
 from repro.sfi.sampling import random_sample
 
@@ -116,6 +119,16 @@ class CampaignConfig:
     digest_stride: int = 16
     # Ladder memory bound (LRU-evicted rungs across all testcases).
     ladder_max_rungs: int = 256
+    # --- Fault provenance (taint propagation DAG per injection) -------
+    # When True, every trial runs with the taint tracker installed and
+    # produces a provenance payload (propagation DAG, infection
+    # footprint, detection latency, masking attribution) alongside its
+    # record.  Tracking forces the slow path per trial — the tracker
+    # must observe every post-injection cycle, so ladder restores and
+    # digest early exits are bypassed — but outcome records stay
+    # bit-identical (the provenance differential suite asserts this).
+    # Fast-path campaigns with provenance off are untouched.
+    provenance: bool = False
 
 
 @dataclass(frozen=True)
@@ -156,6 +169,32 @@ _INJECTION_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
 _CYCLES_SAVED_BUCKETS = (0.0, 16.0, 64.0, 256.0, 1024.0, 4096.0,
                          16384.0, float("inf"))
 
+# Cycles from flip to first checker fire / FIR set / recovery start.
+_DETECTION_LATENCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                              256.0, 512.0, 1024.0, 4096.0, float("inf"))
+
+# Peak simultaneously tainted storage bits of one injection.
+_PEAK_BITS_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                      512.0, 1024.0, float("inf"))
+
+
+def observe_provenance_metrics(inst, payload: dict) -> None:
+    """Fold one provenance payload into the shared metric series.
+
+    ``inst`` is any instrument bundle exposing ``detection_latency``,
+    ``infection_peak`` and ``taint_edges`` (the experiment's and the
+    supervisor's both do, so serial and sharded campaigns feed one
+    dashboard).
+    """
+    detection = payload.get("detection")
+    if detection is not None:
+        inst.detection_latency.observe(detection["latency"])
+    inst.infection_peak.observe(payload.get("peak_bits", 0))
+    nodes = payload.get("nodes", [])
+    for src, dst, _cycle, count in payload.get("edges", []):
+        inst.taint_edges.inc(count, src_unit=nodes[src]["unit"],
+                             dst_unit=nodes[dst]["unit"])
+
 
 class _ExperimentInstruments:
     """The experiment-level series (shared metric names with the
@@ -183,11 +222,24 @@ class _ExperimentInstruments:
             "fast-path injections that fell back to the cycle-0 checkpoint")
         self.early_exits = registry.counter(
             "sfi_early_exits_total",
-            "vanished classifications taken at a golden-digest match")
+            "drains ended at a golden-digest match, by exit reason",
+            ("reason",))
         self.cycles_saved = registry.histogram(
             "sfi_fastpath_saved_cycles",
             "simulation cycles avoided per injection by the fast path",
             buckets=_CYCLES_SAVED_BUCKETS)
+        self.detection_latency = registry.histogram(
+            "sfi_detection_latency_cycles",
+            "cycles from injection to first detection event",
+            buckets=_DETECTION_LATENCY_BUCKETS)
+        self.infection_peak = registry.histogram(
+            "sfi_infection_peak_bits",
+            "peak simultaneously tainted storage bits per injection",
+            buckets=_PEAK_BITS_BUCKETS)
+        self.taint_edges = registry.counter(
+            "sfi_taint_edges_total",
+            "taint propagation DAG edge traversals by unit pair",
+            ("src_unit", "dst_unit"))
 
 
 class SfiExperiment:
@@ -230,6 +282,17 @@ class SfiExperiment:
         self.metrics = None
         self._instruments = None
         self._profiler = None
+        # Per-trial side channels, refreshed by every run_one call: the
+        # fast-path extras (exit reason + saved cycles) and the
+        # provenance payload of a provenance-enabled trial.  run_plan
+        # forwards them through the matching hooks (the supervisor's
+        # shard workers journal and merge through these) and folds
+        # payloads into ``provenance_report``.
+        self.last_fastpath: dict | None = None
+        self.last_provenance: dict | None = None
+        self.fastpath_hook = None
+        self.provenance_hook = None
+        self.provenance_report: ProvenanceReport | None = None
         prepare_start = time.perf_counter()
         self._prepare()
         self.prepare_seconds = time.perf_counter() - prepare_start
@@ -349,7 +412,8 @@ class SfiExperiment:
     # ------------------------------------------------------------------
 
     def run_one(self, site_index: int, testcase_index: int,
-                inject_cycle: int) -> InjectionRecord:
+                inject_cycle: int,
+                provenance: bool | None = None) -> InjectionRecord:
         """Perform a single injection and classify its outcome.
 
         On the fast path this restores the nearest ladder rung at or
@@ -358,13 +422,20 @@ class SfiExperiment:
         draining to quiesce); both are equivalence-preserving, so the
         returned record is bit-identical to the slow path's — the
         differential suite (``pytest -m differential``) enforces this.
+
+        ``provenance`` (default: the config flag) runs the trial with
+        the taint tracker installed — full reload + drain-to-quiesce, no
+        ladder or early exit, because the tracker must see every
+        post-injection cycle — and leaves the payload in
+        ``last_provenance``.  The record itself is unchanged.
         """
         config = self.config
         emulator = self.emulator
         core = self.core
         reference = self.references[testcase_index]
         inst = self._instruments
-        fast = self.fastpath
+        track = config.provenance if provenance is None else provenance
+        fast = self.fastpath and not track
         if fast:
             start_cycle = emulator.restore_nearest(
                 self._ckpt_name(testcase_index), inject_cycle)
@@ -378,7 +449,15 @@ class SfiExperiment:
         budget = (reference.cycles - inject_cycle) + config.drain_cycles
         golden = self.goldens[testcase_index] if fast else None
         exit_kind = None
-        if golden is not None and golden.usable:
+        tracker_payload = None
+        if track:
+            # Install after the flip (the injection write itself is the
+            # DAG root, not an edge) and uninstall before classification
+            # (golden-comparison reads are observational).
+            with taint_trace(core, site.latch) as tracker:
+                self.host.run_until_quiesce(budget)
+            tracker_payload = tracker.payload()
+        elif golden is not None and golden.usable:
             exit_kind = self._drain_with_digests(golden, budget, site)
         else:
             self.host.run_until_quiesce(budget)
@@ -409,8 +488,33 @@ class SfiExperiment:
             else:
                 inst.ladder_misses.inc()
             if exit_kind is not None:
-                inst.early_exits.inc()
+                inst.early_exits.inc(reason=exit_kind)
             inst.cycles_saved.observe(cycles_saved)
+        self.last_fastpath = None
+        if fast:
+            extras = {"saved_cycles": cycles_saved}
+            if exit_kind is not None:
+                extras["exit"] = exit_kind
+            self.last_fastpath = extras
+        self.last_provenance = None
+        if tracker_payload is not None:
+            tracker_payload.update(
+                site=site.name,
+                unit=self.latch_map.unit_of(site_index),
+                inject_cycle=inject_cycle,
+                testcase_seed=reference.testcase.seed,
+                outcome=outcome.value,
+                detection=detection_info(core.event_log.events,
+                                         inject_cycle),
+            )
+            if (outcome in (Outcome.VANISHED, Outcome.CORRECTED)
+                    and tracker_payload["residual_tainted"]):
+                # Benign outcome with live taint at quiesce: the infected
+                # state was never consumed.
+                counts = tracker_payload["masking_counts"]
+                counts[MaskingEvent.ARCHITECTURALLY_DEAD.value] = \
+                    tracker_payload["residual_tainted"]
+            self.last_provenance = tracker_payload
         return InjectionRecord(
             site_index=site_index,
             site_name=site.name,
@@ -507,6 +611,7 @@ class SfiExperiment:
             # still reported against the caller's plan.
             order = sorted(scheduled, key=lambda pair: (
                 pair[0].testcase_index, pair[1], pair[0].position))
+        report = ProvenanceReport() if self.config.provenance else None
         records: dict[int, InjectionRecord] = {}
         for item, inject_cycle in order:
             start = time.perf_counter() if inst is not None else 0.0
@@ -515,11 +620,24 @@ class SfiExperiment:
             if inst is not None:
                 inst.injection_seconds.observe(time.perf_counter() - start)
                 inst.injections.inc(outcome=record.outcome.value)
+            if self.last_fastpath is not None \
+                    and self.fastpath_hook is not None:
+                self.fastpath_hook(item.position, self.last_fastpath)
+            payload = self.last_provenance
+            if payload is not None:
+                if report is not None:
+                    report.absorb(payload)
+                if inst is not None:
+                    observe_provenance_metrics(inst, payload)
+                if self.provenance_hook is not None:
+                    self.provenance_hook(item.position, payload)
             records[item.position] = record
             if record_hook is not None:
                 record_hook(item.position, record)
         for item, _ in scheduled:
             result.add(records[item.position])
+        if report is not None:
+            self.provenance_report = report
         if inst is not None:
             elapsed = time.perf_counter() - campaign_start
             inst.campaign_seconds.set(elapsed)

@@ -19,6 +19,9 @@ from repro.avp.suite import make_suite
 from repro.cpu.chip import ChipSnapshot, Power6Chip
 from repro.cpu.events import EventLog
 from repro.cpu.params import CoreParams
+from repro.cpu.tainttrace import detection_info, taint_trace_chip
+from repro.obs.profile import CoreProfiler
+from repro.obs.provenance import MaskingEvent, ProvenanceReport
 from repro.rtl.fault import FaultSite, expand_sites
 
 from repro.sfi.classify import ClassifyOptions, classify
@@ -153,6 +156,11 @@ class ChipExperiment:
         self.testcases = make_suite(core_count, seed=suite_seed)
         self._sites_per_core: list[list[FaultSite]] = [
             expand_sites(core.all_latches()) for core in self.chip.cores]
+        # Provenance sidecars of the last run_one / run_campaign (see
+        # repro.obs.provenance); records themselves are unchanged.
+        self.last_provenance: dict | None = None
+        self.provenance_report: ProvenanceReport | None = None
+        self.provenance_payloads: dict[int, dict] = {}
         self._prepare()
 
     def _prepare(self) -> None:
@@ -200,7 +208,8 @@ class ChipExperiment:
 
     def run_one(self, core_index: int, site_number: int,
                 inject_cycle: int,
-                options: ClassifyOptions = ClassifyOptions()) -> ChipInjectionRecord:
+                options: ClassifyOptions = ClassifyOptions(),
+                provenance: bool = False) -> ChipInjectionRecord:
         chip = self.chip
         start_cycle = 0
         rung = None
@@ -223,10 +232,37 @@ class ChipExperiment:
         site = self._sites_per_core[core_index][site_number]
         site.inject()
         budget = (self.reference_cycles - inject_cycle) + self.drain_cycles
-        chip.run(max_cycles=max(budget, self.drain_cycles))
+        self.last_provenance = None
+        payload = None
+        if provenance:
+            # Install after the flip (the flip is the DAG root, not an
+            # edge) and uninstall before classification; the ladder
+            # restore above is untracked pre-injection prefix, so the
+            # record is bit-identical to an untracked trial.
+            with taint_trace_chip(chip, site.latch) as tracker:
+                chip.run(max_cycles=max(budget, self.drain_cycles))
+            payload = tracker.payload()
+        else:
+            chip.run(max_cycles=max(budget, self.drain_cycles))
 
         struck = chip.cores[core_index]
         outcome = classify(struck, self.testcases[core_index], options)
+        if payload is not None:
+            payload.update(
+                site=f"{struck.name}.{site.name}",
+                unit=f"{struck.name}.{struck.unit_of(site.latch)}",
+                core_index=core_index,
+                inject_cycle=inject_cycle,
+                outcome=outcome.value,
+                detection=detection_info(struck.event_log.events,
+                                         inject_cycle),
+            )
+            if (outcome in (Outcome.VANISHED, Outcome.CORRECTED)
+                    and payload["residual_tainted"]):
+                payload["masking_counts"][
+                    MaskingEvent.ARCHITECTURALLY_DEAD.value] = \
+                    payload["residual_tainted"]
+            self.last_provenance = payload
         clean = True
         for other_index, other in enumerate(chip.cores):
             if other_index == core_index:
@@ -252,7 +288,8 @@ class ChipExperiment:
                      journal: str | os.PathLike | None = None,
                      resume: bool = False,
                      progress: CampaignProgress | None = None,
-                     metrics=None) -> ChipCampaignResult:
+                     metrics=None,
+                     provenance: bool = False) -> ChipCampaignResult:
         """Inject ``count`` random flips (into ``core_index``, or spread
         uniformly across the chip when None).
 
@@ -265,6 +302,15 @@ class ChipExperiment:
         (warm ladder rungs); each trial is self-contained, so execution
         order cannot change any record, and ``result.records`` stays in
         trial order.
+
+        With ``provenance=True`` every executed trial is taint-tracked
+        (records stay bit-identical; trials run slower) and the merged
+        :class:`~repro.obs.provenance.ProvenanceReport` lands in
+        ``self.provenance_report`` with per-trial payloads in
+        ``self.provenance_payloads`` — executed trials only; journalled
+        trials skipped on resume are not re-tracked.  With ``metrics``
+        set, one ``core``-labelled :class:`~repro.obs.profile.CoreProfiler`
+        per core samples the chip's cycle loops into the same registry.
         """
         progress = progress or CampaignProgress()
         covered: dict[int, ChipInjectionRecord] = {}
@@ -290,6 +336,21 @@ class ChipExperiment:
                     kind=_CHIP_JOURNAL_KIND)
         progress.on_start(count, count - len(covered))
         inst = _ChipInstruments(metrics) if metrics is not None else None
+        # One core-labelled profiler per core.  Chip trials are short and
+        # every restore rewinds the cycle counter, so the default 2048-
+        # cycle hook interval would land few or no samples inside a
+        # trial; 256 keeps several samples per trial at sub-0.1% hook
+        # overhead.
+        profilers = ([CoreProfiler(core, metrics, interval=256,
+                                   core_label=core.name)
+                      for core in self.chip.cores]
+                     if metrics is not None else [])
+        for profiler in profilers:
+            # Baseline sample: epoch for the first in-trial sample.
+            profiler.sample()
+        report = self.provenance_report = (ProvenanceReport()
+                                           if provenance else None)
+        self.provenance_payloads = {}
         started = time.perf_counter()
         executed = 0
         result = ChipCampaignResult()
@@ -309,8 +370,12 @@ class ChipExperiment:
                 pending.sort(key=lambda t: (t[3], t[0]))
             records: dict[int, ChipInjectionRecord] = {}
             for trial, target, site_number, inject_cycle in pending:
-                record = self.run_one(target, site_number, inject_cycle)
+                record = self.run_one(target, site_number, inject_cycle,
+                                      provenance=provenance)
                 records[trial] = record
+                if report is not None and self.last_provenance is not None:
+                    self.provenance_payloads[trial] = self.last_provenance
+                    report.absorb(self.last_provenance)
                 if inst is not None:
                     executed += 1
                     inst.injections.inc(outcome=record.outcome.value,
@@ -327,6 +392,9 @@ class ChipExperiment:
             for trial in range(count):
                 result.records.append(covered.get(trial) or records[trial])
         finally:
+            for profiler in profilers:
+                profiler.sample()
+                profiler.detach()
             if inst is not None:
                 inst.campaign_seconds.set(time.perf_counter() - started)
             if journal_obj is not None:

@@ -284,12 +284,23 @@ class CampaignJournal:
 
     # -- appending -----------------------------------------------------
 
-    def append(self, position: int, record, record_encoder=None) -> None:
-        """Journal one completed injection (atomic single-line append)."""
+    def append(self, position: int, record, record_encoder=None,
+               extra: dict | None = None) -> None:
+        """Journal one completed injection (atomic single-line append).
+
+        ``extra`` merges additional top-level keys into the line (e.g.
+        the fast-path ``{"fastpath": {...}}`` sidecar); readers that only
+        know ``pos``/``record`` skip them, so the format stays backward
+        and forward compatible.  ``pos`` and ``record`` cannot be
+        overridden.
+        """
         if self._handle is None:
             raise CampaignStorageError(f"{self.path}: journal is closed")
         encoder = record_encoder or _record_to_dict
-        line = json.dumps({"pos": position, "record": encoder(record)})
+        payload = dict(extra) if extra else {}
+        payload["pos"] = position
+        payload["record"] = encoder(record)
+        line = json.dumps(payload)
         self._handle.write(line + "\n")
         self._handle.flush()
         self._since_sync += 1

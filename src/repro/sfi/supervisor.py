@@ -34,11 +34,16 @@ import queue as queue_module
 import time
 from dataclasses import dataclass, field
 
+from repro.obs.provenance import ProvenanceReport
 from repro.sfi.campaign import (
+    _CYCLES_SAVED_BUCKETS,
+    _DETECTION_LATENCY_BUCKETS,
+    _PEAK_BITS_BUCKETS,
     CampaignConfig,
     InjectionPlan,
     SfiExperiment,
     injection_rng,
+    observe_provenance_metrics,
     plan_injections,
 )
 from repro.sfi.results import CampaignResult
@@ -241,6 +246,30 @@ class _SupervisorInstruments:
             "sfi_degrades_total", "fallbacks to in-process serial execution")
         self.workers_running = registry.gauge(
             "sfi_workers_running", "live worker processes")
+        # Same names/shapes as the experiment-level series in
+        # repro.sfi.campaign: workers run uninstrumented, so the parent
+        # folds their sidecar reports into the one dashboard a serial
+        # instrumented run would feed.
+        self.early_exits = registry.counter(
+            "sfi_early_exits_total",
+            "drains ended at a golden-digest match, by exit reason",
+            ("reason",))
+        self.cycles_saved = registry.histogram(
+            "sfi_fastpath_saved_cycles",
+            "simulation cycles avoided per injection by the fast path",
+            buckets=_CYCLES_SAVED_BUCKETS)
+        self.detection_latency = registry.histogram(
+            "sfi_detection_latency_cycles",
+            "cycles from injection to first detection event",
+            buckets=_DETECTION_LATENCY_BUCKETS)
+        self.infection_peak = registry.histogram(
+            "sfi_infection_peak_bits",
+            "peak simultaneously tainted storage bits per injection",
+            buckets=_PEAK_BITS_BUCKETS)
+        self.taint_edges = registry.counter(
+            "sfi_taint_edges_total",
+            "taint propagation DAG edge traversals by unit pair",
+            ("src_unit", "dst_unit"))
 
 
 # ----------------------------------------------------------------------
@@ -264,10 +293,29 @@ def run_shard(config: CampaignConfig, items: list[InjectionPlan], seed: int,
               emit) -> int:
     """Default shard runner: prepare (or reuse) a machine and execute the
     plan items, emitting each record as it completes.  Returns the latch
-    population size so the parent can report coverage fractions."""
+    population size so the parent can report coverage fractions.
+
+    When ``emit`` carries an ``extra(kind, position, payload)`` attribute
+    (the supervisor's sidecar channel), the experiment's fast-path and
+    provenance payloads are forwarded through it — out of band, so the
+    record stream itself stays bit-identical to a hookless run.
+    """
     experiment = _cached_experiment(config)
-    experiment.run_plan(items, seed=seed,
-                        record_hook=lambda pos, rec: emit(pos, rec))
+    extra = getattr(emit, "extra", None)
+    # Cached experiments outlive one shard: always (re)set both hooks so
+    # a sidecar-less caller never inherits a previous caller's sinks.
+    experiment.fastpath_hook = (
+        (lambda pos, payload: extra("fast", pos, payload))
+        if extra is not None else None)
+    experiment.provenance_hook = (
+        (lambda pos, payload: extra("prov", pos, payload))
+        if extra is not None else None)
+    try:
+        experiment.run_plan(items, seed=seed,
+                            record_hook=lambda pos, rec: emit(pos, rec))
+    finally:
+        experiment.fastpath_hook = None
+        experiment.provenance_hook = None
     return len(experiment.latch_map)
 
 
@@ -275,9 +323,15 @@ def _shard_worker(runner, config: CampaignConfig, shard_id: int,
                   items: list[InjectionPlan], seed: int, out_queue) -> None:
     """Process entry point: run one shard, streaming records back."""
     try:
-        population = runner(config, items, seed,
-                            lambda pos, rec: out_queue.put(
-                                ("record", shard_id, pos, rec)))
+        def emit(pos, rec):
+            out_queue.put(("record", shard_id, pos, rec))
+
+        # Sidecar channel: fast-path / provenance payloads ride the same
+        # queue with their own kinds ("fast", "prov").  Per-process FIFO
+        # ordering guarantees they arrive before their position's record.
+        emit.extra = lambda kind, pos, payload: out_queue.put(
+            (kind, shard_id, pos, payload))
+        population = runner(config, items, seed, emit)
         out_queue.put(("done", shard_id, population))
     except BaseException as exc:  # noqa: BLE001 - report, don't crash silently
         out_queue.put(("error", shard_id, f"{type(exc).__name__}: {exc}"))
@@ -370,6 +424,12 @@ class CampaignSupervisor:
         self.reference_cycles = reference_cycles
         self._ids = itertools.count()
         self._degraded = False
+        #: Merged provenance aggregate of the last run (None unless
+        #: ``config.provenance``); per-position payloads in
+        #: ``provenance_payloads``.  Commutative folding makes both
+        #: identical across worker counts and arrival orders.
+        self.provenance_report: ProvenanceReport | None = None
+        self.provenance_payloads: dict[int, dict] = {}
 
     # -- public entry points ------------------------------------------
 
@@ -384,6 +444,10 @@ class CampaignSupervisor:
         inst = self._inst
         started = time.perf_counter()
         executed = 0
+        report = self.provenance_report = (
+            ProvenanceReport() if self.config.provenance else None)
+        self.provenance_payloads = {}
+        pending_fastpath: dict[int, dict] = {}
         if inst is not None and records:
             inst.recovered.inc(len(records))
         try:
@@ -394,15 +458,42 @@ class CampaignSupervisor:
             def collect(position: int, record) -> None:
                 nonlocal executed
                 records[position] = record
+                sidecar = pending_fastpath.pop(position, None)
                 if journal is not None:
-                    journal.append(position, record)
+                    journal.append(
+                        position, record,
+                        extra={"fastpath": sidecar} if sidecar else None)
                 if inst is not None:
                     executed += 1
                     inst.injections.inc(outcome=_outcome_value(record))
+                    if sidecar is not None:
+                        inst.cycles_saved.observe(sidecar["saved_cycles"])
+                        if "exit" in sidecar:
+                            inst.early_exits.inc(reason=sidecar["exit"])
                     elapsed = time.perf_counter() - started
                     if elapsed > 0:
                         inst.rate.set(executed / elapsed)
                 self.progress.on_record(position, record)
+
+            def absorb_extra(kind: str, position: int,
+                             payload: dict) -> None:
+                if kind == "fast":
+                    pending_fastpath[position] = payload
+                elif kind == "prov" \
+                        and position not in self.provenance_payloads:
+                    # First arrival wins: a retried shard re-reports the
+                    # same deterministic payload, and folding it twice
+                    # would double-count the aggregate.
+                    self.provenance_payloads[position] = payload
+                    if report is not None:
+                        report.absorb(payload)
+                    if inst is not None:
+                        observe_provenance_metrics(inst, payload)
+
+            # The serial/degraded path hands `collect` straight to the
+            # runner as its emit, so the sidecar channel rides the same
+            # attribute the worker-side emit exposes.
+            collect.extra = absorb_extra
 
             if pending:
                 if self.workers <= 1:
@@ -471,7 +562,8 @@ class CampaignSupervisor:
             return journal, covered
         journal = CampaignJournal.create(
             self.journal_path, seed=seed, total_sites=len(plan),
-            population_bits=self.population_bits)
+            population_bits=self.population_bits,
+            meta={"suite_size": self.config.suite_size})
         return journal, {}
 
     # -- serial / degraded path ---------------------------------------
@@ -585,6 +677,9 @@ class CampaignSupervisor:
                 if job is not None:
                     job.done_positions.add(position)
                 collect(position, record)
+            elif kind in ("fast", "prov"):
+                _, _, position, payload = message
+                collect.extra(kind, position, payload)
             elif kind == "done" and job is not None:
                 _, _, population = message
                 if not self.population_bits and isinstance(population, int):

@@ -174,6 +174,13 @@ class TestNaming:
                "    r.histogram('repro_shard_wall_seconds')\n")
         assert rules_of(src) == []
 
+    def test_bits_is_a_histogram_unit(self):
+        # Infection footprints are measured in bits, not bytes.
+        src = ("def f(r):\n"
+               "    r.histogram('sfi_infection_peak_bits')\n"
+               "    r.histogram('sfi_detection_latency_cycles')\n")
+        assert rules_of(src) == []
+
     def test_event_enum_values_kebab(self):
         src = ("import enum\n"
                "class TraceEventKind(enum.Enum):\n"
@@ -190,6 +197,19 @@ class TestNaming:
                "class LatchKind(enum.Enum):\n"
                "    FUNC = 'FUNC'\n")
         assert rules_of(src) == []
+
+    def test_provenance_enum_values_kebab(self):
+        # Masking/taint enums are serialized wire format like events.
+        src = ("import enum\n"
+               "class MaskingEvent(enum.Enum):\n"
+               "    OVERWRITTEN = 'Overwritten'\n")
+        assert rules_of(src) == ["REPRO-N02"]
+        clean = ("import enum\n"
+                 "class TaintNodeKind(enum.Enum):\n"
+                 "    LATCH = 'latch'\n"
+                 "class MaskingEvent(enum.Enum):\n"
+                 "    ECC = 'ecc-corrected'\n")
+        assert rules_of(clean) == []
 
 
 class TestSuppressionAndPolicy:

@@ -1,0 +1,138 @@
+"""Differential equivalence suite for fault-provenance tracking.
+
+Provenance (taint DAG capture, see ``repro/cpu/tainttrace.py`` and
+``repro/sfi/campaign.py``) claims to be a pure *observer*: enabling it
+must not change a single outcome record, event trace, or journal byte —
+only side-channel payloads appear.  This suite enforces the claim over
+the same mini-campaigns the fast-path differential suite uses, whose
+slow-path outcomes jointly span every outcome class.
+
+Provenance forces the slow path per-trial (a tainted run cannot take a
+golden-digest early exit), so record equality is asserted both against a
+``fastpath=False`` baseline and a ``fastpath=True`` one.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sfi import CampaignConfig, SfiExperiment
+from repro.sfi.outcomes import Outcome
+from repro.sfi.sampling import random_sample
+from repro.sfi.supervisor import CampaignSupervisor
+
+from tests.test_fastpath_differential import _BASE, CASES
+
+pytestmark = pytest.mark.differential
+
+
+def _campaign(case: str, *, provenance: bool, fastpath: bool):
+    overrides, seed, flips = CASES[case]
+    config = CampaignConfig(**_BASE, **overrides, fastpath=fastpath,
+                            provenance=provenance)
+    experiment = SfiExperiment(config)
+    sites = random_sample(experiment.latch_map, flips,
+                          random.Random(seed ^ 0x5F1))
+    result = experiment.run_campaign(sites, seed)
+    return experiment, result
+
+
+@pytest.fixture(scope="module")
+def baseline_records():
+    """Provenance-off reference records, computed once per (case, fastpath)."""
+    cache = {}
+
+    def get(case: str, fastpath: bool):
+        key = (case, fastpath)
+        if key not in cache:
+            cache[key] = _campaign(case, provenance=False,
+                                   fastpath=fastpath)[1].records
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+@pytest.mark.parametrize("fastpath", [False, True],
+                         ids=["slowpath", "fastpath"])
+def test_provenance_records_bit_identical(case, fastpath, baseline_records):
+    baseline = baseline_records(case, fastpath)
+    _, result = _campaign(case, provenance=True, fastpath=fastpath)
+    assert len(baseline) == len(result.records)
+    for index, (off, on) in enumerate(zip(baseline, result.records)):
+        assert off == on, (
+            f"case={case} fastpath={fastpath} record={index} "
+            f"site={off.site_index} cycle={off.inject_cycle} "
+            f"off={off.outcome.value} on={on.outcome.value} "
+            f"trace_equal={off.trace == on.trace}")
+
+
+def test_cases_cover_every_outcome_class(baseline_records):
+    """The bit-identical assertions above cover every classification
+    path: the mini-campaigns jointly hit all five outcome destinies."""
+    seen = {record.outcome
+            for case in CASES for record in baseline_records(case, False)}
+    assert seen == set(Outcome)
+
+
+def test_provenance_payloads_cover_campaign(baseline_records):
+    """Provenance-on runs yield one payload per injection, with the
+    identity fields matching the (bit-identical) record stream."""
+    overrides, seed, flips = CASES["toggle"]
+    config = CampaignConfig(**_BASE, **overrides, fastpath=False,
+                            provenance=True)
+    experiment = SfiExperiment(config)
+    payloads: dict[int, dict] = {}
+    experiment.provenance_hook = \
+        lambda pos, payload: payloads.setdefault(pos, payload)
+    sites = random_sample(experiment.latch_map, flips,
+                          random.Random(seed ^ 0x5F1))
+    result = experiment.run_campaign(sites, seed)
+    assert sorted(payloads) == list(range(len(result.records)))
+    for position, record in enumerate(result.records):
+        payload = payloads[position]
+        assert payload["outcome"] == record.outcome.value
+        assert payload["inject_cycle"] == record.inject_cycle
+        assert payload["testcase_seed"] == record.testcase_seed
+
+
+def test_journal_bytes_identical(tmp_path):
+    """Supervised journals are byte-identical with provenance on or off:
+    payloads travel a sidecar queue, never the journal stream."""
+    overrides, seed, flips = CASES["toggle"]
+    journals = {}
+    for provenance in (False, True):
+        config = CampaignConfig(**_BASE, **overrides, fastpath=False,
+                                provenance=provenance)
+        path = tmp_path / f"journal-{provenance}.jsonl"
+        supervisor = CampaignSupervisor(config, workers=2, journal=path)
+        experiment = SfiExperiment(config)
+        sites = random_sample(experiment.latch_map, flips,
+                              random.Random(seed ^ 0x5F1))
+        supervisor.run(sites, seed)
+        lines = path.read_text().splitlines()
+        # Record arrival order across workers is scheduling-dependent;
+        # byte-identity is asserted on header + the sorted line set.
+        journals[provenance] = (lines[0], sorted(lines[1:]))
+    assert journals[False] == journals[True]
+
+
+def test_provenance_report_worker_count_invariant():
+    """The merged cross-shard report is a pure function of the campaign,
+    not of how the supervisor sharded it."""
+    overrides, seed, flips = CASES["sticky-sdc"]
+    reports = []
+    for workers in (1, 3):
+        config = CampaignConfig(**_BASE, **overrides, fastpath=False,
+                                provenance=True)
+        supervisor = CampaignSupervisor(config, workers=workers)
+        experiment = SfiExperiment(config)
+        sites = random_sample(experiment.latch_map, flips,
+                              random.Random(seed ^ 0x5F1))
+        supervisor.run(sites, seed)
+        assert supervisor.provenance_report is not None
+        reports.append(supervisor.provenance_report)
+    assert reports[0] == reports[1]
+    assert reports[0].injections == flips
