@@ -155,7 +155,7 @@ def cmd_campaign(args) -> int:
     # workers=1, so shard wall-time histograms and streaming records
     # exist on every instrumented run.
     supervised = (args.workers > 1 or args.journal is not None
-                  or args.resume or observed)
+                  or args.resume or observed or args.listen is not None)
     registry = None
     trace_writer = None
     if observed:
@@ -187,6 +187,21 @@ def cmd_campaign(args) -> int:
                     every=max(1, args.flips // 10)))
             if trace_writer is not None:
                 observers.append(_TraceLogProgress(trace_writer))
+            transport = None
+            if args.listen is not None:
+                from repro.sfi.service.coordinator import SocketTransport
+                host, port = _parse_endpoint(args.listen,
+                                             default_host="0.0.0.0")
+                transport = SocketTransport(
+                    host=host, port=port,
+                    lease_items=args.lease_items,
+                    worker_wait=args.worker_wait,
+                    min_workers=args.min_workers,
+                    max_retries=args.max_retries,
+                    metrics=registry)
+                if not args.json:
+                    print(f"[coordinator] listening for workers on "
+                          f"{host}:{transport.port}")
             result = run_parallel_campaign(
                 config, sites, seed=args.seed,
                 workers=args.workers,
@@ -197,6 +212,7 @@ def cmd_campaign(args) -> int:
                 max_retries=args.max_retries,
                 metrics=registry,
                 reference_cycles=[r.cycles for r in probe.references],
+                transport=transport,
                 progress=TeeProgress(*observers) if observers else None)
         else:
             experiment = SfiExperiment(config)
@@ -491,6 +507,156 @@ def cmd_lint(args) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def _parse_endpoint(value: str, default_host: str = "127.0.0.1") -> tuple:
+    """``host:port`` or bare ``port`` -> (host, port)."""
+    host, _, port = value.rpartition(":")
+    return (host or default_host, int(port))
+
+
+def cmd_worker(args) -> int:
+    """Join a lease coordinator as a remote shard worker."""
+    from repro.sfi.service.worker import WorkerError, run_worker
+    host, port = _parse_endpoint(args.connect)
+
+    def narrate(event, detail):
+        if not args.quiet:
+            print(f"[worker] {event}: {detail}")
+
+    try:
+        executed = run_worker(
+            host, port, name=args.name,
+            max_connect_attempts=args.connect_attempts,
+            max_campaigns=args.campaigns or None,
+            progress=narrate)
+    except WorkerError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 130
+    if not args.quiet:
+        print(f"[worker] done: {executed} lease(s) executed")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the campaign queue service (control plane + worker port)."""
+    from repro.sfi.service.queue import ServerConfig, ServiceServer
+    registry = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+    server = ServiceServer(
+        args.spool,
+        ServerConfig(host=args.host,
+                     control_port=args.control_port,
+                     worker_port=args.worker_port,
+                     workers_local=args.local_workers,
+                     lease_items=args.lease_items,
+                     worker_wait=args.worker_wait,
+                     min_workers=args.min_workers),
+        metrics=registry)
+    print(f"[serve] control {args.host}:{server.control_port}, "
+          f"workers {args.host}:{server.worker_port}, "
+          f"spool {args.spool}")
+    for campaign_id in server.recovered:
+        print(f"[serve] re-queued {campaign_id} (was running; will "
+              f"resume from its journal)")
+    try:
+        server.run_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    finally:
+        if registry is not None and args.metrics:
+            from repro.obs import write_prometheus
+            write_prometheus(registry, args.metrics)
+    return 0
+
+
+def _control(args, request: dict) -> dict | None:
+    from repro.sfi.service.queue import control_request
+    host, port = _parse_endpoint(args.server)
+    try:
+        return control_request(host, port, request)
+    except (OSError, ConnectionError) as exc:
+        print(f"cannot reach server {host}:{port}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def cmd_submit(args) -> int:
+    reply = _control(args, {
+        "op": "submit", "flips": args.flips, "seed": args.seed,
+        "config": _service_config_payload(args)})
+    if reply is None:
+        return 2
+    if not reply.get("ok"):
+        print(f"submit rejected: {reply.get('error')}", file=sys.stderr)
+        return 2
+    print(reply["id"])
+    return 0
+
+
+def _service_config_payload(args) -> dict:
+    from repro.sfi.service.messages import config_to_dict
+    return config_to_dict(_config(args))
+
+
+def cmd_status(args) -> int:
+    reply = _control(args, {"op": "status", "id": args.id})
+    if reply is None:
+        return 2
+    if args.json:
+        json.dump(reply, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"worker port: {reply.get('worker_port')}   "
+          f"running: {reply.get('running') or '-'}")
+    campaigns = reply.get("campaigns", [])
+    if not campaigns:
+        print("no campaigns")
+        return 0
+    print(f"{'id':<12}{'state':<11}{'sites':>7}{'records':>9}  detail")
+    for spec in campaigns:
+        print(f"{spec['id']:<12}{spec['state']:<11}{spec['sites']:>7}"
+              f"{spec['records']:>9}  {spec['detail']}")
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    reply = _control(args, {"op": "cancel", "id": args.id})
+    if reply is None:
+        return 2
+    if not reply.get("ok"):
+        print(f"cancel failed: {reply.get('error')}", file=sys.stderr)
+        return 2
+    print(f"{args.id}: {reply['state']}")
+    return 0
+
+
+def cmd_journal(args) -> int:
+    """Offline journal tooling (currently: `journal verify`)."""
+    from repro.sfi.storage import verify_journal
+    report = verify_journal(args.path)
+    if args.json:
+        json.dump({"path": report.path, "ok": report.ok,
+                   "records": report.records,
+                   "torn_tail": report.torn_tail,
+                   "lease_events": report.lease_events,
+                   "issues": report.issues}, sys.stdout, indent=2)
+        print()
+    else:
+        for issue in report.issues:
+            print(issue)
+        if report.torn_tail:
+            print(f"{report.path}: torn trailing line (crash mid-append; "
+                  f"recovery will drop it)")
+        status = "OK" if report.ok else "CORRUPT"
+        print(f"{report.path}: {status} — {report.records} record(s), "
+              f"{report.lease_events} lease event(s), "
+              f"{len(report.issues)} issue(s)")
+    return 0 if report.ok else 1
+
+
 def cmd_monitor(args) -> int:
     from repro.obs import monitor_campaign
     return monitor_campaign(
@@ -562,6 +728,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-log", metavar="PATH",
                    help="stream one JSONL span chain per non-vanished "
                         "injection (see repro.obs.trace)")
+    p.add_argument("--listen", metavar="[HOST:]PORT", default=None,
+                   help="run as a distributed-campaign coordinator: "
+                        "listen for `repro-sfi worker` processes and "
+                        "lease shards to them (records are byte-"
+                        "identical to a single-process run)")
+    p.add_argument("--lease-items", type=int, default=8,
+                   help="plan items per lease when distributing "
+                        "(default 8)")
+    p.add_argument("--worker-wait", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="with work outstanding and no workers "
+                        "connected, degrade to in-process execution "
+                        "after this long (default 10)")
+    p.add_argument("--min-workers", type=int, default=0,
+                   help="wait for this many workers before granting "
+                        "the first lease")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("units", help="per-unit campaigns (Figures 3 & 4)")
@@ -661,6 +843,81 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show-policy", action="store_true",
                    help="print the per-path rule policy table and exit")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("worker",
+                       help="join a distributed campaign as a remote "
+                            "shard worker")
+    p.add_argument("--connect", metavar="HOST:PORT", required=True,
+                   help="the coordinator's --listen (or serve worker-"
+                        "port) endpoint")
+    p.add_argument("--name", default="",
+                   help="worker name in coordinator logs (default: "
+                        "hostname-pid)")
+    p.add_argument("--campaigns", type=int, default=1,
+                   help="serve this many campaigns then exit; 0 keeps "
+                        "reconnecting forever (default 1)")
+    p.add_argument("--connect-attempts", type=int, default=10,
+                   help="connect retries (capped exponential backoff) "
+                        "before giving up; 0 retries forever")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress narration")
+    p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser("serve",
+                       help="run the campaign queue service "
+                            "(submit/status/cancel + worker port)")
+    p.add_argument("--spool", metavar="DIR", required=True,
+                   help="spool directory for campaign specs and "
+                        "journals (created if missing)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--control-port", type=int, default=2008,
+                   help="port for submit/status/cancel clients "
+                        "(default 2008; 0 picks a free port)")
+    p.add_argument("--worker-port", type=int, default=0,
+                   help="port shard workers join (default: pick a free "
+                        "port and print it)")
+    p.add_argument("--local-workers", type=int, default=0,
+                   help="in-process pool size for work no remote "
+                        "worker picks up (default 0 = serial)")
+    p.add_argument("--lease-items", type=int, default=8)
+    p.add_argument("--worker-wait", type=float, default=5.0,
+                   help="seconds without remote workers before a "
+                        "campaign falls back in-process (default 5)")
+    p.add_argument("--min-workers", type=int, default=0)
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write a Prometheus metrics snapshot on exit")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="queue a campaign on a running serve "
+                            "instance")
+    _add_common(p)
+    p.add_argument("--server", metavar="HOST:PORT", default="127.0.0.1:2008")
+    p.add_argument("--flips", type=int, default=500)
+    p.add_argument("--raw", action="store_true")
+    p.add_argument("--sticky", action="store_true")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="list a serve instance's campaigns")
+    p.add_argument("--server", metavar="HOST:PORT", default="127.0.0.1:2008")
+    p.add_argument("--id", default=None, help="show one campaign only")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("cancel", help="cancel a queued or running campaign")
+    p.add_argument("id", help="campaign id (see `repro-sfi status`)")
+    p.add_argument("--server", metavar="HOST:PORT", default="127.0.0.1:2008")
+    p.set_defaults(func=cmd_cancel)
+
+    p = sub.add_parser("journal", help="offline journal tooling")
+    journal_sub = p.add_subparsers(dest="journal_command", required=True)
+    p = journal_sub.add_parser(
+        "verify",
+        help="integrity-check a campaign journal: torn tail, duplicate "
+             "records, fencing-token regressions (exit 1 on corruption)")
+    p.add_argument("path", help="journal file to verify")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_journal)
 
     p = sub.add_parser("monitor",
                        help="live view of a running campaign's journal")

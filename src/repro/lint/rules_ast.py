@@ -70,6 +70,14 @@ _POOL_METHODS = frozenset({
     "starmap", "starmap_async", "submit",
 })
 _POOLISH_RECEIVERS = ("pool", "executor")
+#: Annotation heads that survive ``json.dumps`` untouched.  Transport
+#: message dataclasses (``*Message``) cross process boundaries as JSON
+#: frames, so a field typed as a set, bytes or a domain object would
+#: break the wire the first time it was populated.
+_JSON_SAFE_ANNOTATIONS = frozenset({
+    "str", "int", "float", "bool", "None", "dict", "list", "tuple",
+    "Dict", "List", "Tuple", "Optional", "Union", "Any",
+})
 
 # --- REPRO-N01 ---------------------------------------------------------
 _METRIC_CTORS = frozenset({"counter", "gauge", "histogram"})
@@ -396,7 +404,67 @@ class _FileChecker(ast.NodeVisitor):
                 "REPRO-N01", Severity.WARNING, "naming", node,
                 f"metric {kind} name {name!r}: " + "; ".join(problems))
 
+    # -- worker safety: transport message fields -----------------------
+
+    def _annotation_json_safe(self, annotation: ast.AST) -> bool:
+        """Conservatively true when every reachable annotation head is a
+        JSON-native type.  ``X | None`` unions, ``list[int]`` subscripts
+        and quoted annotations are unwrapped; anything else (set,
+        frozenset, bytes, domain classes) is flagged."""
+        if isinstance(annotation, ast.Constant):
+            if annotation.value is None:
+                return True
+            if isinstance(annotation.value, str):
+                try:
+                    parsed = ast.parse(annotation.value, mode="eval").body
+                except SyntaxError:
+                    return True  # unparseable forward ref: no claim
+                return self._annotation_json_safe(parsed)
+            return False
+        if isinstance(annotation, ast.Name):
+            return annotation.id in _JSON_SAFE_ANNOTATIONS
+        if isinstance(annotation, ast.Attribute):
+            return annotation.attr in _JSON_SAFE_ANNOTATIONS
+        if isinstance(annotation, ast.Subscript):
+            if not self._annotation_json_safe(annotation.value):
+                return False
+            inner = annotation.slice
+            parts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+            return all(self._annotation_json_safe(part) for part in parts)
+        if isinstance(annotation, ast.BinOp) \
+                and isinstance(annotation.op, ast.BitOr):
+            return (self._annotation_json_safe(annotation.left)
+                    and self._annotation_json_safe(annotation.right))
+        return False
+
+    def _check_message_fields(self, node: ast.ClassDef) -> None:
+        is_message = node.name.endswith("Message") or any(
+            _terminal_name(base).endswith("Message") for base in node.bases)
+        if not is_message:
+            return
+        decorated = any(
+            _terminal_name(dec.func if isinstance(dec, ast.Call) else dec)
+            == "dataclass" for dec in node.decorator_list)
+        if not decorated:
+            return
+        for stmt in node.body:
+            if not (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                continue
+            if stmt.target.id.isupper():
+                continue  # class-level constants (TYPE) are not fields
+            if not self._annotation_json_safe(stmt.annotation):
+                rendered = ast.unparse(stmt.annotation)
+                self._report(
+                    "REPRO-W01", Severity.ERROR, "worker-safety", stmt,
+                    f"transport message field {node.name}."
+                    f"{stmt.target.id}: {rendered} is not JSON-"
+                    "serializable; message dataclasses cross the wire "
+                    "as JSON frames — use scalars, dicts or lists")
+
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if RuleGroup.WORKER_SAFETY in self.groups:
+            self._check_message_fields(node)
         if RuleGroup.NAMING in self.groups and any(
                 marker in node.name for marker in _SERIALIZED_ENUM_MARKERS):
             enum_based = any(

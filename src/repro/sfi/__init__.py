@@ -20,9 +20,12 @@ from repro.sfi.parallel import run_parallel_campaign, shard_sites
 from repro.sfi.storage import (
     CampaignJournal,
     CampaignStorageError,
+    FencedAppendError,
+    JournalVerifyReport,
     load_campaign,
     merge_campaigns,
     save_campaign,
+    verify_journal,
 )
 from repro.sfi.supervisor import (
     CampaignExecutionError,
@@ -61,7 +64,10 @@ __all__ = [
     "ChipExperiment",
     "ChipInjectionRecord",
     "EmptyPopulationError",
+    "FencedAppendError",
     "InjectionPlan",
+    "JournalVerifyReport",
+    "verify_journal",
     "plan_injections",
     "run_parallel_campaign",
     "run_supervised_campaign",

@@ -75,6 +75,26 @@ def plan_injections(sites: list[int], suite_size: int) -> list[InjectionPlan]:
     return plan
 
 
+def partition_plan(items: list, shards: int) -> list[list]:
+    """Contiguous, size-balanced split of plan items (the same shape as
+    :func:`repro.sfi.parallel.shard_sites` over site lists).
+
+    Both execution back ends partition through here: the in-process pool
+    splits by worker count, the distributed coordinator by lease size —
+    so a shard/lease boundary is always a plan-order cut, and every
+    slice stays self-contained and order-independent.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    base, extra = divmod(len(items), shards)
+    slices, start = [], 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        slices.append(items[start:start + size])
+        start += size
+    return [s for s in slices if s]
+
+
 def injection_rng(seed: int, site_index: int, occurrence: int) -> random.Random:
     """The per-site RNG stream: keyed by the site (and its occurrence
     number for repeat strikes), never by shard index, so campaigns are

@@ -1,0 +1,42 @@
+"""Capped exponential backoff with deterministic seeded jitter.
+
+Retry timing is part of the campaign's observable behaviour (tests
+assert on it, journals of chaotic runs replay against it), so the
+jitter that de-synchronizes retry herds must not come from wall clock
+or OS entropy.  The factor is drawn from a stream keyed by
+``(seed, stream, attempt)`` — the same triple-keying discipline as the
+per-injection RNG streams — so a retried shard backs off by the same
+delay in every replay of the campaign, while distinct shards (and
+distinct attempts of one shard) still spread out.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Default ceiling on one delay: a shard that keeps failing waits at
+#: most this long between attempts regardless of attempt count.
+DEFAULT_CAP = 30.0
+
+#: Jitter range: the exponential delay is scaled into [0.5, 1.0) so the
+#: cap stays a true upper bound while retries de-synchronize.
+_JITTER_LOW = 0.5
+
+
+def backoff_delay(base: float, attempt: int, *, cap: float = DEFAULT_CAP,
+                  seed: int = 0, stream: int = 0) -> float:
+    """Delay before retry ``attempt`` (1-based) of one failure stream.
+
+    ``base`` is the first-retry delay; it doubles per attempt up to
+    ``cap``, then a deterministic jitter factor in ``[0.5, 1.0)`` drawn
+    from ``(seed, stream, attempt)`` is applied.  ``base=0`` yields 0
+    (tests that disable backoff stay instant), and the returned delay
+    never exceeds ``cap``.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt is 1-based, got {attempt}")
+    if base <= 0:
+        return 0.0
+    raw = min(float(cap), base * (2 ** (attempt - 1)))
+    rng = random.Random(f"backoff:{seed}:{stream}:{attempt}")
+    return raw * rng.uniform(_JITTER_LOW, 1.0)

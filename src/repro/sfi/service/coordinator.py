@@ -1,0 +1,465 @@
+"""The TCP lease coordinator: distributed shard execution.
+
+:class:`SocketTransport` is the distributed :class:`ShardTransport`.
+It listens on a TCP port; ``repro-sfi worker`` processes connect, say
+hello, receive the campaign config, and are then fed shard leases.  All
+robustness lives here, on the coordinator side, so workers stay dumb
+and restartable:
+
+* every lease carries a fencing token from one monotonic counter
+  (:class:`~repro.sfi.service.leases.LeaseManager`); a worker returning
+  from a partition with results for a reclaimed lease is *fenced* — its
+  records rejected at receive, never double-journaled;
+* workers heartbeat on an interval; a missed deadline reclaims every
+  lease the worker held and re-queues it (with deterministic backoff);
+* records stream back incrementally and go straight to the supervisor's
+  ``collect`` (journal included), so a coordinator SIGKILL resumes from
+  the journal exactly like the in-process pool;
+* when every worker is gone and none arrives within ``worker_wait``,
+  ``execute`` returns the unfinished items — the supervisor degrades to
+  the in-process pool mid-campaign instead of stalling.
+
+The event loop is a single-threaded ``selectors`` reactor over stdlib
+sockets: no new dependencies, no locks, and every timing decision uses
+``time.monotonic`` (wall clock never steers execution — REPRO-D02).
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+
+from repro.sfi.campaign import InjectionPlan
+from repro.sfi.service.backoff import DEFAULT_CAP
+from repro.sfi.service.leases import LeaseLog, LeaseManager
+from repro.sfi.service.messages import (
+    PROTOCOL_VERSION,
+    ExtraMessage,
+    HeartbeatMessage,
+    HelloMessage,
+    LeaseMessage,
+    Message,
+    RecordMessage,
+    ShardDoneMessage,
+    ShardErrorMessage,
+    ShutdownMessage,
+    WelcomeMessage,
+    config_to_dict,
+    decode_message,
+    plan_item_to_dict,
+)
+from repro.sfi.service.transport import ShardTransport
+from repro.sfi.service.wire import FrameError, FrameReader, encode_frame
+from repro.sfi.storage import FencedAppendError, _record_from_dict
+
+
+class _ServiceInstruments:
+    """Coordinator-side series (repro.obs registry)."""
+
+    def __init__(self, registry) -> None:
+        self.lease_reissues = registry.counter(
+            "sfi_lease_reissues_total",
+            "lease re-grants after reclaim, retry or split")
+        self.heartbeat_misses = registry.counter(
+            "sfi_heartbeat_miss_total",
+            "workers declared dead after a missed heartbeat deadline")
+        self.pool_size = registry.gauge(
+            "sfi_worker_pool_size", "connected remote workers")
+        self.fenced = registry.counter(
+            "sfi_fenced_records_total",
+            "stale-lease results rejected by fencing")
+
+
+class _WorkerConn:
+    """One connected worker: socket, frame decoder, liveness state."""
+
+    def __init__(self, sock: socket.socket, address, clock) -> None:
+        self.sock = sock
+        self.address = address
+        self.reader = FrameReader()
+        self.name: str | None = None       # set by hello
+        self.ready = False                 # hello/welcome done
+        self.last_seen = clock()
+        self.outbox = b""                  # unsent bytes (non-blocking)
+
+    def queue(self, message: Message) -> None:
+        self.outbox += encode_frame(message.to_wire())
+
+
+class SocketTransport(ShardTransport):
+    """Length-prefixed JSON-over-TCP lease coordinator.
+
+    Parameters: ``host``/``port`` to bind (port 0 picks a free port,
+    readable afterwards as ``.port``); ``heartbeat_interval`` is the
+    contract advertised to workers and ``heartbeat_grace`` multiples of
+    it without traffic declare a worker dead; ``lease_items`` bounds a
+    lease's size; ``worker_wait`` is how long ``execute`` keeps waiting
+    with work outstanding but zero connected workers before giving the
+    remainder back to the supervisor (``None`` waits forever);
+    ``min_workers`` makes ``execute`` wait for that many connections
+    before granting the first lease, so a fixed fleet gets a stable
+    partition.  ``metrics`` is a repro.obs registry (optional).
+    """
+
+    name = "socket"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 heartbeat_interval: float = 0.5,
+                 heartbeat_grace: float = 4.0,
+                 lease_items: int = 8,
+                 max_retries: int = 2,
+                 backoff_base: float = 0.25,
+                 backoff_cap: float = DEFAULT_CAP,
+                 worker_wait: float | None = 10.0,
+                 min_workers: int = 0,
+                 metrics=None,
+                 lease_log: str | None = None) -> None:
+        self.host = host
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_grace = heartbeat_grace
+        self.lease_items = lease_items
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.worker_wait = worker_wait
+        self.min_workers = min_workers
+        self._inst = (_ServiceInstruments(metrics)
+                      if metrics is not None else None)
+        self._lease_log_path = lease_log
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self._listener.setblocking(False)
+        self.port = self._listener.getsockname()[1]
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ,
+                                ("listener", None))
+        self._workers: dict[socket.socket, _WorkerConn] = {}
+        self._names = 0          # fallback worker naming counter
+        self._closed = False
+
+    # -- ShardTransport -----------------------------------------------
+
+    def execute(self, supervisor, pending: list[InjectionPlan], seed: int,
+                collect) -> list[InjectionPlan]:
+        journal_path = supervisor.journal_path
+        # A fresh journal (no --resume) truncates its lease sidecar too,
+        # so `journal verify` never replays a previous campaign's grants.
+        fresh = not getattr(supervisor, "resume", False)
+        log = None
+        if self._lease_log_path is not None:
+            log = LeaseLog(self._lease_log_path, fresh=fresh)
+        elif journal_path is not None:
+            log = LeaseLog(str(journal_path) + ".leases", fresh=fresh)
+        leases = LeaseManager(
+            pending, seed=seed, lease_items=self.lease_items,
+            max_retries=self.max_retries, backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap, log=log)
+        config_payload = config_to_dict(supervisor.config)
+        self._config_payload = config_payload
+        starved_since: float | None = None
+        reissues_seen = 0
+        fenced_seen = 0
+        waiting_for_fleet = self.min_workers > 0
+        try:
+            while leases.outstanding():
+                if leases.poisoned and not leases.queued \
+                        and not leases.active:
+                    break  # only poisoned work left: in-process fallback
+                self._pump(supervisor, leases, collect, seed,
+                           config_payload,
+                           grant_ok=not waiting_for_fleet)
+                if waiting_for_fleet and \
+                        self._ready_count() >= self.min_workers:
+                    waiting_for_fleet = False
+                # Metrics: fold the managers' counters incrementally.
+                if self._inst is not None:
+                    if leases.reissues > reissues_seen:
+                        self._inst.lease_reissues.inc(
+                            leases.reissues - reissues_seen)
+                        reissues_seen = leases.reissues
+                    if leases.fenced > fenced_seen:
+                        self._inst.fenced.inc(leases.fenced - fenced_seen)
+                        fenced_seen = leases.fenced
+                    self._inst.pool_size.set(self._ready_count())
+                # Starvation: work outstanding, nobody to run it.
+                if self._workers or not leases.outstanding():
+                    starved_since = None
+                elif self.worker_wait is not None:
+                    now = time.monotonic()
+                    if starved_since is None:
+                        starved_since = now
+                    elif now - starved_since >= self.worker_wait:
+                        break
+            # Revoke whatever is still issued before draining, so a
+            # worker surfacing after the fallback cannot double-journal.
+            for token in sorted(leases.active):
+                supervisor.raise_fence(token)
+            leftover = leases.drain()
+            if self._inst is not None:
+                if leases.reissues > reissues_seen:
+                    self._inst.lease_reissues.inc(
+                        leases.reissues - reissues_seen)
+                if leases.fenced > fenced_seen:
+                    self._inst.fenced.inc(leases.fenced - fenced_seen)
+            return leftover
+        finally:
+            self._broadcast_shutdown()
+            if self._inst is not None:
+                self._inst.pool_size.set(self._ready_count())
+            if log is not None:
+                log.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._broadcast_shutdown()
+        for sock in list(self._workers):
+            self._drop(sock, notify=False)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._selector.close()
+        self._listener.close()
+
+    # -- reactor -------------------------------------------------------
+
+    def _pump(self, supervisor, leases: LeaseManager, collect, seed: int,
+              config_payload: dict, grant_ok: bool = True) -> None:
+        """One reactor turn: poll sockets, absorb messages, enforce
+        heartbeat deadlines, grant ready leases, flush outboxes."""
+        timeout = self._poll_timeout(leases)
+        for key, events in self._selector.select(timeout):
+            kind, _ = key.data
+            if kind == "listener":
+                self._accept()
+            else:
+                conn = self._workers.get(key.fileobj)
+                if conn is None:
+                    continue
+                if events & selectors.EVENT_READ:
+                    self._read(conn, supervisor, leases, collect)
+                if key.fileobj in self._workers \
+                        and events & selectors.EVENT_WRITE:
+                    self._flush(conn)
+        self._check_heartbeats(supervisor, leases)
+        if grant_ok:
+            self._grant_ready(supervisor, leases, seed, config_payload)
+        self._update_write_interest()
+
+    def _poll_timeout(self, leases: LeaseManager) -> float:
+        timeout = self.heartbeat_interval / 2
+        ready_at = leases.next_ready_at()
+        if ready_at is not None:
+            timeout = min(timeout, max(0.0, ready_at - time.monotonic()))
+        return max(0.01, min(timeout, 0.5))
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, address = self._listener.accept()
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _WorkerConn(sock, address, time.monotonic)
+            self._workers[sock] = conn
+            self._selector.register(sock, selectors.EVENT_READ,
+                                    ("worker", conn))
+
+    def _read(self, conn: _WorkerConn, supervisor, leases: LeaseManager,
+              collect) -> None:
+        try:
+            data = conn.sock.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._lose(conn, supervisor, leases, "read error")
+            return
+        if not data:
+            self._lose(conn, supervisor, leases, "connection closed")
+            return
+        conn.last_seen = time.monotonic()
+        try:
+            frames = conn.reader.feed(data)
+        except FrameError as exc:
+            self._lose(conn, supervisor, leases, f"bad frame: {exc}")
+            return
+        for payload in frames:
+            try:
+                message = decode_message(payload)
+            except ValueError as exc:
+                self._lose(conn, supervisor, leases, str(exc))
+                return
+            self._dispatch(conn, message, supervisor, leases, collect)
+            if conn.sock not in self._workers:
+                return  # dispatch dropped the connection
+
+    def _dispatch(self, conn: _WorkerConn, message: Message, supervisor,
+                  leases: LeaseManager, collect) -> None:
+        if isinstance(message, HelloMessage):
+            if message.protocol != PROTOCOL_VERSION:
+                conn.queue(ShutdownMessage(
+                    reason=f"protocol {message.protocol} != "
+                           f"{PROTOCOL_VERSION}"))
+                self._flush(conn)
+                self._drop(conn.sock, notify=False)
+                return
+            self._names += 1
+            base = message.worker or f"worker-{self._names}"
+            taken = {other.name for other in self._workers.values()
+                     if other is not conn}
+            conn.name = base if base not in taken \
+                else f"{base}#{self._names}"
+            conn.ready = True
+            conn.queue(WelcomeMessage(
+                config=self._config_payload,
+                heartbeat_interval=self.heartbeat_interval))
+        elif isinstance(message, HeartbeatMessage):
+            pass  # last_seen already refreshed on read
+        elif isinstance(message, RecordMessage):
+            lease = leases.accept(message.token, message.pos)
+            if lease is None:
+                return  # fenced: stale or alien record, not journaled
+            try:
+                record = _record_from_dict(message.record)
+            except Exception as exc:  # noqa: BLE001 - corrupt payload
+                leases.reclaim(message.token, f"bad record: {exc}")
+                self._lose(conn, supervisor, leases,
+                           f"undecodable record: {exc}")
+                return
+            try:
+                collect(message.pos, record, fence=message.token)
+            except FencedAppendError:
+                pass  # journal-side fence agreed: drop silently
+        elif isinstance(message, ExtraMessage):
+            lease = leases.active.get(message.token)
+            if lease is not None and getattr(collect, "extra", None):
+                collect.extra(message.kind, message.pos, message.payload)
+        elif isinstance(message, ShardDoneMessage):
+            lease = leases.complete(message.token)
+            if lease is not None \
+                    and not supervisor.population_bits \
+                    and isinstance(message.population, int) \
+                    and message.population > 0:
+                supervisor.population_bits = message.population
+            if lease is not None:
+                supervisor.progress.on_shard_complete(
+                    lease.shard_id, len(lease.items), lease.attempt + 1)
+        elif isinstance(message, ShardErrorMessage):
+            lease = leases.active.get(message.token)
+            if lease is not None:
+                supervisor.raise_fence(message.token)
+                leases.reclaim(message.token,
+                               f"worker error: {message.message}")
+
+    def _lose(self, conn: _WorkerConn, supervisor, leases: LeaseManager,
+              reason: str) -> None:
+        """Connection-level loss: revoke the worker's issued tokens at
+        the journal, reclaim its leases, drop the socket."""
+        name = conn.name or f"{conn.address}"
+        if conn.name is not None:
+            tokens = [token for token, lease
+                      in sorted(leases.active.items())
+                      if lease.worker == conn.name]
+            for token in tokens:
+                # Fence first, reclaim second: once reclaim re-queues
+                # the work there must be no window where the old issue
+                # could still reach the journal.
+                supervisor.raise_fence(token)
+                leases.reclaim(token, reason)
+        self._drop(conn.sock, notify=False)
+        supervisor.progress.on_shard_retry(
+            -1, 0, f"worker {name!r} lost ({reason})", 0.0)
+
+    def _drop(self, sock: socket.socket, notify: bool = True) -> None:
+        conn = self._workers.pop(sock, None)
+        if conn is None:
+            return
+        if notify and conn.outbox:
+            self._flush(conn)
+        try:
+            self._selector.unregister(sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _check_heartbeats(self, supervisor, leases: LeaseManager) -> None:
+        deadline = self.heartbeat_interval * self.heartbeat_grace
+        now = time.monotonic()
+        for sock, conn in list(self._workers.items()):
+            if not conn.ready:
+                continue
+            if now - conn.last_seen > deadline:
+                if self._inst is not None:
+                    self._inst.heartbeat_misses.inc()
+                self._lose(conn, supervisor, leases,
+                           f"heartbeat missed for "
+                           f"{now - conn.last_seen:.2f}s")
+
+    def _grant_ready(self, supervisor, leases: LeaseManager, seed: int,
+                     config_payload: dict) -> None:
+        idle = [conn for conn in self._workers.values()
+                if conn.ready and not any(
+                    lease.worker == conn.name
+                    for lease in leases.active.values())]
+        idle.sort(key=lambda conn: conn.name or "")
+        for conn in idle:
+            if not leases.grantable():
+                return
+            lease = leases.grant(conn.name)
+            if lease is None:
+                return
+            conn.queue(LeaseMessage(
+                token=lease.token, shard_id=lease.shard_id, seed=seed,
+                items=[plan_item_to_dict(item)
+                       for item in lease.remaining()]))
+
+    def _update_write_interest(self) -> None:
+        for sock, conn in list(self._workers.items()):
+            if conn.outbox:
+                self._flush(conn)
+            events = selectors.EVENT_READ
+            if conn.outbox:
+                events |= selectors.EVENT_WRITE
+            try:
+                self._selector.modify(sock, events, ("worker", conn))
+            except (KeyError, ValueError):
+                pass
+
+    def _flush(self, conn: _WorkerConn) -> None:
+        while conn.outbox:
+            try:
+                sent = conn.sock.send(conn.outbox)
+            except BlockingIOError:
+                return
+            except OSError:
+                conn.outbox = b""
+                return
+            if sent <= 0:
+                return
+            conn.outbox = conn.outbox[sent:]
+
+    def _broadcast_shutdown(self) -> None:
+        for conn in list(self._workers.values()):
+            try:
+                conn.queue(ShutdownMessage())
+                self._flush(conn)
+            except OSError:
+                pass
+
+    def _ready_count(self) -> int:
+        return sum(1 for conn in self._workers.values() if conn.ready)
+
+    # Set by execute(); hello replies that arrive mid-campaign
+    # (late-joining workers) get the active campaign's config.
+    _config_payload: dict = {}

@@ -1,0 +1,255 @@
+"""Lease bookkeeping: deadlines, fencing tokens, retry/split policy.
+
+A *lease* is the distributed analogue of the supervisor's ``_ShardJob``:
+a slice of plan items handed to one worker, reclaimable the moment its
+worker stops heartbeating.  Every issue of a lease carries a fencing
+token drawn from one monotonically increasing counter; when a lease is
+reclaimed and re-issued, the old token is dead forever, so a worker
+returning from a network partition and streaming results under a stale
+token is *fenced* — its records rejected, never double-journaled — while
+the reissued lease's records flow normally.
+
+The manager is transport-agnostic and purely event-driven (the
+coordinator tells it about grants, results, completions and losses), so
+its state machine is testable without sockets.  An optional
+:class:`LeaseLog` journals every grant/reclaim/fence event as JSONL next
+to the campaign journal; ``repro-sfi journal verify`` replays it and
+flags token regressions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.sfi.campaign import InjectionPlan, partition_plan
+from repro.sfi.service.backoff import DEFAULT_CAP, backoff_delay
+
+
+@dataclass
+class Lease:
+    """One issued (or queued) slice of the campaign plan."""
+
+    shard_id: int
+    items: list[InjectionPlan]
+    token: int = -1            # fencing token of the current issue
+    attempt: int = 0           # completed issue attempts so far
+    worker: str | None = None  # holder of the current issue
+    not_before: float = 0.0    # earliest re-grant time (backoff)
+    accepted: set[int] = field(default_factory=set)
+
+    def remaining(self) -> list[InjectionPlan]:
+        return [item for item in self.items
+                if item.position not in self.accepted]
+
+
+class LeaseLog:
+    """Append-only JSONL sidecar of lease lifecycle events.
+
+    Lives next to the campaign journal (``<journal>.leases``); the
+    record journal itself stays byte-identical to a single-process run,
+    so fencing history gets its own file instead of extra record keys.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 fresh: bool = False) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("w" if fresh else "a")
+        # Fencing tokens are per-coordinator-incarnation (a dead
+        # coordinator's leases die with it; the record journal is the
+        # durable truth), so each opening marks a session boundary and
+        # token monotonicity is verified within sessions.
+        self.write("session")
+
+    def write(self, event: str, **fields) -> None:
+        if self._handle is None:
+            return
+        payload = {"event": event}
+        payload.update(fields)
+        self._handle.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class LeaseManager:
+    """Hands out leases, fences stale issues, retries and splits.
+
+    ``clock`` is injectable (monotonic seconds) so reclaim deadlines and
+    backoff windows are testable without sleeping.  The failure policy
+    mirrors the in-process pool: a reclaimed or failed lease is
+    re-queued with exponential backoff (deterministic jitter keyed by
+    ``(seed, shard_id, attempt)``); after ``max_retries`` it is split in
+    half; a single item that still cannot complete lands in
+    ``poisoned`` for the caller to run in-process — loud, never dropped.
+    """
+
+    def __init__(self, plan: list[InjectionPlan], *, seed: int,
+                 lease_items: int = 8, max_retries: int = 2,
+                 backoff_base: float = 0.25,
+                 backoff_cap: float = DEFAULT_CAP,
+                 log: LeaseLog | None = None,
+                 clock=None) -> None:
+        if lease_items < 1:
+            raise ValueError("lease_items must be >= 1")
+        self.seed = seed
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.log = log
+        self._clock = clock or _monotonic
+        self._tokens = itertools.count(1)
+        self._shard_ids = itertools.count()
+        shards = partition_plan(plan, max(1, -(-len(plan) // lease_items))) \
+            if plan else []
+        self.queued: list[Lease] = [
+            Lease(shard_id=next(self._shard_ids), items=shard)
+            for shard in shards]
+        self.active: dict[int, Lease] = {}   # token -> lease
+        self.poisoned: list[InjectionPlan] = []
+        self.reissues = 0
+        self.fenced = 0
+
+    # -- queries -------------------------------------------------------
+
+    def outstanding(self) -> bool:
+        """Any work not yet accepted (queued, active or poisoned)?"""
+        return bool(self.queued or self.active or self.poisoned)
+
+    def grantable(self) -> bool:
+        now = self._clock()
+        return any(lease.not_before <= now for lease in self.queued)
+
+    def next_ready_at(self) -> float | None:
+        """Earliest ``not_before`` among queued leases (None if empty)."""
+        if not self.queued:
+            return None
+        return min(lease.not_before for lease in self.queued)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def grant(self, worker: str) -> Lease | None:
+        """Issue the next ready lease to ``worker`` (None if nothing is
+        ready — queued-but-backing-off leases are not granted early)."""
+        now = self._clock()
+        for index, lease in enumerate(self.queued):
+            if lease.not_before <= now:
+                del self.queued[index]
+                lease.token = next(self._tokens)
+                lease.worker = worker
+                self.active[lease.token] = lease
+                if self.log is not None:
+                    self.log.write("grant", token=lease.token,
+                                   shard=lease.shard_id, worker=worker,
+                                   attempt=lease.attempt,
+                                   items=len(lease.remaining()))
+                return lease
+        return None
+
+    def accept(self, token: int, position: int) -> Lease | None:
+        """Validate one record against the fencing token.
+
+        Returns the holding lease when ``token`` is a live issue and
+        ``position`` belongs to it and was not already accepted; None
+        means the record is stale (fenced) or alien and must not reach
+        the journal.
+        """
+        lease = self.active.get(token)
+        if lease is None or position in lease.accepted \
+                or all(item.position != position for item in lease.items):
+            self.fenced += 1
+            if self.log is not None:
+                self.log.write("fenced", token=token, pos=position)
+            return None
+        lease.accepted.add(position)
+        return lease
+
+    def complete(self, token: int) -> Lease | None:
+        """The worker reported the lease's shard done."""
+        lease = self.active.pop(token, None)
+        if lease is None:
+            self.fenced += 1
+            if self.log is not None:
+                self.log.write("fenced", token=token, pos=-1)
+            return None
+        if self.log is not None:
+            self.log.write("done", token=token, shard=lease.shard_id)
+        remaining = lease.remaining()
+        if remaining:
+            # "done" without every record (lost frames mid-partition):
+            # treat like a failure so the tail re-runs.
+            self._requeue(lease, "done with missing records")
+        return lease
+
+    def reclaim(self, token: int, reason: str) -> Lease | None:
+        """Take a lease back from a lost/failed worker and re-queue it."""
+        lease = self.active.pop(token, None)
+        if lease is None:
+            return None
+        if self.log is not None:
+            self.log.write("reclaim", token=token, shard=lease.shard_id,
+                           worker=lease.worker, reason=reason)
+        if lease.remaining():
+            self._requeue(lease, reason)
+        return lease
+
+    def reclaim_worker(self, worker: str, reason: str) -> list[Lease]:
+        """Reclaim every active lease held by ``worker``."""
+        tokens = [token for token, lease in sorted(self.active.items())
+                  if lease.worker == worker]
+        return [lease for token in tokens
+                if (lease := self.reclaim(token, reason)) is not None]
+
+    def drain(self) -> list[InjectionPlan]:
+        """Give up on remote execution: every unaccepted item, for the
+        caller's in-process fallback; the manager empties."""
+        items: list[InjectionPlan] = list(self.poisoned)
+        self.poisoned = []
+        for lease in self.queued:
+            items.extend(lease.remaining())
+        self.queued = []
+        for token in sorted(self.active):
+            lease = self.active.pop(token)
+            if self.log is not None:
+                self.log.write("reclaim", token=token, shard=lease.shard_id,
+                               worker=lease.worker, reason="drain")
+            items.extend(lease.remaining())
+        items.sort(key=lambda item: item.position)
+        return items
+
+    # -- failure policy ------------------------------------------------
+
+    def _requeue(self, lease: Lease, reason: str) -> None:
+        lease.worker = None
+        lease.token = -1
+        lease.attempt += 1
+        remaining = lease.remaining()
+        self.reissues += 1
+        if lease.attempt <= self.max_retries:
+            delay = backoff_delay(self.backoff_base, lease.attempt,
+                                  cap=self.backoff_cap, seed=self.seed,
+                                  stream=lease.shard_id)
+            lease.not_before = self._clock() + delay
+            self.queued.append(lease)
+            return
+        if len(remaining) > 1:
+            half = len(remaining) // 2
+            for piece in (remaining[:half], remaining[half:]):
+                self.queued.append(Lease(shard_id=next(self._shard_ids),
+                                         items=piece))
+            if self.log is not None:
+                self.log.write("split", shard=lease.shard_id,
+                               remaining=len(remaining))
+            return
+        self.poisoned.extend(remaining)
+
+
+def _monotonic() -> float:
+    import time
+    return time.monotonic()

@@ -1,0 +1,225 @@
+"""Transport message vocabulary and wire codecs.
+
+Every frame on the coordinator/worker (and control) connections is one
+of the dataclasses below, flattened to ``{"type": ..., **fields}``.
+Message fields must be JSON-serializable — plain scalars and containers
+of them — which the ``REPRO-W01`` lint rule enforces statically on any
+``*Message`` dataclass: a field typed as a set, bytes or a domain
+object would silently break the wire the first time it was populated.
+
+Campaign configuration crosses the wire as a plain dict
+(:func:`config_to_dict` / :func:`config_from_dict`): the coordinator
+flattens its :class:`~repro.sfi.campaign.CampaignConfig` (enums to
+their values, nested dataclasses to dicts) and the worker reconstructs
+an equal frozen config, so the worker-side experiment cache keyed on
+config equality stays hot across leases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.avp.generator import MixWeights
+from repro.cpu.params import CoreParams
+from repro.rtl.fault import InjectionMode
+
+from repro.sfi.campaign import CampaignConfig, InjectionPlan
+from repro.sfi.classify import ClassifyOptions
+
+#: Bumped on any incompatible wire change; hello/welcome exchange it and
+#: mismatched peers are refused instead of misparsed.
+PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: ``TYPE`` names the frame, fields are the payload."""
+
+    TYPE = "message"
+
+    def to_wire(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["type"] = self.TYPE
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: dict) -> "Message":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in payload.items()
+                      if key in fields})
+
+
+# -- worker -> coordinator ---------------------------------------------
+
+@dataclass(frozen=True)
+class HelloMessage(Message):
+    """First frame of a worker connection."""
+
+    TYPE = "hello"
+
+    worker: str = "worker"
+    protocol: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class HeartbeatMessage(Message):
+    """Liveness beacon; sent on an interval whether or not a lease is
+    held, so the coordinator distinguishes slow from dead."""
+
+    TYPE = "heartbeat"
+
+    token: int = -1
+
+
+@dataclass(frozen=True)
+class RecordMessage(Message):
+    """One completed injection of a leased shard.
+
+    ``token`` is the fencing token of the lease the worker believes it
+    holds; the coordinator accepts the record only while that token is
+    still the lease's active issue.
+    """
+
+    TYPE = "record"
+
+    token: int = -1
+    pos: int = -1
+    record: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ExtraMessage(Message):
+    """Out-of-band sidecar payload (fast-path / provenance), forwarded
+    through the supervisor's ``collect.extra`` channel."""
+
+    TYPE = "extra"
+
+    token: int = -1
+    kind: str = ""
+    pos: int = -1
+    payload: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ShardDoneMessage(Message):
+    """A leased shard finished every item."""
+
+    TYPE = "done"
+
+    token: int = -1
+    population: int = 0
+
+
+@dataclass(frozen=True)
+class ShardErrorMessage(Message):
+    """A leased shard raised; the lease will be retried or split."""
+
+    TYPE = "error"
+
+    token: int = -1
+    message: str = ""
+
+
+# -- coordinator -> worker ---------------------------------------------
+
+@dataclass(frozen=True)
+class WelcomeMessage(Message):
+    """Reply to hello: campaign config and heartbeat contract."""
+
+    TYPE = "welcome"
+
+    protocol: int = PROTOCOL_VERSION
+    config: dict = field(default_factory=dict)
+    heartbeat_interval: float = 1.0
+
+
+@dataclass(frozen=True)
+class LeaseMessage(Message):
+    """One shard lease: run ``items`` under fencing ``token``."""
+
+    TYPE = "lease"
+
+    token: int = -1
+    shard_id: int = -1
+    seed: int = 0
+    items: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ShutdownMessage(Message):
+    """Campaign over; the worker may exit (or reconnect for the next)."""
+
+    TYPE = "shutdown"
+
+    reason: str = "campaign complete"
+
+
+_MESSAGE_TYPES: dict[str, type[Message]] = {
+    cls.TYPE: cls for cls in (
+        HelloMessage, HeartbeatMessage, RecordMessage, ExtraMessage,
+        ShardDoneMessage, ShardErrorMessage, WelcomeMessage, LeaseMessage,
+        ShutdownMessage,
+    )
+}
+
+
+def decode_message(payload: dict) -> Message:
+    """Typed message for one decoded frame; unknown types raise
+    ``ValueError`` (protocol mismatch, caught per-connection)."""
+    kind = payload.get("type")
+    cls = _MESSAGE_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown message type {kind!r}")
+    return cls.from_wire(payload)
+
+
+# -- plan items ---------------------------------------------------------
+
+def plan_item_to_dict(item: InjectionPlan) -> dict:
+    return {"position": item.position, "site_index": item.site_index,
+            "testcase_index": item.testcase_index,
+            "occurrence": item.occurrence}
+
+
+def plan_item_from_dict(payload: dict) -> InjectionPlan:
+    return InjectionPlan(position=payload["position"],
+                         site_index=payload["site_index"],
+                         testcase_index=payload["testcase_index"],
+                         occurrence=payload.get("occurrence", 0))
+
+
+# -- campaign config ----------------------------------------------------
+
+def config_to_dict(config: CampaignConfig) -> dict:
+    """Flatten a campaign config to JSON-safe scalars and dicts."""
+    payload = dataclasses.asdict(config)
+    payload["injection_mode"] = config.injection_mode.value
+    payload["classify_options"] = dataclasses.asdict(
+        config.classify_options)
+    payload["weights"] = (dataclasses.asdict(config.weights)
+                          if config.weights is not None else None)
+    payload["core_params"] = (dataclasses.asdict(config.core_params)
+                              if config.core_params is not None else None)
+    return payload
+
+
+def config_from_dict(payload: dict) -> CampaignConfig:
+    """Rebuild the frozen config a coordinator flattened.
+
+    The reconstruction is equality-preserving (asserted by the service
+    tests), so a worker's cached prepared experiment is reused across
+    every lease of one campaign.
+    """
+    kwargs = dict(payload)
+    kwargs.pop("type", None)
+    kwargs["injection_mode"] = InjectionMode(kwargs["injection_mode"])
+    kwargs["classify_options"] = ClassifyOptions(
+        **kwargs.get("classify_options", {}))
+    if kwargs.get("weights") is not None:
+        kwargs["weights"] = MixWeights(**kwargs["weights"])
+    if kwargs.get("core_params") is not None:
+        kwargs["core_params"] = CoreParams(**kwargs["core_params"])
+    known = {f.name for f in dataclasses.fields(CampaignConfig)}
+    return CampaignConfig(**{key: value for key, value in kwargs.items()
+                             if key in known})

@@ -1,0 +1,130 @@
+"""Length-prefixed JSON framing over stream sockets.
+
+The transport speaks newline-free frames: a 4-byte big-endian unsigned
+length followed by that many bytes of UTF-8 JSON.  Length prefixing
+(rather than line delimiting) keeps records containing embedded
+newlines or large traces unambiguous, and lets the coordinator's
+non-blocking reader resume a partially received frame across
+``select`` wakeups.
+
+Only stdlib ``socket``/``struct`` are used — the service layer adds no
+dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+_LENGTH = struct.Struct(">I")
+
+#: Upper bound on one frame; a peer announcing more is protocol-broken
+#: (or hostile) and the connection is dropped rather than buffered.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(ConnectionError):
+    """A peer violated the framing protocol (oversized or torn frame)."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One message as length-prefixed bytes."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds "
+                         f"{MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def send_message(sock: socket.socket, payload: dict, lock=None) -> None:
+    """Send one frame (optionally serialized by ``lock`` so concurrent
+    senders — the worker's heartbeat thread and its record stream —
+    never interleave bytes)."""
+    data = encode_frame(payload)
+    if lock is not None:
+        with lock:
+            sock.sendall(data)
+    else:
+        sock.sendall(data)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Blocking read of one frame; None on orderly EOF at a frame
+    boundary, :class:`FrameError` on a torn or oversized frame."""
+    header = _recv_exact(sock, _LENGTH.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"peer announced a {length}-byte frame")
+    try:
+        body = _recv_exact(sock, length, eof_ok=False)
+    except TimeoutError:
+        # The header was already consumed; a timeout here is not
+        # resumable even if it landed between header and body.
+        raise FrameError("timed out mid-frame") from None
+    return _decode(body)
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                eof_ok: bool) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except TimeoutError:
+            if remaining == count:
+                raise  # clean timeout at a frame boundary: resumable
+            raise FrameError("timed out mid-frame") from None
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise FrameError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _decode(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError(f"frame is not an object: {type(payload).__name__}")
+    return payload
+
+
+class FrameReader:
+    """Incremental decoder for a non-blocking socket.
+
+    Feed it whatever ``recv`` returned; it yields every complete frame
+    and keeps the partial tail for the next feed.  The coordinator runs
+    one per worker connection inside its ``selectors`` loop.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb ``data``; return the messages it completed."""
+        self._buffer.extend(data)
+        messages: list[dict] = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return messages
+            (length,) = _LENGTH.unpack(self._buffer[:_LENGTH.size])
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(f"peer announced a {length}-byte frame")
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return messages
+            body = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            messages.append(_decode(body))
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

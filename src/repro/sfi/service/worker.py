@@ -1,0 +1,237 @@
+"""The remote shard worker (`repro-sfi worker --connect host:port`).
+
+Workers are deliberately dumb: connect, say hello, take whatever lease
+arrives, stream records back tagged with the lease's fencing token, and
+heartbeat the whole time.  Every robustness decision — reclaim, retry,
+fencing, fallback — is the coordinator's; a worker that is killed,
+wedged or partitioned needs no cleanup because its lease simply expires.
+
+The connect loop retries with capped exponential backoff and
+deterministic jitter (keyed by the worker's name), so a fleet started
+before its coordinator neither gives up nor stampedes.  A lost
+connection re-enters the same loop: workers survive coordinator
+restarts, coordinators survive worker restarts, and the journal is the
+only party that has to be right.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.sfi.service.backoff import DEFAULT_CAP, backoff_delay
+from repro.sfi.service.messages import (
+    PROTOCOL_VERSION,
+    HeartbeatMessage,
+    HelloMessage,
+    LeaseMessage,
+    RecordMessage,
+    ShardDoneMessage,
+    ShardErrorMessage,
+    ShutdownMessage,
+    WelcomeMessage,
+    config_from_dict,
+    decode_message,
+    plan_item_from_dict,
+)
+from repro.sfi.service.wire import FrameError, recv_message, send_message
+from repro.sfi.storage import _record_to_dict
+from repro.sfi.supervisor import run_shard
+
+
+class WorkerError(RuntimeError):
+    """The worker cannot reach or speak to its coordinator."""
+
+
+class _Heartbeat:
+    """Background beacon: one HeartbeatMessage per interval while a
+    connection lives, sharing the socket behind a send lock."""
+
+    def __init__(self, sock: socket.socket, lock: threading.Lock,
+                 interval: float) -> None:
+        self._sock = sock
+        self._lock = lock
+        self._interval = max(0.05, interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.token = -1  # current lease token, advisory only
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                send_message(self._sock,
+                             HeartbeatMessage(token=self.token).to_wire(),
+                             lock=self._lock)
+            except OSError:
+                return  # connection died; the main loop will notice
+
+
+def run_worker(host: str, port: int, *, name: str = "",
+               max_connect_attempts: int | None = 10,
+               backoff_base: float = 0.25,
+               backoff_cap: float = DEFAULT_CAP,
+               runner=run_shard,
+               max_campaigns: int | None = None,
+               progress=None) -> int:
+    """Join the coordinator at ``host:port`` and execute leases until it
+    says shutdown.  Returns the number of leases executed.
+
+    ``max_connect_attempts`` bounds the initial connect/reconnect loop
+    (None retries forever); each attempt backs off exponentially with
+    deterministic jitter keyed by the worker name.  ``max_campaigns``
+    stops after that many shutdown frames (the chaos tests use 1);
+    ``progress(event, detail)`` is an optional narration callback.
+    """
+    name = name or f"{socket.gethostname()}-{os_pid()}"
+    say = progress or (lambda event, detail: None)
+    executed = 0
+    campaigns = 0
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            sock = socket.create_connection((host, port), timeout=5.0)
+        except OSError as exc:
+            if max_connect_attempts is not None \
+                    and attempt >= max_connect_attempts:
+                raise WorkerError(
+                    f"cannot reach coordinator {host}:{port} after "
+                    f"{attempt} attempts: {exc}") from exc
+            delay = backoff_delay(backoff_base, min(attempt, 16),
+                                  cap=backoff_cap, seed=_name_seed(name),
+                                  stream=0)
+            say("connect-retry", f"attempt {attempt}: {exc}; "
+                                 f"retrying in {delay:.2f}s")
+            time.sleep(delay)
+            continue
+        attempt = 0  # a successful connect resets the backoff ladder
+        try:
+            done, ran = _serve_connection(sock, name, runner, say)
+        except (OSError, FrameError) as exc:
+            say("disconnect", str(exc))
+            done, ran = False, 0
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        executed += ran
+        if done:
+            campaigns += 1
+            if max_campaigns is not None and campaigns >= max_campaigns:
+                return executed
+        # Otherwise: connection lost mid-campaign — reconnect and keep
+        # serving (our old lease is the coordinator's to reclaim).
+
+
+def _serve_connection(sock: socket.socket, name: str, runner,
+                      say) -> tuple[bool, int]:
+    """Speak the protocol on one established connection.
+
+    Returns ``(shutdown_seen, leases_executed)``; raises OSError /
+    FrameError when the connection dies instead.
+    """
+    sock.settimeout(30.0)
+    lock = threading.Lock()
+    send_message(sock, HelloMessage(worker=name).to_wire(), lock=lock)
+    payload = recv_message(sock)
+    if payload is None:
+        raise FrameError("coordinator closed before welcome")
+    welcome = decode_message(payload)
+    if isinstance(welcome, ShutdownMessage):
+        return True, 0
+    if not isinstance(welcome, WelcomeMessage):
+        raise FrameError(f"expected welcome, got {welcome.TYPE!r}")
+    if welcome.protocol != PROTOCOL_VERSION:
+        raise WorkerError(
+            f"coordinator speaks protocol {welcome.protocol}, "
+            f"this worker speaks {PROTOCOL_VERSION}")
+    config = config_from_dict(welcome.config)
+    heartbeat = _Heartbeat(sock, lock, welcome.heartbeat_interval)
+    heartbeat.start()
+    ran = 0
+    try:
+        while True:
+            try:
+                payload = recv_message(sock)
+            except TimeoutError:
+                continue  # idle (no lease yet); heartbeats keep us alive
+            if payload is None:
+                raise FrameError("coordinator closed the connection")
+            message = decode_message(payload)
+            if isinstance(message, ShutdownMessage):
+                say("shutdown", message.reason)
+                return True, ran
+            if not isinstance(message, LeaseMessage):
+                continue  # ignore anything unexpected; stay dumb
+            say("lease", f"token {message.token}: "
+                         f"{len(message.items)} items")
+            _execute_lease(sock, lock, heartbeat, config, message,
+                           runner)
+            ran += 1
+    finally:
+        heartbeat.stop()
+
+
+def _execute_lease(sock: socket.socket, lock: threading.Lock,
+                   heartbeat: _Heartbeat, config, lease: LeaseMessage,
+                   runner) -> None:
+    """Run one leased shard, streaming records under its fencing token."""
+    token = lease.token
+    heartbeat.token = token
+    items = [plan_item_from_dict(item) for item in lease.items]
+
+    def emit(pos, rec):
+        send_message(sock, RecordMessage(
+            token=token, pos=pos,
+            record=_record_to_dict(rec)).to_wire(), lock=lock)
+
+    # The sidecar channel mirrors the in-process pool's: fast-path and
+    # provenance payloads ride their own frames, same FIFO socket, so
+    # they arrive before their position's record.
+    def extra(kind, pos, payload):
+        send_message(sock, _extra_message(token, kind, pos, payload),
+                     lock=lock)
+
+    emit.extra = extra
+    try:
+        population = runner(config, items, lease.seed, emit)
+    except Exception as exc:  # noqa: BLE001 - report, let coordinator retry
+        send_message(sock, ShardErrorMessage(
+            token=token,
+            message=f"{type(exc).__name__}: {exc}").to_wire(), lock=lock)
+        return
+    finally:
+        heartbeat.token = -1
+    send_message(sock, ShardDoneMessage(
+        token=token,
+        population=population if isinstance(population, int) else 0
+    ).to_wire(), lock=lock)
+
+
+def _extra_message(token: int, kind: str, pos: int, payload: dict) -> dict:
+    from repro.sfi.service.messages import ExtraMessage
+    return ExtraMessage(token=token, kind=kind, pos=pos,
+                        payload=payload).to_wire()
+
+
+def _name_seed(name: str) -> int:
+    """Stable small integer from a worker name (jitter stream key);
+    hash() is salted per-process, so fold bytes explicitly."""
+    value = 0
+    for byte in name.encode():
+        value = (value * 131 + byte) % (2 ** 31)
+    return value
+
+
+def os_pid() -> int:
+    import os
+    return os.getpid()

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.cpu.events import EventKind, MachineEvent
@@ -43,6 +44,16 @@ _JOURNAL_SYNC_EVERY = 64
 class CampaignStorageError(ValueError):
     """A campaign file is missing, malformed, truncated or from an
     unsupported format version."""
+
+
+class FencedAppendError(CampaignStorageError):
+    """An append carried a revoked fencing token.
+
+    Raised when a record arrives under a lease issue that the
+    coordinator has already reclaimed — the classic stale-writer-after-
+    partition race.  The record is rejected *before* it reaches the
+    file, so the journal never double-counts an injection.
+    """
 
 
 def _record_to_dict(record: InjectionRecord) -> dict:
@@ -212,6 +223,12 @@ class CampaignJournal:
         self.header = header
         self._handle = handle
         self._since_sync = 0
+        # Fencing state: tokens are drawn from one monotonically
+        # increasing counter (repro.sfi.service.leases); a token is
+        # revoked exactly when its lease issue is reclaimed.  Appends
+        # that still carry a revoked token are stale by construction.
+        self._revoked_tokens: set[int] = set()
+        self._fence = 0  # highest revoked token, for diagnostics
 
     # -- creation / recovery ------------------------------------------
 
@@ -284,8 +301,18 @@ class CampaignJournal:
 
     # -- appending -----------------------------------------------------
 
+    def raise_fence(self, token: int) -> None:
+        """Revoke fencing token ``token`` (the coordinator calls this
+        when it reclaims a lease issue, *before* re-granting the work).
+        Any later :meth:`append` still carrying the token raises
+        :class:`FencedAppendError` instead of reaching the file."""
+        if token > 0:
+            self._revoked_tokens.add(token)
+            self._fence = max(self._fence, token)
+
     def append(self, position: int, record, record_encoder=None,
-               extra: dict | None = None) -> None:
+               extra: dict | None = None,
+               fence: int | None = None) -> None:
         """Journal one completed injection (atomic single-line append).
 
         ``extra`` merges additional top-level keys into the line (e.g.
@@ -293,9 +320,20 @@ class CampaignJournal:
         know ``pos``/``record`` skip them, so the format stays backward
         and forward compatible.  ``pos`` and ``record`` cannot be
         overridden.
+
+        ``fence`` is the fencing token of the lease issue that produced
+        the record (None for non-leased execution).  A revoked token
+        (see :meth:`raise_fence`) raises :class:`FencedAppendError` and
+        writes nothing.  The token itself is **not** written: journal
+        bytes stay identical to a single-process run, and lease history
+        lives in the ``.leases`` sidecar instead.
         """
         if self._handle is None:
             raise CampaignStorageError(f"{self.path}: journal is closed")
+        if fence is not None and fence in self._revoked_tokens:
+            raise FencedAppendError(
+                f"{self.path}: append for position {position} carried "
+                f"revoked fencing token {fence} (high-water {self._fence})")
         encoder = record_encoder or _record_to_dict
         payload = dict(extra) if extra else {}
         payload["pos"] = position
@@ -320,3 +358,150 @@ class CampaignJournal:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# Offline integrity verification (`repro-sfi journal verify`).
+
+@dataclass
+class JournalVerifyReport:
+    """Outcome of an offline journal integrity check."""
+
+    path: str
+    records: int = 0
+    torn_tail: bool = False
+    issues: list[str] = field(default_factory=list)
+    lease_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues and not self.torn_tail
+
+
+def verify_journal(path: str | Path) -> JournalVerifyReport:
+    """Offline integrity check of a campaign journal (and its ``.leases``
+    sidecar, when present) without opening either for writing.
+
+    Flags, as human-readable issues:
+
+    * a missing/invalid header, or a journal of the wrong kind;
+    * malformed interior lines (only the *final* line may be torn — a
+      crash mid-append — and that is reported separately as
+      ``torn_tail``, since recovery handles it);
+    * lines missing ``pos``/``record`` keys, undecodable records, or
+      positions outside ``[0, total_sites)``;
+    * duplicate positions — the same ``(site, occurrence)`` injection
+      journaled twice, i.e. exactly what fencing exists to prevent;
+    * fencing-token regressions in the lease log (grant tokens must be
+      strictly increasing).
+    """
+    path = Path(path)
+    report = JournalVerifyReport(path=str(path))
+    try:
+        with path.open() as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        report.issues.append(f"{path}: no such journal")
+        return report
+    if not lines or not lines[0].strip():
+        report.issues.append(f"{path}: empty journal (no header)")
+        return report
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        report.issues.append(f"{path}:1: malformed header: {exc}")
+        return report
+    if (not isinstance(header, dict)
+            or header.get("format") != _JOURNAL_FORMAT_VERSION
+            or header.get("kind") != _JOURNAL_KIND):
+        report.issues.append(
+            f"{path}:1: not a {_JOURNAL_KIND} journal this build can "
+            f"read (header {header!r})")
+        return report
+    total = header.get("total_sites")
+
+    seen: dict[int, int] = {}  # position -> first line number
+    body = [(number, line) for number, line in enumerate(lines[1:], 2)
+            if line.strip()]
+    for offset, (number, line) in enumerate(body):
+        is_last = offset == len(body) - 1
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if is_last:
+                report.torn_tail = True
+            else:
+                report.issues.append(
+                    f"{path}:{number}: malformed JSON on interior line")
+            continue
+        if not isinstance(payload, dict) or "pos" not in payload \
+                or "record" not in payload:
+            report.issues.append(
+                f"{path}:{number}: journal line missing pos/record")
+            continue
+        position = payload["pos"]
+        if not isinstance(position, int) or position < 0 \
+                or (isinstance(total, int) and position >= total):
+            report.issues.append(
+                f"{path}:{number}: position {position!r} outside plan "
+                f"range [0, {total})")
+            continue
+        try:
+            record = _record_from_dict(payload["record"])
+        except CampaignStorageError as exc:
+            report.issues.append(f"{path}:{number}: {exc}")
+            continue
+        if position in seen:
+            report.issues.append(
+                f"{path}:{number}: duplicate record for position "
+                f"{position} (site {record.site_index} "
+                f"{record.site_name!r}, first seen on line "
+                f"{seen[position]}) — double-journaled injection")
+            continue
+        seen[position] = number
+        report.records += 1
+
+    _verify_lease_log(path.with_name(path.name + ".leases"), report)
+    return report
+
+
+def _verify_lease_log(lease_path: Path, report: JournalVerifyReport) -> None:
+    """Replay a ``.leases`` sidecar: grant tokens must strictly increase
+    (a regression means two issues shared a token — fencing is void)."""
+    try:
+        with lease_path.open() as handle:
+            lease_lines = handle.readlines()
+    except FileNotFoundError:
+        return
+    last_grant = 0
+    for number, line in enumerate(lease_lines, 1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lease_lines):
+                continue  # torn tail of the sidecar; harmless
+            report.issues.append(
+                f"{lease_path}:{number}: malformed lease event")
+            continue
+        if not isinstance(event, dict):
+            report.issues.append(
+                f"{lease_path}:{number}: lease event is not an object")
+            continue
+        report.lease_events += 1
+        if event.get("event") == "session":
+            # New coordinator incarnation: its token counter restarts.
+            last_grant = 0
+        elif event.get("event") == "grant":
+            token = event.get("token")
+            if not isinstance(token, int):
+                report.issues.append(
+                    f"{lease_path}:{number}: grant without integer token")
+                continue
+            if token <= last_grant:
+                report.issues.append(
+                    f"{lease_path}:{number}: fencing-token regression "
+                    f"(grant token {token} after {last_grant})")
+            else:
+                last_grant = token

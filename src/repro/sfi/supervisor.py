@@ -44,9 +44,12 @@ from repro.sfi.campaign import (
     SfiExperiment,
     injection_rng,
     observe_provenance_metrics,
+    partition_plan,
     plan_injections,
 )
 from repro.sfi.results import CampaignResult
+from repro.sfi.service.backoff import DEFAULT_CAP, backoff_delay
+from repro.sfi.service.transport import PoolTransport, ShardTransport
 from repro.sfi.storage import CampaignJournal, CampaignStorageError
 
 
@@ -340,19 +343,9 @@ def _shard_worker(runner, config: CampaignConfig, shard_id: int,
 # ----------------------------------------------------------------------
 # Parent side.
 
-def _shard_items(items: list[InjectionPlan],
-                 shards: int) -> list[list[InjectionPlan]]:
-    """Contiguous, size-balanced split (same shape as
-    :func:`repro.sfi.parallel.shard_sites`, over plan items)."""
-    if shards < 1:
-        raise ValueError("need at least one shard")
-    base, extra = divmod(len(items), shards)
-    slices, start = [], 0
-    for i in range(shards):
-        size = base + (1 if i < extra else 0)
-        slices.append(items[start:start + size])
-        start += size
-    return [s for s in slices if s]
+# Partitioning lives in repro.sfi.campaign (the coordinator leases
+# through the same cut); kept importable under its old name.
+_shard_items = partition_plan
 
 
 @dataclass
@@ -398,6 +391,7 @@ class CampaignSupervisor:
                  shard_timeout: float | None = None,
                  max_retries: int = 2,
                  backoff_base: float = 0.25,
+                 backoff_cap: float = DEFAULT_CAP,
                  journal: str | os.PathLike | None = None,
                  resume: bool = False,
                  population_bits: int = 0,
@@ -405,13 +399,15 @@ class CampaignSupervisor:
                  runner=run_shard,
                  metrics=None,
                  mp_context: str = "spawn",
-                 reference_cycles: list[int] | None = None) -> None:
+                 reference_cycles: list[int] | None = None,
+                 transport: ShardTransport | None = None) -> None:
         self.config = config
         self.workers = workers if workers is not None \
             else min(4, os.cpu_count() or 1)
         self.shard_timeout = shard_timeout
         self.max_retries = max_retries
         self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self.journal_path = journal
         self.resume = resume
         self.population_bits = population_bits
@@ -422,8 +418,15 @@ class CampaignSupervisor:
                       if metrics is not None else None)
         self._mp_context = mp_context
         self.reference_cycles = reference_cycles
+        #: Shard execution back end (see repro.sfi.service.transport):
+        #: the in-process pool by default, the TCP lease coordinator for
+        #: multi-host campaigns.  Items a transport cannot run fall back
+        #: to the pool.
+        self.transport = transport if transport is not None \
+            else PoolTransport()
         self._ids = itertools.count()
         self._degraded = False
+        self._journal: CampaignJournal | None = None
         #: Merged provenance aggregate of the last run (None unless
         #: ``config.provenance``); per-position payloads in
         #: ``provenance_payloads``.  Commutative folding makes both
@@ -441,6 +444,7 @@ class CampaignSupervisor:
     def run_plan(self, plan: list[InjectionPlan],
                  seed: int = 0) -> CampaignResult:
         journal, records = self._open_journal(plan, seed)
+        self._journal = journal
         inst = self._inst
         started = time.perf_counter()
         executed = 0
@@ -455,14 +459,15 @@ class CampaignSupervisor:
             pending = self._cycle_sorted(pending, seed)
             self.progress.on_start(len(plan), len(pending))
 
-            def collect(position: int, record) -> None:
+            def collect(position: int, record, fence: int | None = None) -> None:
                 nonlocal executed
                 records[position] = record
                 sidecar = pending_fastpath.pop(position, None)
                 if journal is not None:
                     journal.append(
                         position, record,
-                        extra={"fastpath": sidecar} if sidecar else None)
+                        extra={"fastpath": sidecar} if sidecar else None,
+                        fence=fence)
                 if inst is not None:
                     executed += 1
                     inst.injections.inc(outcome=_outcome_value(record))
@@ -496,10 +501,23 @@ class CampaignSupervisor:
             collect.extra = absorb_extra
 
             if pending:
-                if self.workers <= 1:
-                    self._run_serial(pending, seed, collect)
-                else:
-                    self._run_supervised(pending, seed, collect)
+                leftover = self.transport.execute(self, pending, seed,
+                                                  collect)
+                if leftover:
+                    # The transport gave work back (e.g. every remote
+                    # worker was lost): degrade to the in-process pool
+                    # mid-campaign rather than dropping records.
+                    leftover = [item for item in leftover
+                                if item.position not in records]
+                    leftover.sort(key=lambda item: item.position)
+                if leftover:
+                    self._degraded = True
+                    if inst is not None:
+                        inst.degrades.inc()
+                    self.progress.on_degrade(
+                        f"transport {self.transport.name!r} returned "
+                        f"{len(leftover)} injections; running in-process")
+                    self.run_pool(leftover, seed, collect)
 
             missing = [item.position for item in plan
                        if item.position not in records]
@@ -512,11 +530,13 @@ class CampaignSupervisor:
                 result.add(records[position])
             return result
         finally:
+            self.transport.close()
             if inst is not None:
                 inst.campaign_seconds.set(time.perf_counter() - started)
                 inst.workers_running.set(0)
             if journal is not None:
                 journal.close()
+            self._journal = None
 
     def _cycle_sorted(self, pending: list[InjectionPlan],
                       seed: int) -> list[InjectionPlan]:
@@ -565,6 +585,27 @@ class CampaignSupervisor:
             population_bits=self.population_bits,
             meta={"suite_size": self.config.suite_size})
         return journal, {}
+
+    # -- in-process pool (PoolTransport's back end) --------------------
+
+    def run_pool(self, items: list[InjectionPlan], seed: int,
+                 collect) -> None:
+        """Execute ``items`` on the in-process engine: serial below two
+        workers, the supervised multiprocessing pool otherwise.  Also
+        the fallback for items a remote transport hands back."""
+        if not items:
+            return
+        if self.workers <= 1:
+            self._run_serial(items, seed, collect)
+        else:
+            self._run_supervised(items, seed, collect)
+
+    def raise_fence(self, token: int) -> None:
+        """Revoke a lease issue's fencing token at the journal (the
+        coordinator calls this when it reclaims a lease, so a stale
+        writer surfacing later cannot double-journal its records)."""
+        if self._journal is not None:
+            self._journal.raise_fence(token)
 
     # -- serial / degraded path ---------------------------------------
 
@@ -639,7 +680,9 @@ class CampaignSupervisor:
                     job.shard_id, len(job.items), job.attempt)
                 return
             if job.attempt <= self.max_retries:
-                delay = self.backoff_base * (2 ** (job.attempt - 1))
+                delay = backoff_delay(self.backoff_base, job.attempt,
+                                      cap=self.backoff_cap, seed=seed,
+                                      stream=job.shard_id)
                 if inst is not None:
                     inst.retries.inc()
                 self.progress.on_shard_retry(

@@ -152,6 +152,57 @@ class TestWorkerPayload:
         assert rules_of(src) == []
 
 
+class TestMessageFields:
+    """REPRO-W01 on transport message dataclasses: fields must be
+    JSON-serializable or they break the wire when populated."""
+
+    def test_set_field_flagged(self):
+        src = ("from dataclasses import dataclass\n"
+               "@dataclass(frozen=True)\n"
+               "class PeerMessage:\n"
+               "    peers: set[str]\n")
+        assert rules_of(src) == ["REPRO-W01"]
+
+    def test_bytes_and_domain_class_flagged(self):
+        src = ("from dataclasses import dataclass\n"
+               "@dataclass\n"
+               "class BlobMessage:\n"
+               "    blob: bytes = b''\n"
+               "    record: InjectionRecord = None\n")
+        assert rules_of(src) == ["REPRO-W01", "REPRO-W01"]
+
+    def test_message_subclass_checked(self):
+        src = ("from dataclasses import dataclass\n"
+               "@dataclass(frozen=True)\n"
+               "class Extra(Message):\n"
+               "    kinds: frozenset = frozenset()\n")
+        assert rules_of(src) == ["REPRO-W01"]
+
+    def test_json_native_fields_clean(self):
+        src = ("from dataclasses import dataclass, field\n"
+               "@dataclass(frozen=True)\n"
+               "class LeaseMessage:\n"
+               "    TYPE = 'lease'\n"
+               "    token: int = -1\n"
+               "    items: list = field(default_factory=list)\n"
+               "    record: dict = field(default_factory=dict)\n"
+               "    sizes: list[int] = field(default_factory=list)\n"
+               "    note: str | None = None\n")
+        assert rules_of(src) == []
+
+    def test_non_dataclass_and_non_message_untouched(self):
+        # No @dataclass decorator: fields are ordinary attributes.
+        src = ("class QueueMessage:\n"
+               "    peers: set = set()\n")
+        assert rules_of(src) == []
+        # Not a *Message class: the wire-format contract does not apply.
+        src = ("from dataclasses import dataclass\n"
+               "@dataclass\n"
+               "class ShardState:\n"
+               "    accepted: set = None\n")
+        assert rules_of(src) == []
+
+
 class TestNaming:
     def test_metric_prefix_and_suffix(self):
         src = "def f(reg):\n    return reg.counter('queue_depth')\n"
