@@ -11,7 +11,6 @@ CI runs this as the fast-path smoke: the strict-inequality assertion
 (fast simulates *fewer* cycles) and the 3x floor gate regressions.
 """
 
-import json
 import random
 import time
 
@@ -19,7 +18,7 @@ from repro.cpu import CoreParams
 from repro.sfi import CampaignConfig, SfiExperiment
 from repro.sfi.sampling import random_sample
 
-from benchmarks.conftest import RESULTS_DIR, publish, scaled
+from benchmarks.conftest import publish, scaled, write_bench_json
 
 _SEED = 2008
 _PARAMS = CoreParams(scale=0.15, icache_lines=32, dcache_lines=32)
@@ -63,8 +62,7 @@ def test_fastpath_speedup(benchmark):
     slow = _side(slow_exp, slow_wall, flips)
     fast = _side(fast_exp, fast_wall, flips)
     cycles_speedup = slow["cycles_simulated"] / fast["cycles_simulated"]
-    payload = {
-        "bench": "fastpath",
+    detail = {
         "workload": "AVP suite (Table-1 mix)",
         "trials": flips,
         "suite_size": 2,
@@ -77,22 +75,23 @@ def test_fastpath_speedup(benchmark):
         "early_exits": (fast_exp.emulator.stats.ladder_hits,
                         fast_exp.emulator.stats.ladder_misses),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_fastpath.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    write_bench_json(
+        "fastpath", "speedup_cycles", detail["speedup_cycles"], 3.0,
+        cycles_speedup >= 3.0 and detail["records_bit_identical"],
+        detail=detail)
 
     lines = [
         "Fast-path speedup (checkpoint ladder + golden-digest early exit)",
         f"  trials:                    {flips}  (AVP suite, Table-1 mix)",
-        f"  default ckpt stride:       {payload['ckpt_stride']}",
+        f"  default ckpt stride:       {detail['ckpt_stride']}",
         f"  slow  cycles/trial:        {slow['cycles_per_trial']:10.1f}"
         f"   ({slow['trials_per_second']:.1f} trials/s)",
         f"  fast  cycles/trial:        {fast['cycles_per_trial']:10.1f}"
         f"   ({fast['trials_per_second']:.1f} trials/s)",
         f"  cycles-simulated speedup:  {cycles_speedup:10.2f} x"
         "   (acceptance floor: 3x)",
-        f"  wall-clock speedup:        {payload['speedup_wall']:10.2f} x",
-        f"  records bit-identical:     {payload['records_bit_identical']}",
+        f"  wall-clock speedup:        {detail['speedup_wall']:10.2f} x",
+        f"  records bit-identical:     {detail['records_bit_identical']}",
     ]
     publish("fastpath", "\n".join(lines))
 

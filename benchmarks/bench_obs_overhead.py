@@ -16,7 +16,7 @@ from repro.obs import MetricsRegistry
 from repro.sfi import CampaignConfig, SfiExperiment
 from repro.sfi.sampling import random_sample
 
-from benchmarks.conftest import publish, scaled
+from benchmarks.conftest import publish, scaled, write_bench_json
 
 import random
 
@@ -69,6 +69,13 @@ def test_obs_overhead_under_three_percent(benchmark):
         "   injection, and a sampled profiling hook every 2048 cycles)",
     ]
     publish("obs_overhead", "\n".join(lines))
+    write_bench_json(
+        "obs_overhead", "overhead_fraction", round(overhead, 4), 0.03,
+        overhead < 0.03,
+        detail={"flips": flips, "repeats": _REPEATS,
+                "bare_seconds": round(baseline, 4),
+                "instrumented_seconds": round(instrumented, 4),
+                "metric_families": series})
 
     # Sanity: the instrumented run actually recorded its series.
     assert sum(registry.get("sfi_injections_total")

@@ -16,7 +16,6 @@ outcome records.  Results land in ``benchmarks/results/BENCH_provenance.json``.
 
 import gc
 import inspect
-import json
 import math
 import random
 import sys
@@ -28,7 +27,7 @@ from repro.cpu.core import Power6Core as Core
 from repro.sfi import CampaignConfig, SfiExperiment
 from repro.sfi.sampling import random_sample
 
-from benchmarks.conftest import RESULTS_DIR, publish, scaled
+from benchmarks.conftest import publish, scaled, write_bench_json
 
 _SEED = 2008
 _PARAMS = CoreParams(scale=0.15, icache_lines=32, dcache_lines=32)
@@ -100,8 +99,7 @@ def test_provenance_overhead(benchmark):
     off_overhead = (off_wall - seed_wall) / seed_wall
     on_ratio = on_wall / off_wall
     report = on_exp.provenance_report
-    payload = {
-        "bench": "provenance",
+    detail = {
         "trials": flips,
         "suite_size": 2,
         "repeats": _REPEATS,
@@ -115,9 +113,11 @@ def test_provenance_overhead(benchmark):
         "taint_edges": sum(report.unit_edges.values()),
         "detections": report.detections,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_provenance.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+    write_bench_json(
+        "provenance", "on_ratio_vs_off", detail["on_ratio_vs_off"], 3.0,
+        (on_ratio <= 3.0 and detail["records_bit_identical"]
+         and detail["taint_edges"] > 0),
+        detail=detail)
 
     lines = [
         "Provenance overhead (dormant hook check / active taint tracking)",
@@ -128,8 +128,8 @@ def test_provenance_overhead(benchmark):
         f"   ({100 * off_overhead:+.2f}% vs seed, budget <1%)",
         f"  provenance on  (min of {_REPEATS}): {on_wall:8.3f} s"
         f"   ({on_ratio:.2f}x vs off, budget <=3x)",
-        f"  records bit-identical:      {payload['records_bit_identical']}",
-        f"  taint edges recorded:       {payload['taint_edges']}"
+        f"  records bit-identical:      {detail['records_bit_identical']}",
+        f"  taint edges recorded:       {detail['taint_edges']}"
         f"   ({report.detections} detections)",
     ]
     publish("provenance_overhead", "\n".join(lines))
@@ -144,4 +144,4 @@ def test_provenance_overhead(benchmark):
         f"dormant hook overhead {100 * off_overhead:.2f}% exceeds the 1% budget"
     assert on_ratio <= 3.0, \
         f"active provenance {on_ratio:.2f}x exceeds the 3x budget"
-    assert payload["taint_edges"] > 0
+    assert detail["taint_edges"] > 0

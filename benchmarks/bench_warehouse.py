@@ -1,0 +1,114 @@
+"""Warehouse scale — million-row queries must answer in under a second.
+
+The result warehouse's covering indexes exist for exactly one reason:
+the paper's aggregate questions (per-unit outcome mixes, cross-campaign
+SER, detection-latency percentiles) must stay interactive as campaigns
+accumulate.  This bench stands up a synthetic store at REPRO_BENCH_SCALE
+of a million records, asks each dashboard query cold, and enforces the
+<1s budget.  Ingest throughput is measured separately on a real journal
+written by the production writer, so the number includes JSON parsing
+and verified-tail scanning.  Results land in
+``benchmarks/results/BENCH_warehouse.json``.
+"""
+
+import time
+
+from repro.warehouse import (
+    Warehouse,
+    detection_latency_percentiles,
+    populate_synthetic_campaigns,
+    query_plans,
+    ser_trend,
+    unit_outcomes,
+    write_fixture_journal,
+)
+
+from benchmarks.conftest import publish, scaled, write_bench_json
+
+_CAMPAIGNS = 4
+_QUERY_BUDGET_SECONDS = 1.0
+
+
+def _timed(func, *args, **kwargs):
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def test_warehouse_scale(benchmark, tmp_path):
+    rows = scaled(1_000_000, minimum=40_000)
+    per_campaign = rows // _CAMPAIGNS
+
+    def run():
+        warehouse = Warehouse(tmp_path / "bench.sqlite")
+        populate_seconds, inserted = _timed(
+            populate_synthetic_campaigns, warehouse,
+            campaigns=_CAMPAIGNS, records_per_campaign=per_campaign,
+            seed=2008)
+
+        # Cold-cache approximation: a fresh connection on the same file,
+        # so every query pages its index in from disk.
+        warehouse.close()
+        warehouse = Warehouse(tmp_path / "bench.sqlite")
+        timings = {}
+        timings["unit_outcomes"], units = _timed(unit_outcomes, warehouse)
+        timings["ser_trend"], trend = _timed(ser_trend, warehouse)
+        timings["latency_percentiles"], latency = _timed(
+            detection_latency_percentiles, warehouse)
+        plans = query_plans(warehouse)
+
+        # Ingest throughput on a real journal: JSON decode + verified-tail
+        # scan + insert, the path `repro-sfi ingest` takes.
+        journal_records = scaled(20_000, minimum=2_000)
+        journal = write_fixture_journal(
+            tmp_path / "ingest.jsonl", seed=7, records=journal_records,
+            leases=False, provenance=False)
+        ingest_seconds, stats = _timed(warehouse.ingest_journal, journal)
+        warehouse.close()
+        return (inserted, populate_seconds, timings, units, trend,
+                latency, plans, ingest_seconds, stats)
+
+    (inserted, populate_seconds, timings, units, trend, latency, plans,
+     ingest_seconds, stats) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    slowest = max(timings.values())
+    ingest_rate = stats.added / ingest_seconds
+    detail = {
+        "rows": inserted,
+        "campaigns": _CAMPAIGNS,
+        "populate_seconds": round(populate_seconds, 2),
+        "query_seconds": {name: round(value, 4)
+                          for name, value in timings.items()},
+        "plans_covering": all(plan["ok"] for plan in plans),
+        "ingest_records": stats.added,
+        "ingest_seconds": round(ingest_seconds, 3),
+        "ingest_records_per_second": round(ingest_rate, 1),
+    }
+    passed = slowest < _QUERY_BUDGET_SECONDS and detail["plans_covering"]
+    write_bench_json("warehouse", "query_seconds_max", round(slowest, 4),
+                     _QUERY_BUDGET_SECONDS, passed, detail=detail)
+
+    lines = [
+        "Warehouse scale (covering-index queries over synthetic campaigns)",
+        f"  rows in store:             {inserted:>10,}"
+        f"   ({_CAMPAIGNS} campaigns, {populate_seconds:.1f} s to populate)",
+        f"  per-unit outcome query:    {timings['unit_outcomes']:10.4f} s",
+        f"  cross-campaign SER query:  {timings['ser_trend']:10.4f} s",
+        f"  latency percentile query:  {timings['latency_percentiles']:10.4f} s",
+        f"  (budget: <{_QUERY_BUDGET_SECONDS:.0f} s per query, cold connection)",
+        f"  covering plans:            {detail['plans_covering']}",
+        f"  journal ingest:            {stats.added:>10,} records in "
+        f"{ingest_seconds:.2f} s  ({ingest_rate:,.0f} rec/s)",
+    ]
+    publish("warehouse", "\n".join(lines))
+
+    # The store must actually hold what the queries aggregated.
+    assert inserted == per_campaign * _CAMPAIGNS
+    assert sum(sum(by_outcome.values()) for by_outcome in units.values()) \
+        == inserted
+    assert len(trend) == _CAMPAIGNS  # trend queried before the ingest
+    assert latency["detected"] > 0
+    for plan in plans:
+        assert plan["ok"], f"{plan['name']} not covering: {plan['plan']}"
+    assert slowest < _QUERY_BUDGET_SECONDS, \
+        f"slowest dashboard query took {slowest:.2f}s against the 1s budget"

@@ -8,6 +8,7 @@ written to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -18,6 +19,10 @@ from repro.sfi import CampaignConfig, SfiExperiment, per_unit_campaigns
 RESULTS_DIR = Path(__file__).parent / "results"
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: Version of the ``BENCH_<name>.json`` envelope below; bump when the
+#: top-level keys change so trajectory tooling can tell eras apart.
+BENCH_SCHEMA = 1
 
 
 def scaled(count: int, minimum: int = 20) -> int:
@@ -30,6 +35,31 @@ def publish(name: str, text: str) -> None:
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def write_bench_json(name: str, metric: str, value: float, budget: float,
+                     passed: bool, *, detail: dict | None = None) -> Path:
+    """Persist a budget-asserting bench's verdict as ``BENCH_<name>.json``.
+
+    One envelope for every bench — name, the single headline metric, its
+    budget and a pass flag — so the perf trajectory across commits is
+    machine-readable without knowing each bench's internals.  Anything
+    bench-specific rides along under ``detail``.
+    """
+    payload: dict = {
+        "bench_schema": BENCH_SCHEMA,
+        "name": name,
+        "metric": metric,
+        "value": value,
+        "budget": budget,
+        "pass": bool(passed),
+    }
+    if detail:
+        payload["detail"] = detail
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

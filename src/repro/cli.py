@@ -545,6 +545,11 @@ def cmd_serve(args) -> int:
     if args.metrics:
         from repro.obs import MetricsRegistry
         registry = MetricsRegistry()
+    warehouse = None
+    if not args.no_warehouse:
+        from pathlib import Path
+        warehouse = args.warehouse or str(Path(args.spool)
+                                          / "warehouse.sqlite")
     server = ServiceServer(
         args.spool,
         ServerConfig(host=args.host,
@@ -553,7 +558,8 @@ def cmd_serve(args) -> int:
                      workers_local=args.local_workers,
                      lease_items=args.lease_items,
                      worker_wait=args.worker_wait,
-                     min_workers=args.min_workers),
+                     min_workers=args.min_workers,
+                     warehouse=warehouse),
         metrics=registry)
     print(f"[serve] control {args.host}:{server.control_port}, "
           f"workers {args.host}:{server.worker_port}, "
@@ -679,6 +685,129 @@ def cmd_stats(args) -> int:
         print()
         return 0
     print(render_stats(registry))
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    """Load campaign journals into the result warehouse."""
+    from repro.sfi.storage import CampaignStorageError
+    from repro.warehouse import JournalTailer, Warehouse, WarehouseError
+    registry = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+        registry = MetricsRegistry()
+    if args.name and len(args.journal) > 1:
+        print("--name only applies to a single journal", file=sys.stderr)
+        return 2
+    failures = 0
+    results = []
+    try:
+        with Warehouse(args.db, metrics=registry) as warehouse:
+            for journal in args.journal:
+                if args.follow:
+                    tailer = JournalTailer(warehouse, journal,
+                                           name=args.name,
+                                           provenance=args.provenance,
+                                           leases=not args.no_leases)
+                    stats = tailer.follow(interval=args.interval,
+                                          max_polls=args.max_polls)
+                    if stats is None:
+                        print(f"{journal}: journal never appeared",
+                              file=sys.stderr)
+                        failures += 1
+                        continue
+                else:
+                    try:
+                        stats = warehouse.ingest_journal(
+                            journal, name=args.name,
+                            provenance=args.provenance,
+                            leases=not args.no_leases)
+                    except CampaignStorageError as exc:
+                        print(f"{journal}: {exc}", file=sys.stderr)
+                        failures += 1
+                        continue
+                results.append(stats)
+                if not args.json:
+                    state = "complete" if stats.complete else \
+                        f"{stats.records}/{stats.total_sites or '?'}"
+                    print(f"[ingest] {stats.name}: +{stats.added} "
+                          f"record(s) ({state}), "
+                          f"{stats.lease_events} lease event(s), "
+                          f"{stats.provenance_rows} provenance row(s)"
+                          + (f", {stats.skipped} line(s) skipped"
+                             if stats.skipped else ""))
+    except WarehouseError as exc:
+        print(f"{args.db}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump([vars(stats) for stats in results], sys.stdout, indent=2)
+        print()
+    if registry is not None and args.metrics:
+        from repro.obs import write_prometheus
+        write_prometheus(registry, args.metrics)
+    return 1 if failures else 0
+
+
+def cmd_query(args) -> int:
+    """Answer aggregate questions from the warehouse."""
+    from repro.warehouse import Warehouse, WarehouseError
+    from repro.warehouse import queries
+    try:
+        with Warehouse(args.db) as warehouse:
+            campaign = getattr(args, "campaign", None)
+            if args.what == "campaigns":
+                value: object = [dict(row) for row in warehouse.campaigns()]
+                text = queries.render_campaigns(warehouse)
+            elif args.what == "units":
+                value = queries.unit_outcomes(warehouse, campaign)
+                text = queries.render_unit_outcomes(value)
+            elif args.what == "ser":
+                value = queries.ser_trend(warehouse)
+                text = queries.render_ser_trend(value)
+            elif args.what == "latency":
+                value = queries.detection_latency_percentiles(
+                    warehouse, campaign)
+                value["percentiles"] = {str(k): v for k, v
+                                        in value["percentiles"].items()}
+                text = queries.render_latency(
+                    {"detected": value["detected"],
+                     "percentiles": {float(k): v for k, v
+                                     in value["percentiles"].items()}})
+            elif args.what == "fastpath":
+                value = queries.fastpath_stats(warehouse)
+                text = queries.render_fastpath(value)
+            elif args.what == "leases":
+                value = queries.lease_health(warehouse)
+                text = queries.render_leases(value)
+            else:  # plans
+                value = queries.query_plans(warehouse)
+                text = "\n".join(
+                    f"{'ok ' if plan['ok'] else 'BAD'} {plan['name']}: "
+                    f"{plan['plan']}" for plan in value)
+                if not all(plan["ok"] for plan in value):
+                    print(text, file=sys.stderr)
+                    return 1
+            print(queries.to_json(value) if args.json else text)
+    except WarehouseError as exc:
+        print(f"{exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render the warehouse as a self-contained HTML dashboard."""
+    from pathlib import Path
+
+    from repro.warehouse import Warehouse, WarehouseError, render_dashboard
+    try:
+        with Warehouse(args.db) as warehouse:
+            html = render_dashboard(warehouse, title=args.title)
+    except WarehouseError as exc:
+        print(f"{args.db}: {exc}", file=sys.stderr)
+        return 2
+    out = Path(args.out)
+    out.write_text(html)
+    print(f"[report] wrote {out} ({len(html):,} bytes, self-contained)")
     return 0
 
 
@@ -886,6 +1015,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-workers", type=int, default=0)
     p.add_argument("--metrics", metavar="PATH",
                    help="write a Prometheus metrics snapshot on exit")
+    p.add_argument("--warehouse", metavar="PATH", default=None,
+                   help="warehouse database completed campaigns are "
+                        "auto-ingested into (default: warehouse.sqlite "
+                        "inside the spool)")
+    p.add_argument("--no-warehouse", action="store_true",
+                   help="disable auto-ingest of completed campaigns")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit",
@@ -942,6 +1077,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the raw snapshot as JSON")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("ingest",
+                       help="load campaign journals into the result "
+                            "warehouse (idempotent; --follow tails a "
+                            "live campaign)")
+    p.add_argument("journal", nargs="+",
+                   help="campaign journal file(s) to ingest")
+    p.add_argument("--db", metavar="PATH", default="warehouse.sqlite",
+                   help="warehouse SQLite file (default warehouse.sqlite; "
+                        "created if missing)")
+    p.add_argument("--name", default=None,
+                   help="warehouse identity for the campaign (default: "
+                        "the journal's resolved path; single journal only)")
+    p.add_argument("--provenance", metavar="PATH", default=None,
+                   help="provenance JSONL sidecar to join (default: "
+                        "<journal>.provenance when present)")
+    p.add_argument("--no-leases", action="store_true",
+                   help="skip the .leases sidecar")
+    p.add_argument("--follow", action="store_true",
+                   help="stream: poll the journal by byte offset until "
+                        "the campaign completes")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="--follow poll interval in seconds (default 1)")
+    p.add_argument("--max-polls", type=int, default=None,
+                   help="stop --follow after this many polls")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="write ingest metrics (sfi_ingest_*) snapshot")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_ingest)
+
+    p = sub.add_parser("query",
+                       help="aggregate questions over the warehouse "
+                            "(per-unit outcomes, SER trend, latency "
+                            "percentiles, fast-path, lease health)")
+    p.add_argument("what", choices=("campaigns", "units", "ser", "latency",
+                                    "fastpath", "leases", "plans"),
+                   help="which question to answer")
+    p.add_argument("--db", metavar="PATH", default="warehouse.sqlite")
+    p.add_argument("--campaign", default=None,
+                   help="restrict units/latency to one campaign "
+                        "(warehouse name)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("report",
+                       help="render the warehouse as a self-contained "
+                            "static HTML dashboard (no external fetches)")
+    p.add_argument("--db", metavar="PATH", default="warehouse.sqlite")
+    p.add_argument("--out", metavar="PATH", default="sfi-report.html",
+                   help="output HTML file (default sfi-report.html)")
+    p.add_argument("--title", default="SFI result warehouse")
+    p.set_defaults(func=cmd_report)
 
     return parser
 

@@ -23,6 +23,7 @@ class RuleGroup(enum.Enum):
     DETERMINISM = "determinism"      # REPRO-D01..D04
     WORKER_SAFETY = "worker-safety"  # REPRO-W01
     NAMING = "naming"                # REPRO-N01..N02
+    SCHEMA = "schema"                # REPRO-S01
 
 
 ALL_GROUPS = frozenset(RuleGroup)
@@ -65,6 +66,11 @@ DEFAULT_POLICY: tuple[PathPolicy, ...] = (
     PathPolicy("lint",
                frozenset({RuleGroup.WORKER_SAFETY, RuleGroup.NAMING}),
                "analysis host tooling, never on a simulation path"),
+    PathPolicy("warehouse",
+               frozenset({RuleGroup.WORKER_SAFETY, RuleGroup.NAMING,
+                          RuleGroup.SCHEMA}),
+               "host-side result store: tails files by design, but its "
+               "on-disk schema is versioned"),
     PathPolicy("", ALL_GROUPS,
                "simulation packages: full determinism contract"),
 )

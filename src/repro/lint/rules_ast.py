@@ -26,6 +26,11 @@ leak it closes:
   Prometheus-flavoured convention the exporters and CI smoke assert.
 * ``REPRO-N02`` event naming — event enums serialize their values into
   journals and trace logs; kebab-case is the wire format.
+* ``REPRO-S01`` schema drift — a module that declares ``SCHEMA_DDL``
+  must keep ``SCHEMA_FINGERPRINT`` equal to the digest of
+  ``(SCHEMA_VERSION, SCHEMA_DDL)``.  Editing warehouse DDL without
+  refreshing both is how two builds end up writing incompatible stores
+  under the same version number.
 
 The analysis is syntactic and import-alias aware (``import random as
 r`` does not evade it) but performs no cross-module data-flow; the
@@ -36,6 +41,7 @@ policy table (:mod:`repro.lint.policy`) and inline
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 
 from repro.lint.findings import Finding, Severity
@@ -84,12 +90,30 @@ _METRIC_CTORS = frozenset({"counter", "gauge", "histogram"})
 _METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 _METRIC_PREFIXES = ("sfi_", "core_", "repro_")
 _HISTOGRAM_SUFFIXES = ("_seconds", "_bytes", "_cycles", "_bits")
+#: Warehouse metrics get a narrower namespace so dashboards can select
+#: the ingest pipeline with one prefix match.
+_WAREHOUSE_METRIC_PREFIXES = ("sfi_ingest_", "sfi_warehouse_")
 
 # --- REPRO-N02 ---------------------------------------------------------
 _EVENT_VALUE_RE = re.compile(r"^[a-z][a-z0-9-]*$")
 # Enum classes whose values are serialized wire format: machine events
 # plus the provenance vocabulary (masking causes, taint node kinds).
 _SERIALIZED_ENUM_MARKERS = ("Event", "Taint", "Masking")
+
+# --- REPRO-S01 ---------------------------------------------------------
+_SCHEMA_CONSTANTS = ("SCHEMA_VERSION", "SCHEMA_DDL", "SCHEMA_FINGERPRINT")
+
+
+def _schema_fingerprint(version: object, ddl: tuple) -> str:
+    """Mirror of ``repro.warehouse.schema.compute_fingerprint``.
+
+    Duplicated on purpose: the lint pass must have no import edge into
+    the code it audits (a warehouse module broken enough to need the
+    rule must not be able to break the rule).
+    """
+    blob = "\n".join([str(version), *(" ".join(s.split()) for s in ddl)])
+    return "sha256:" + hashlib.sha256(blob.encode()).hexdigest()[:16]
+
 
 _ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow\[([A-Z0-9*,\- ]+)\]")
 
@@ -140,6 +164,8 @@ class _FileChecker(ast.NodeVisitor):
                 self._parents[child] = node
         self._collect_imports(tree)
         self.visit(tree)
+        if RuleGroup.SCHEMA in self.groups:
+            self._check_schema_constants(tree)
         return self.findings
 
     def _report(self, rule: str, severity: Severity, category: str,
@@ -399,10 +425,57 @@ class _FileChecker(ast.NodeVisitor):
         if kind == "histogram" and not name.endswith(_HISTOGRAM_SUFFIXES):
             problems.append("histograms must end in a unit suffix "
                             "(_seconds/_bytes/_cycles/_bits)")
+        if (self.relpath.startswith("warehouse/")
+                and not name.startswith(_WAREHOUSE_METRIC_PREFIXES)):
+            problems.append("warehouse metrics must carry a "
+                            "sfi_ingest_/sfi_warehouse_ prefix")
         if problems:
             self._report(
                 "REPRO-N01", Severity.WARNING, "naming", node,
                 f"metric {kind} name {name!r}: " + "; ".join(problems))
+
+    # -- schema drift --------------------------------------------------
+
+    def _check_schema_constants(self, tree: ast.Module) -> None:
+        """REPRO-S01: a module declaring ``SCHEMA_DDL`` must keep
+        ``SCHEMA_FINGERPRINT`` equal to the digest of
+        ``(SCHEMA_VERSION, SCHEMA_DDL)``."""
+        found: dict[str, tuple[ast.stmt, object]] = {}
+        for stmt in tree.body:
+            if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                continue
+            name = stmt.targets[0].id
+            if name not in _SCHEMA_CONSTANTS:
+                continue
+            try:
+                found[name] = (stmt, ast.literal_eval(stmt.value))
+            except (ValueError, TypeError, SyntaxError):
+                self._report(
+                    "REPRO-S01", Severity.ERROR, "schema", stmt,
+                    f"{name} must be a pure literal so the schema "
+                    "fingerprint can be recomputed without importing "
+                    "the module")
+        if "SCHEMA_DDL" not in found:
+            return
+        missing = [name for name in _SCHEMA_CONSTANTS if name not in found]
+        if missing:
+            self._report(
+                "REPRO-S01", Severity.ERROR, "schema", found["SCHEMA_DDL"][0],
+                "module declares SCHEMA_DDL but not "
+                + "/".join(missing)
+                + "; versioned stores need all three constants")
+            return
+        node, declared = found["SCHEMA_FINGERPRINT"]
+        version = found["SCHEMA_VERSION"][1]
+        ddl = found["SCHEMA_DDL"][1]
+        expected = _schema_fingerprint(version, ddl)
+        if declared != expected:
+            self._report(
+                "REPRO-S01", Severity.ERROR, "schema", node,
+                f"SCHEMA_FINGERPRINT {declared!r} does not match the "
+                f"declared DDL (expected {expected!r}); a DDL change "
+                "must bump SCHEMA_VERSION and refresh the fingerprint")
 
     # -- worker safety: transport message fields -----------------------
 

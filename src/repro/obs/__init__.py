@@ -8,7 +8,9 @@ layer, a sampled core profiler, and the journal-tailing monitor behind
 
 This package only *observes*: it never imports the execution layers
 (``repro.sfi``, ``repro.cpu``), which instead accept a registry or a
-trace writer and report into it.
+trace writer and report into it.  Sole carve-out: the monitor shares
+the read-only journal-cursor primitives in ``repro.sfi.storage`` with
+the warehouse tailer, so both consume journals identically.
 """
 
 from repro.obs.exporters import (
@@ -33,6 +35,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.monitor import (
     JournalProgress,
+    advance_journal_progress,
     format_duration,
     load_metrics_file,
     monitor_campaign,
@@ -70,6 +73,7 @@ __all__ = [
     "ProvenanceReport",
     "TaintNodeKind",
     "TraceWriter",
+    "advance_journal_progress",
     "chain_from_record",
     "default_registry",
     "format_duration",

@@ -11,12 +11,15 @@ the run.
 Journal parsing here is deliberately schema-light (header dict + lines
 with ``pos`` and a ``record`` whose ``outcome`` is a string): it works
 for core and chip journals alike and tolerates the torn trailing line a
-live writer may momentarily expose.
+live writer may momentarily expose.  Polling is incremental: each
+:class:`JournalProgress` carries a byte-offset
+:class:`~repro.sfi.storage.JournalCursor`, so a poll reads only the
+bytes appended since the previous one (the same cursor API the
+warehouse tailer uses) instead of re-parsing the whole journal.
 """
 
 from __future__ import annotations
 
-import json
 import math
 import sys
 import time
@@ -26,9 +29,15 @@ from pathlib import Path
 
 from repro.obs.exporters import load_jsonl_snapshot, parse_prometheus_text
 from repro.obs.metrics import Histogram, MetricsRegistry
+# The one place obs reaches into an execution-layer module: the journal
+# cursor primitives in repro.sfi.storage are themselves pure read-only
+# file code (no simulation imports), and sharing them keeps the monitor
+# and the warehouse tailer consuming journals byte-for-byte identically.
+from repro.sfi.storage import CampaignStorageError, JournalCursor, scan_journal
 
 __all__ = [
     "JournalProgress",
+    "advance_journal_progress",
     "format_duration",
     "load_metrics_file",
     "monitor_campaign",
@@ -43,7 +52,13 @@ __all__ = [
 
 @dataclass
 class JournalProgress:
-    """What a campaign journal says about its campaign right now."""
+    """What a campaign journal says about its campaign right now.
+
+    Accumulates across polls: pass the same instance to
+    :func:`advance_journal_progress` and only newly appended journal
+    bytes are read each time (``cursor`` tracks the consumed prefix;
+    ``positions`` de-duplicates retried shards across polls).
+    """
 
     path: Path
     header: dict = field(default_factory=dict)
@@ -55,6 +70,8 @@ class JournalProgress:
     fastpath: int = 0
     saved_cycles: int = 0
     early_exits: Counter = field(default_factory=Counter)
+    cursor: JournalCursor = field(default_factory=JournalCursor)
+    positions: set = field(default_factory=set, repr=False)
 
     @property
     def total(self) -> int:
@@ -65,35 +82,31 @@ class JournalProgress:
         return self.total > 0 and self.done >= self.total
 
 
-def read_journal_progress(path: str | Path) -> JournalProgress:
-    """One read-only pass over a (possibly still growing) journal."""
-    path = Path(path)
-    progress = JournalProgress(path=path)
+def advance_journal_progress(progress: JournalProgress) -> JournalProgress:
+    """Fold journal bytes appended since the last call into ``progress``.
+
+    A missing journal or an unreadable header leaves the progress
+    unchanged (the campaign may simply not have started); a journal that
+    shrank under the cursor (torn-tail recovery rewrote it) resets the
+    accumulators and re-reads from the top.
+    """
     try:
-        lines = path.read_text().splitlines()
-    except FileNotFoundError:
+        delta = scan_journal(progress.path, progress.cursor, kind=None)
+    except CampaignStorageError:
         return progress
-    if not lines:
-        return progress
-    try:
-        header = json.loads(lines[0])
-    except json.JSONDecodeError:
-        return progress
-    if isinstance(header, dict):
-        progress.header = header
-    positions = set()
-    for line in lines[1:]:
-        if not line.strip():
+    if delta.rewound:
+        progress.header = {}
+        progress.outcomes.clear()
+        progress.fastpath = 0
+        progress.saved_cycles = 0
+        progress.early_exits.clear()
+        progress.positions.clear()
+    if progress.cursor.header is not None:
+        progress.header = progress.cursor.header
+    for _number, payload in delta.entries:
+        if "pos" not in payload or payload["pos"] in progress.positions:
             continue
-        try:
-            payload = json.loads(line)
-        except json.JSONDecodeError:
-            continue  # torn tail of a live append — next poll sees it whole
-        if not isinstance(payload, dict) or "pos" not in payload:
-            continue
-        if payload["pos"] in positions:
-            continue
-        positions.add(payload["pos"])
+        progress.positions.add(payload["pos"])
         record = payload.get("record", {})
         outcome = record.get("outcome") if isinstance(record, dict) else None
         progress.outcomes[outcome or "?"] += 1
@@ -103,8 +116,13 @@ def read_journal_progress(path: str | Path) -> JournalProgress:
             progress.saved_cycles += int(sidecar.get("saved_cycles", 0))
             if sidecar.get("exit"):
                 progress.early_exits[sidecar["exit"]] += 1
-    progress.done = len(positions)
+    progress.done = len(progress.positions)
     return progress
+
+
+def read_journal_progress(path: str | Path) -> JournalProgress:
+    """One read-only pass over a (possibly still growing) journal."""
+    return advance_journal_progress(JournalProgress(path=Path(path)))
 
 
 # ----------------------------------------------------------------------
@@ -171,7 +189,7 @@ def _interesting_metric_lines(registry: MetricsRegistry) -> list[str]:
     for name in ("sfi_shard_retries_total", "sfi_shard_splits_total",
                  "sfi_degrades_total", "sfi_early_exits_total",
                  "sfi_ladder_hits_total", "sfi_ladder_misses_total",
-                 "sfi_taint_edges_total"):
+                 "sfi_taint_edges_total", "sfi_ingest_records_total"):
         metric = registry.get(name)
         if metric is None:
             continue
@@ -229,11 +247,12 @@ def monitor_campaign(journal_path: str | Path, *,
                      sleep=time.sleep) -> int:
     """Tail a campaign journal (and metrics file) until it completes.
 
-    Each poll re-reads the journal, derives injections/sec from the
-    covered-position delta since the previous poll, and prints one
-    frame.  Returns 0 when the campaign completed (or on a clean
-    ``follow=False`` single shot), 1 when the journal never appeared.
-    ``max_updates`` bounds the loop for tests and cron use.
+    Each poll reads only the journal bytes appended since the previous
+    poll (one persistent :class:`JournalProgress` carries the byte
+    cursor), derives injections/sec from the covered-position delta, and
+    prints one frame.  Returns 0 when the campaign completed (or on a
+    clean ``follow=False`` single shot), 1 when the journal never
+    appeared.  ``max_updates`` bounds the loop for tests and cron use.
     """
     out = out if out is not None else sys.stdout
     journal_path = Path(journal_path)
@@ -241,8 +260,9 @@ def monitor_campaign(journal_path: str | Path, *,
     previous_time: float | None = None
     rate: float | None = None
     updates = 0
+    progress = JournalProgress(path=journal_path)
     while True:
-        progress = read_journal_progress(journal_path)
+        advance_journal_progress(progress)
         now = clock()
         if previous_done is not None and now > previous_time \
                 and progress.done >= previous_done:

@@ -18,13 +18,19 @@ from repro.sfi.chip_campaign import (
 )
 from repro.sfi.parallel import run_parallel_campaign, shard_sites
 from repro.sfi.storage import (
+    RECORD_ROW_FIELDS,
     CampaignJournal,
     CampaignStorageError,
     FencedAppendError,
+    JournalCursor,
+    JournalDelta,
     JournalVerifyReport,
     load_campaign,
     merge_campaigns,
+    record_from_dict,
+    record_to_row,
     save_campaign,
+    scan_journal,
     verify_journal,
 )
 from repro.sfi.supervisor import (
@@ -66,7 +72,13 @@ __all__ = [
     "EmptyPopulationError",
     "FencedAppendError",
     "InjectionPlan",
+    "JournalCursor",
+    "JournalDelta",
     "JournalVerifyReport",
+    "RECORD_ROW_FIELDS",
+    "record_from_dict",
+    "record_to_row",
+    "scan_journal",
     "verify_journal",
     "plan_injections",
     "run_parallel_campaign",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 import os
 import socket
+import sys
 import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -181,6 +182,8 @@ class ServerConfig:
     lease_items: int = 8
     worker_wait: float = 5.0
     min_workers: int = 0
+    warehouse: str | None = None      # SQLite path; completed campaigns
+                                      # auto-ingest there (None = off)
 
 
 class ServiceServer:
@@ -292,8 +295,24 @@ class ServiceServer:
                 self.queue.finish(spec.id, "done",
                                   f"{result.total} records",
                                   records=result.total)
+            self._ingest(spec.id, journal)
         finally:
             self._running_id = None
+
+    def _ingest(self, campaign_id: str, journal) -> None:
+        """Auto-ingest a finished campaign into the warehouse (if one is
+        configured).  Best-effort: the journal stays the source of truth
+        and an ingest failure must not fail the campaign."""
+        if not self.config.warehouse:
+            return
+        try:
+            from repro.warehouse import Warehouse
+            with Warehouse(self.config.warehouse,
+                           metrics=self.metrics) as warehouse:
+                warehouse.ingest_journal(journal, name=campaign_id)
+        except Exception as exc:  # noqa: BLE001 - observability side-path
+            print(f"[serve] warehouse ingest of {campaign_id} failed: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
 
     # -- control plane -------------------------------------------------
 

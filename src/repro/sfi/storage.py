@@ -203,6 +203,183 @@ def read_journal(path: str | Path, record_decoder=None,
 
 
 # ----------------------------------------------------------------------
+# Incremental consumption: byte-offset cursors for live tailing.
+#
+# `repro-sfi monitor` and the warehouse tailer both poll a journal that
+# another process is appending to.  Re-reading the whole file per poll is
+# O(records) per poll — quadratic over a campaign — so consumers keep a
+# `JournalCursor` and ask only for what arrived since.  The cursor only
+# ever advances over *newline-terminated* lines: a torn tail (a crash or
+# an append caught mid-`write`) is left unconsumed and re-examined on the
+# next poll, which is exactly the "verified tail" rule `verify_journal`
+# enforces offline.  Readers never write the journal.
+
+
+@dataclass
+class JournalCursor:
+    """Resumable read position in an append-only JSON-lines journal.
+
+    ``offset`` counts bytes of complete (newline-terminated) lines
+    already consumed, ``line`` counts those lines, and ``header`` caches
+    the decoded header once line 1 has been consumed.  The cursor is a
+    plain value: persist it (e.g. the warehouse stores it per campaign)
+    and resume scanning later, across processes.
+    """
+
+    offset: int = 0
+    line: int = 0
+    header: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {"offset": self.offset, "line": self.line,
+                "header": self.header}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JournalCursor":
+        return cls(offset=int(payload.get("offset", 0)),
+                   line=int(payload.get("line", 0)),
+                   header=payload.get("header"))
+
+
+@dataclass
+class JournalDelta:
+    """What one :func:`scan_journal` poll produced.
+
+    ``entries`` holds ``(line_number, payload)`` for every complete,
+    well-formed JSON-object line (payload-level ``pos``/``record``
+    validation is the caller's job — the monitor and the warehouse skip
+    different subsets).  ``skipped`` lists line numbers of complete lines
+    that failed to decode — interior corruption, never the torn tail,
+    which by construction lacks its newline and is not consumed at all.
+    ``rewound`` reports that the file shrank below the cursor (journal
+    recovery rewrote it), so the caller must discard derived state.
+    """
+
+    entries: list = field(default_factory=list)
+    skipped: list = field(default_factory=list)
+    rewound: bool = False
+
+
+def scan_journal(path: str | Path, cursor: JournalCursor, *,
+                 kind: str = _JOURNAL_KIND) -> JournalDelta:
+    """Read journal lines appended since ``cursor``, advancing it.
+
+    Only newline-terminated bytes are consumed; a torn final line stays
+    un-consumed until a later append completes it (or recovery drops
+    it — the resulting shrink is detected and reported as ``rewound``
+    after resetting the cursor to the start).  On the first poll the
+    header line is validated against ``kind`` (pass ``kind=None`` to
+    accept any journal header); a malformed or foreign header raises
+    :class:`CampaignStorageError` and leaves the cursor untouched.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size < cursor.offset:
+                cursor.offset = 0
+                cursor.line = 0
+                cursor.header = None
+                rewound = True
+            else:
+                rewound = False
+            handle.seek(cursor.offset)
+            chunk = handle.read()
+    except FileNotFoundError as exc:
+        raise CampaignStorageError(f"{path}: no such journal") from exc
+    delta = JournalDelta(rewound=rewound)
+    cut = chunk.rfind(b"\n")
+    if cut < 0:
+        return delta
+    complete = chunk[:cut + 1]
+    lines = complete.split(b"\n")[:-1]
+    header = cursor.header
+    start_line = cursor.line
+    for index, raw in enumerate(lines):
+        number = start_line + index + 1
+        if not raw.strip():
+            continue
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            if number == 1:
+                raise CampaignStorageError(
+                    f"{path}:1: malformed journal header: {exc}") from exc
+            delta.skipped.append(number)
+            continue
+        if number == 1:
+            if (not isinstance(payload, dict)
+                    or payload.get("format") != _JOURNAL_FORMAT_VERSION
+                    or (kind is not None and payload.get("kind") != kind)):
+                raise CampaignStorageError(
+                    f"{path}: not a {kind or 'journal'} this build can "
+                    f"read (header {payload!r})")
+            header = payload
+            continue
+        if not isinstance(payload, dict):
+            delta.skipped.append(number)
+            continue
+        delta.entries.append((number, payload))
+    cursor.offset += len(complete)
+    cursor.line += len(lines)
+    cursor.header = header
+    return delta
+
+
+# ----------------------------------------------------------------------
+# Stable record -> row flattening (the warehouse's ingest contract).
+
+#: Column order produced by :func:`record_to_row`.  The warehouse's
+#: ``records`` table stores exactly these columns (plus its own
+#: ``campaign_id``/``pos``/fast-path columns); renaming, reordering or
+#: retyping any of them is a ``repro.warehouse.schema.SCHEMA_VERSION``
+#: bump (lint rule REPRO-S01 enforces the fingerprint).
+RECORD_ROW_FIELDS = (
+    "site_index", "site_name", "unit", "kind", "ring", "testcase_seed",
+    "inject_cycle", "outcome", "trace_events", "detector",
+    "detect_latency",
+)
+
+_DETECTION_EVENT_KINDS = (
+    EventKind.ERROR_DETECTED, EventKind.CORRECTED_LOCAL,
+    EventKind.HANG_DETECTED, EventKind.CHECKSTOP,
+)
+
+
+def record_to_row(record: InjectionRecord) -> tuple:
+    """Flatten one :class:`InjectionRecord` to the stable warehouse row.
+
+    ``detector``/``detect_latency`` replicate
+    :func:`repro.analysis.tracing.detection_event` semantics (first
+    detection-class event *after* the injection event; detector name is
+    the first word of the event detail) — duplicated here rather than
+    imported so the storage layer stays free of analysis imports.
+    """
+    detector = None
+    latency = None
+    seen_injection = False
+    for event in record.trace:
+        if event.kind is EventKind.INJECTION:
+            seen_injection = True
+            continue
+        if seen_injection and event.kind in _DETECTION_EVENT_KINDS:
+            detector = event.detail.split(" ")[0]
+            latency = event.cycle - record.inject_cycle
+            break
+    return (record.site_index, record.site_name, record.unit,
+            record.kind.value, record.ring, record.testcase_seed,
+            record.inject_cycle, record.outcome.value, len(record.trace),
+            detector, latency)
+
+
+def record_from_dict(payload: dict) -> InjectionRecord:
+    """Decode one journaled ``record`` payload (public alias used by the
+    warehouse and by pure-Python cross-check folds in tests/CI)."""
+    return _record_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
 # Incremental journal: the supervisor's crash-consistent record stream.
 
 class CampaignJournal:

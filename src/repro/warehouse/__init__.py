@@ -1,0 +1,58 @@
+"""Result warehouse: a queryable cross-campaign store.
+
+Campaign journals are append-only evidence; the warehouse is the
+queryable view over a fleet of them (see DESIGN.md "Result warehouse").
+`repro-sfi ingest` loads finished journals, `JournalTailer` streams a
+live one by byte offset, `repro-sfi query` answers the paper's
+aggregate questions in constant-ish time at millions of records, and
+`repro-sfi report` renders the self-contained HTML dashboard.
+
+Dependency-free by construction: SQLite via the standard library, no
+ORM, no external JS/CSS in the report.
+"""
+
+from repro.warehouse.dashboard import render_dashboard
+from repro.warehouse.fixture import (
+    populate_synthetic_campaigns,
+    write_fixture_journal,
+)
+from repro.warehouse.queries import (
+    detection_latency_percentiles,
+    fastpath_stats,
+    lease_health,
+    outcome_totals,
+    query_plans,
+    ser_trend,
+    unit_outcomes,
+)
+from repro.warehouse.schema import (
+    SCHEMA_FINGERPRINT,
+    SCHEMA_VERSION,
+    compute_fingerprint,
+)
+from repro.warehouse.store import (
+    IngestStats,
+    JournalTailer,
+    Warehouse,
+    WarehouseError,
+)
+
+__all__ = [
+    "SCHEMA_FINGERPRINT",
+    "SCHEMA_VERSION",
+    "IngestStats",
+    "JournalTailer",
+    "Warehouse",
+    "WarehouseError",
+    "compute_fingerprint",
+    "detection_latency_percentiles",
+    "fastpath_stats",
+    "lease_health",
+    "outcome_totals",
+    "populate_synthetic_campaigns",
+    "query_plans",
+    "render_dashboard",
+    "ser_trend",
+    "unit_outcomes",
+    "write_fixture_journal",
+]

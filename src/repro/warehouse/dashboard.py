@@ -1,0 +1,436 @@
+"""`repro-sfi report`: a self-contained static HTML dashboard.
+
+One HTML file, zero network fetches: styles are an inline ``<style>``
+block (CSS custom properties, light and dark via
+``prefers-color-scheme``), charts are inline SVG, there is no
+JavaScript.  Output is deterministic for a given warehouse — no
+timestamps, no randomness — so reports diff cleanly in CI artifacts.
+
+Chart conventions follow the repo's dataviz ground rules: categorical
+hues are assigned to the five outcome classes in one fixed slot order
+(never cycled, never re-ranked), the SER trend reuses the SDC slot so
+the entity keeps its color across charts, marks are thin with 2px
+surface gaps between stacked segments, text always wears ink tokens,
+and every series-colored chart is backed by a plain table so color
+never carries meaning alone.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.sfi.outcomes import OUTCOME_ORDER
+from repro.warehouse.queries import (
+    detection_latency_percentiles,
+    fastpath_stats,
+    lease_health,
+    ser_trend,
+    unit_outcomes,
+)
+
+__all__ = ["render_dashboard"]
+
+# Fixed categorical slot per outcome class (palette order, never cycled).
+_OUTCOME_SLOT = {outcome.value: index + 1
+                 for index, outcome in enumerate(OUTCOME_ORDER)}
+_SDC_SLOT = _OUTCOME_SLOT["Bad Arch State"]
+
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}
+.viz-root {
+  max-width: 960px; margin: 0 auto;
+  --page:           #f9f9f7;
+  --surface-1:      #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --grid:           #e1e0d9;
+  --axis:           #c3c2b7;
+  --border:         rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --grid:           #2c2c2a;
+    --axis:           #383835;
+    --border:         rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  --page:           #0d0d0d;
+  --surface-1:      #1a1a19;
+  --text-primary:   #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted:     #898781;
+  --grid:           #2c2c2a;
+  --axis:           #383835;
+  --border:         rgba(255,255,255,0.10);
+  --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+  --series-4: #c98500; --series-5: #d55181;
+}
+body { background: var(--page); }
+h1 { font-size: 20px; font-weight: 600; margin: 0 0 4px; }
+h2 { font-size: 15px; font-weight: 600; margin: 0 0 2px; }
+h3 { font-size: 13px; font-weight: 600; margin: 16px 0 4px; }
+.subtitle { color: var(--text-secondary); margin: 0 0 20px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 18px; margin: 0 0 16px;
+}
+.card .note { color: var(--text-secondary); margin: 0 0 10px; }
+.tiles { display: flex; gap: 16px; flex-wrap: wrap; margin: 0 0 16px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 130px;
+}
+.tile .value { font-size: 26px; font-weight: 600; }
+.tile .label { color: var(--text-secondary); font-size: 12px; }
+.legend {
+  display: flex; gap: 14px; flex-wrap: wrap;
+  color: var(--text-secondary); font-size: 12px; margin: 8px 0 2px;
+}
+.legend .swatch {
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 5px; vertical-align: -1px;
+}
+svg text { font-family: inherit; }
+table { border-collapse: collapse; width: 100%; }
+th {
+  text-align: left; color: var(--text-secondary); font-weight: 600;
+  font-size: 12px; border-bottom: 1px solid var(--axis);
+  padding: 4px 10px 4px 0;
+}
+td {
+  border-bottom: 1px solid var(--grid); padding: 4px 10px 4px 0;
+  font-variant-numeric: tabular-nums;
+}
+td.name { color: var(--text-primary); }
+td.num { text-align: right; }
+th.num { text-align: right; }
+.muted { color: var(--text-muted); }
+a { color: inherit; }
+"""
+
+
+def _fmt(value: float, digits: int = 4) -> str:
+    return f"{value:.{digits}f}"
+
+
+def _svg_text(x: float, y: float, content: str, *, fill: str,
+              size: int = 11, anchor: str = "start",
+              tabular: bool = False) -> str:
+    style = "font-variant-numeric:tabular-nums;" if tabular else ""
+    return (f'<text x="{x:.1f}" y="{y:.1f}" fill="{fill}" '
+            f'font-size="{size}" text-anchor="{anchor}" '
+            f'style="{style}">{html.escape(content)}</text>')
+
+
+def _ser_trend_svg(trend: list[dict]) -> str:
+    """SER per campaign with Wilson-interval whiskers (one series: the
+    SDC entity keeps its categorical slot; points carry value labels)."""
+    width, height = 920, 240
+    left, right, top, bottom = 54, 16, 14, 38
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    peak = max((point["high"] for point in trend), default=0.0)
+    peak = max(peak, 0.01) * 1.15
+    count = len(trend)
+
+    def x_of(index: int) -> float:
+        if count == 1:
+            return left + plot_w / 2
+        return left + plot_w * index / (count - 1)
+
+    def y_of(value: float) -> float:
+        return top + plot_h * (1 - value / peak)
+
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'aria-label="SER per campaign with confidence intervals" '
+             f'width="100%">']
+    ticks = 4
+    for tick in range(ticks + 1):
+        value = peak * tick / ticks
+        y = y_of(value)
+        parts.append(f'<line x1="{left}" y1="{y:.1f}" x2="{width - right}" '
+                     f'y2="{y:.1f}" stroke="var(--grid)" '
+                     f'stroke-width="1"/>')
+        parts.append(_svg_text(left - 8, y + 4, _fmt(value, 3),
+                               fill="var(--text-muted)", size=10,
+                               anchor="end", tabular=True))
+    parts.append(f'<line x1="{left}" y1="{top + plot_h}" '
+                 f'x2="{width - right}" y2="{top + plot_h}" '
+                 f'stroke="var(--axis)" stroke-width="1"/>')
+    points = []
+    for index, point in enumerate(trend):
+        x = x_of(index)
+        y = y_of(point["ser"])
+        y_low, y_high = y_of(point["low"]), y_of(point["high"])
+        label = (f"{point['name']}: SER {_fmt(point['ser'])} "
+                 f"[{_fmt(point['low'])}, {_fmt(point['high'])}] "
+                 f"({point['sdc']}/{point['records']})")
+        parts.append(
+            f'<g><title>{html.escape(label)}</title>'
+            f'<line x1="{x:.1f}" y1="{y_low:.1f}" x2="{x:.1f}" '
+            f'y2="{y_high:.1f}" stroke="var(--series-{_SDC_SLOT})" '
+            f'stroke-width="1.5" opacity="0.55"/>'
+            f'<line x1="{x - 4:.1f}" y1="{y_high:.1f}" x2="{x + 4:.1f}" '
+            f'y2="{y_high:.1f}" stroke="var(--series-{_SDC_SLOT})" '
+            f'stroke-width="1.5" opacity="0.55"/>'
+            f'<line x1="{x - 4:.1f}" y1="{y_low:.1f}" x2="{x + 4:.1f}" '
+            f'y2="{y_low:.1f}" stroke="var(--series-{_SDC_SLOT})" '
+            f'stroke-width="1.5" opacity="0.55"/>'
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+            f'fill="var(--series-{_SDC_SLOT})" stroke="var(--surface-1)" '
+            f'stroke-width="2"/></g>')
+        parts.append(_svg_text(x, y - 10, _fmt(point["ser"], 3),
+                               fill="var(--text-secondary)", size=10,
+                               anchor="middle", tabular=True))
+        parts.append(_svg_text(x, top + plot_h + 16,
+                               f"[{point['campaign_id']}]",
+                               fill="var(--text-muted)", size=10,
+                               anchor="middle"))
+        points.append((x, y))
+    if len(points) > 1:
+        path = " ".join(f"{'M' if i == 0 else 'L'}{x:.1f},{y:.1f}"
+                        for i, (x, y) in enumerate(points))
+        parts.insert(len(parts) - 3 * len(points),
+                     f'<path d="{path}" fill="none" '
+                     f'stroke="var(--series-{_SDC_SLOT})" '
+                     f'stroke-width="2"/>')
+    parts.append(_svg_text(left, height - 6,
+                           "campaign (ingest order) — hover a point for "
+                           "the campaign name",
+                           fill="var(--text-muted)", size=10))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _unit_bars_svg(breakdown: dict[str, dict[str, int]]) -> str:
+    """100%-stacked outcome mix per unit (2px surface gaps between
+    segments; counts in the tooltip and in the drill-down table)."""
+    order = [outcome.value for outcome in OUTCOME_ORDER]
+    units = sorted(breakdown)
+    width = 920
+    row_h, gap = 22, 8
+    left, right, top = 64, 70, 8
+    height = top + len(units) * (row_h + gap) + 22
+    plot_w = width - left - right
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'aria-label="Per-unit outcome mix" width="100%">']
+    for row, unit in enumerate(units):
+        counts = breakdown[unit]
+        total = sum(counts.values()) or 1
+        y = top + row * (row_h + gap)
+        parts.append(_svg_text(left - 8, y + row_h / 2 + 4, unit,
+                               fill="var(--text-secondary)", size=11,
+                               anchor="end"))
+        x = float(left)
+        for name in order:
+            count = counts.get(name, 0)
+            if not count:
+                continue
+            span = plot_w * count / total
+            slot = _OUTCOME_SLOT[name]
+            label = f"{unit} — {name}: {count} ({100 * count / total:.1f}%)"
+            parts.append(
+                f'<g><title>{html.escape(label)}</title>'
+                f'<rect x="{x:.1f}" y="{y}" '
+                f'width="{max(span - 2, 1):.1f}" height="{row_h}" rx="2" '
+                f'fill="var(--series-{slot})"/></g>')
+            x += span
+        parts.append(_svg_text(left + plot_w + 8, y + row_h / 2 + 4,
+                               f"{sum(counts.values()):,}",
+                               fill="var(--text-muted)", size=10,
+                               tabular=True))
+    parts.append(_svg_text(left, height - 6,
+                           "share of injections per unit; right column is "
+                           "the unit total",
+                           fill="var(--text-muted)", size=10))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _legend(order: list[str]) -> str:
+    items = "".join(
+        f'<span><span class="swatch" '
+        f'style="background:var(--series-{_OUTCOME_SLOT[name]})"></span>'
+        f'{html.escape(name)}</span>' for name in order)
+    return f'<div class="legend">{items}</div>'
+
+
+def _unit_table(warehouse, breakdown: dict[str, dict[str, int]]) -> str:
+    """Drill-down: one row per unit, linking to its provenance sample."""
+    rows = []
+    for unit in sorted(breakdown):
+        counts = breakdown[unit]
+        total = sum(counts.values())
+        sdc = counts.get("Bad Arch State", 0)
+        detail = warehouse.connection.execute(
+            "SELECT detector, COUNT(*) AS n FROM records "
+            "WHERE unit=? AND detector IS NOT NULL "
+            "GROUP BY detector ORDER BY n DESC, detector LIMIT 1",
+            (unit,)).fetchone()
+        top_detector = detail["detector"] if detail else "—"
+        chains = warehouse.connection.execute(
+            "SELECT COUNT(*) AS n FROM provenance p JOIN records r "
+            "ON r.campaign_id = p.campaign_id AND r.pos = p.pos "
+            "WHERE r.unit=?", (unit,)).fetchone()["n"]
+        link = (f'<a href="#prov-{html.escape(unit)}">{chains} chains</a>'
+                if chains else '<span class="muted">none</span>')
+        rows.append(
+            f'<tr><td class="name">{html.escape(unit)}</td>'
+            f'<td class="num">{total:,}</td>'
+            f'<td class="num">{sdc:,}</td>'
+            f'<td class="num">{_fmt(sdc / total if total else 0.0)}</td>'
+            f'<td>{html.escape(top_detector)}</td>'
+            f'<td class="num">{link}</td></tr>')
+    return ('<table><thead><tr><th>unit</th><th class="num">records</th>'
+            '<th class="num">SDC</th><th class="num">SER</th>'
+            '<th>top detector</th><th class="num">provenance</th></tr>'
+            '</thead><tbody>' + "".join(rows) + "</tbody></table>")
+
+
+def _provenance_sections(warehouse, breakdown) -> str:
+    """Per-unit provenance chain samples (anchors for the drill-down)."""
+    sections = []
+    for unit in sorted(breakdown):
+        rows = warehouse.connection.execute(
+            "SELECT r.campaign_id, r.pos, p.detector, p.detection_latency, "
+            "p.peak_bits, p.edges FROM provenance p JOIN records r "
+            "ON r.campaign_id = p.campaign_id AND r.pos = p.pos "
+            "WHERE r.unit=? ORDER BY p.peak_bits DESC, r.campaign_id, "
+            "r.pos LIMIT 5", (unit,)).fetchall()
+        if not rows:
+            continue
+        body = "".join(
+            f'<tr><td class="num">{row["campaign_id"]}</td>'
+            f'<td class="num">{row["pos"]}</td>'
+            f'<td>{html.escape(row["detector"] or "undetected")}</td>'
+            f'<td class="num">{row["detection_latency"] if row["detection_latency"] is not None else "—"}</td>'
+            f'<td class="num">{row["peak_bits"]}</td>'
+            f'<td class="num">{row["edges"]}</td></tr>'
+            for row in rows)
+        sections.append(
+            f'<h3 id="prov-{html.escape(unit)}">{html.escape(unit)} — '
+            f'widest infections</h3>'
+            f'<table><thead><tr><th class="num">campaign</th>'
+            f'<th class="num">pos</th><th>detector</th>'
+            f'<th class="num">latency (cyc)</th>'
+            f'<th class="num">peak bits</th><th class="num">edges</th>'
+            f'</tr></thead><tbody>{body}</tbody></table>')
+    if not sections:
+        return ""
+    hint = ('<p class="note">replay any row with <code>repro-sfi explain '
+            '&lt;pos&gt; --journal &lt;campaign journal&gt;</code> for the '
+            'full propagation story.</p>')
+    return f'<div class="card"><h2>Provenance chains</h2>{hint}' \
+           + "".join(sections) + "</div>"
+
+
+def _fastpath_table(stats: list[dict]) -> str:
+    if not stats:
+        return '<p class="note">no campaigns ingested yet.</p>'
+    rows = "".join(
+        f'<tr><td class="num">{point["campaign_id"]}</td>'
+        f'<td class="name">{html.escape(point["name"])}</td>'
+        f'<td class="num">{point["fastpath"]:,}/{point["records"]:,}</td>'
+        f'<td class="num">{100 * point["hit_rate"]:.1f}%</td>'
+        f'<td class="num">{point["saved_cycles"]:,}</td>'
+        f'<td>{html.escape("  ".join(f"{k}: {v}" for k, v in sorted(point["exits"].items())) or "—")}</td></tr>'
+        for point in stats)
+    return ('<table><thead><tr><th class="num">id</th><th>campaign</th>'
+            '<th class="num">fast-path hits</th><th class="num">hit rate'
+            '</th><th class="num">cycles saved</th><th>early exits</th>'
+            '</tr></thead><tbody>' + rows + "</tbody></table>")
+
+
+def _lease_table(health: list[dict]) -> str:
+    if not health:
+        return ('<p class="note">no lease events — every ingested '
+                'campaign ran serially.</p>')
+    rows = "".join(
+        f'<tr><td class="num">{point["campaign_id"]}</td>'
+        f'<td class="name">{html.escape(point["name"])}</td>'
+        f'<td class="num">{point["sessions"]}</td>'
+        f'<td class="num">{point["grants"]}</td>'
+        f'<td class="num">{point["done"]}</td>'
+        f'<td class="num">{point["reclaims"]}</td>'
+        f'<td class="num">{point["splits"]}</td>'
+        f'<td class="num">{point["fenced"]}</td></tr>'
+        for point in health)
+    return ('<table><thead><tr><th class="num">id</th><th>campaign</th>'
+            '<th class="num">sessions</th><th class="num">grants</th>'
+            '<th class="num">done</th><th class="num">reclaims</th>'
+            '<th class="num">splits</th><th class="num">fenced</th>'
+            '</tr></thead><tbody>' + rows + "</tbody></table>")
+
+
+def render_dashboard(warehouse, *, title: str = "SFI result warehouse") \
+        -> str:
+    """Render the whole store as one self-contained HTML page."""
+    trend = ser_trend(warehouse)
+    breakdown = unit_outcomes(warehouse)
+    latency = detection_latency_percentiles(warehouse)
+    fastpath = fastpath_stats(warehouse)
+    leases = lease_health(warehouse)
+    records = sum(point["records"] for point in trend)
+    sdc = sum(point["sdc"] for point in trend)
+    outcome_order = [outcome.value for outcome in OUTCOME_ORDER]
+    p50 = latency["percentiles"].get(0.5)
+    tiles = [
+        (f"{len(trend)}", "campaigns"),
+        (f"{records:,}", "injection records"),
+        (_fmt(sdc / records) if records else "—", "overall SER"),
+        (f"{latency['detected']:,}", "detected faults"),
+        (f"{p50}" if p50 is not None else "—", "p50 latency (cycles)"),
+    ]
+    tiles_html = "".join(
+        f'<div class="tile"><div class="value">{value}</div>'
+        f'<div class="label">{label}</div></div>'
+        for value, label in tiles)
+    doc = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style>",
+        '</head><body><div class="viz-root">',
+        f"<h1>{html.escape(title)}</h1>",
+        f'<p class="subtitle">{html.escape(str(warehouse.path))} — '
+        f"schema-checked, rendered offline; no external resources.</p>",
+        f'<div class="tiles">{tiles_html}</div>',
+        '<div class="card"><h2>Cross-campaign SER trend</h2>'
+        '<p class="note">SDC fraction per campaign with 95% Wilson '
+        "intervals — the paper's repeated-sampling confidence "
+        "argument, across the fleet.</p>"
+        + (_ser_trend_svg(trend) if trend else
+           '<p class="note">ingest a journal to populate this chart.</p>')
+        + "</div>",
+        '<div class="card"><h2>Per-unit outcome mix</h2>'
+        + _legend(outcome_order)
+        + (_unit_bars_svg(breakdown) if breakdown else
+           '<p class="note">no records yet.</p>'),
+        "<h3>Drill-down</h3>"
+        + (_unit_table(warehouse, breakdown) if breakdown else "")
+        + "</div>",
+        _provenance_sections(warehouse, breakdown),
+        '<div class="card"><h2>Fast-path hit rates</h2>'
+        + _fastpath_table(fastpath) + "</div>",
+        '<div class="card"><h2>Lease / retry health</h2>'
+        + _lease_table(leases) + "</div>",
+        "</div></body></html>",
+    ]
+    return "\n".join(part for part in doc if part)

@@ -1,0 +1,327 @@
+"""The warehouse's question-answering layer.
+
+Every aggregate the paper's analysis chapters keep asking for — per-unit
+outcome mixes, SDC (soft-error-rate) fractions with Wilson confidence
+intervals across campaigns, detection-latency percentiles, fast-path
+hit rates, lease/retry health — phrased so SQLite answers each from a
+covering index: the million-record acceptance budget (<1s per query)
+holds only if none of them touch the base ``records`` table.
+:func:`query_plans` EXPLAIN-checks exactly that, and the warehouse
+benchmark asserts it.
+
+Campaign arguments accept a warehouse name or a ``campaign_id``; omit
+them to aggregate across every campaign in the store.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.sfi.outcomes import OUTCOME_ORDER, Outcome
+from repro.stats import wilson_interval
+from repro.warehouse.store import Warehouse, WarehouseError
+
+__all__ = [
+    "detection_latency_percentiles",
+    "fastpath_stats",
+    "lease_health",
+    "outcome_totals",
+    "query_plans",
+    "render_campaigns",
+    "render_fastpath",
+    "render_latency",
+    "render_leases",
+    "render_ser_trend",
+    "render_unit_outcomes",
+    "ser_trend",
+    "unit_outcomes",
+]
+
+
+def _campaign_clause(warehouse: Warehouse, campaign) -> tuple[str, tuple]:
+    """``campaign`` (name, id or None) -> SQL filter + params."""
+    if campaign is None:
+        return "", ()
+    if isinstance(campaign, int):
+        return " WHERE campaign_id=?", (campaign,)
+    campaign_id = warehouse.campaign_id(str(campaign))
+    if campaign_id is None and str(campaign).isdigit():
+        # CLI hands ids through as strings ("--campaign 2").
+        row = warehouse.connection.execute(
+            "SELECT campaign_id FROM campaigns WHERE campaign_id=?",
+            (int(campaign),)).fetchone()
+        campaign_id = row["campaign_id"] if row is not None else None
+    if campaign_id is None:
+        raise WarehouseError(f"no campaign named {campaign!r} in "
+                             f"{warehouse.path}")
+    return " WHERE campaign_id=?", (campaign_id,)
+
+
+def outcome_totals(warehouse: Warehouse, campaign=None) -> dict[str, int]:
+    """Outcome -> record count (one campaign, or the whole store)."""
+    where, params = _campaign_clause(warehouse, campaign)
+    rows = warehouse.connection.execute(
+        f"SELECT outcome, COUNT(*) AS n FROM records{where} "
+        f"GROUP BY outcome", params)
+    return {row["outcome"]: row["n"] for row in rows}
+
+
+def unit_outcomes(warehouse: Warehouse,
+                  campaign=None) -> dict[str, dict[str, int]]:
+    """Unit -> outcome -> count: the per-unit vulnerability breakdown."""
+    where, params = _campaign_clause(warehouse, campaign)
+    rows = warehouse.connection.execute(
+        f"SELECT unit, outcome, COUNT(*) AS n FROM records{where} "
+        f"GROUP BY unit, outcome", params)
+    breakdown: dict[str, dict[str, int]] = {}
+    for row in rows:
+        breakdown.setdefault(row["unit"], {})[row["outcome"]] = row["n"]
+    return breakdown
+
+
+def ser_trend(warehouse: Warehouse, *,
+              confidence: float = 0.95) -> list[dict]:
+    """Per-campaign SDC fraction with a Wilson interval, in ingest order.
+
+    This is the cross-campaign view of the paper's headline number: the
+    fraction of injections that corrupt architected state (SER), with
+    the repeated-sampling confidence interval §3 argues for.
+    """
+    counts: dict[int, dict[str, int]] = {}
+    for row in warehouse.connection.execute(
+            "SELECT campaign_id, outcome, COUNT(*) AS n FROM records "
+            "GROUP BY campaign_id, outcome"):
+        counts.setdefault(row["campaign_id"], {})[row["outcome"]] = row["n"]
+    trend = []
+    for campaign in warehouse.campaigns():
+        outcomes = counts.get(campaign["campaign_id"], {})
+        total = sum(outcomes.values())
+        sdc = outcomes.get(Outcome.SDC.value, 0)
+        low, high = wilson_interval(sdc, total, confidence=confidence) \
+            if total else (0.0, 0.0)
+        trend.append({
+            "campaign_id": campaign["campaign_id"],
+            "name": campaign["name"],
+            "seed": campaign["seed"],
+            "records": total,
+            "sdc": sdc,
+            "ser": sdc / total if total else 0.0,
+            "low": low,
+            "high": high,
+        })
+    return trend
+
+
+def detection_latency_percentiles(
+        warehouse: Warehouse, campaign=None,
+        quantiles: tuple = (0.5, 0.9, 0.99)) -> dict:
+    """Nearest-rank detection-latency percentiles, in cycles.
+
+    Served by the partial index over ``detect_latency IS NOT NULL``:
+    one COUNT plus one ``ORDER BY … LIMIT 1 OFFSET k`` probe per
+    quantile, so a million-row store answers without a sort.
+    """
+    where, params = _campaign_clause(warehouse, campaign)
+    where = f"{where} AND " if where else " WHERE "
+    where += "detect_latency IS NOT NULL"
+    conn = warehouse.connection
+    total = conn.execute(
+        f"SELECT COUNT(*) AS n FROM records{where}", params).fetchone()["n"]
+    result = {"detected": total, "percentiles": {}}
+    for quantile in quantiles:
+        if not total:
+            result["percentiles"][quantile] = None
+            continue
+        offset = min(total - 1, max(0, math.ceil(quantile * total) - 1))
+        row = conn.execute(
+            f"SELECT detect_latency FROM records{where} "
+            f"ORDER BY detect_latency LIMIT 1 OFFSET ?",
+            (*params, offset)).fetchone()
+        result["percentiles"][quantile] = row["detect_latency"]
+    return result
+
+
+def fastpath_stats(warehouse: Warehouse) -> list[dict]:
+    """Per-campaign fast-path hit rate, cycles saved and exit mix."""
+    conn = warehouse.connection
+    rows = {row["campaign_id"]: row for row in conn.execute(
+        "SELECT campaign_id, COUNT(*) AS n, SUM(fastpath) AS hits, "
+        "SUM(saved_cycles) AS saved FROM records GROUP BY campaign_id")}
+    exits: dict[int, dict[str, int]] = {}
+    for row in conn.execute(
+            "SELECT campaign_id, fastpath_exit, COUNT(*) AS n FROM records "
+            "WHERE fastpath_exit IS NOT NULL "
+            "GROUP BY campaign_id, fastpath_exit"):
+        exits.setdefault(row["campaign_id"], {})[row["fastpath_exit"]] = \
+            row["n"]
+    stats = []
+    for campaign in warehouse.campaigns():
+        row = rows.get(campaign["campaign_id"])
+        if row is None:
+            continue
+        hits = row["hits"] or 0
+        stats.append({
+            "campaign_id": campaign["campaign_id"],
+            "name": campaign["name"],
+            "records": row["n"],
+            "fastpath": hits,
+            "hit_rate": hits / row["n"] if row["n"] else 0.0,
+            "saved_cycles": row["saved"] or 0,
+            "exits": exits.get(campaign["campaign_id"], {}),
+        })
+    return stats
+
+
+def lease_health(warehouse: Warehouse) -> list[dict]:
+    """Per-campaign lease/retry accounting from the ``.leases`` events."""
+    counts: dict[int, dict[str, int]] = {}
+    for row in warehouse.connection.execute(
+            "SELECT campaign_id, event, COUNT(*) AS n FROM lease_events "
+            "GROUP BY campaign_id, event"):
+        counts.setdefault(row["campaign_id"], {})[row["event"]] = row["n"]
+    health = []
+    for campaign in warehouse.campaigns():
+        events = counts.get(campaign["campaign_id"])
+        if not events:
+            continue
+        health.append({
+            "campaign_id": campaign["campaign_id"],
+            "name": campaign["name"],
+            "sessions": events.get("session", 0),
+            "grants": events.get("grant", 0),
+            "done": events.get("done", 0),
+            "reclaims": events.get("reclaim", 0),
+            "splits": events.get("split", 0),
+            "fenced": events.get("fenced", 0),
+        })
+    return health
+
+
+# ----------------------------------------------------------------------
+# Plan hygiene: the latency budget rests on covering indexes.
+
+#: Query name -> (SQL, must-cover).  ``must-cover`` queries fail
+#: :func:`query_plans` strict mode unless SQLite reports a COVERING
+#: INDEX (the latency probes may use the partial index non-covering —
+#: they fetch one row — but must not scan the table).
+_PLAN_QUERIES = {
+    "unit_outcomes": (
+        "SELECT unit, outcome, COUNT(*) FROM records GROUP BY unit, outcome",
+        True),
+    "unit_outcomes_campaign": (
+        "SELECT unit, outcome, COUNT(*) FROM records WHERE campaign_id=1 "
+        "GROUP BY unit, outcome", True),
+    "ser_trend": (
+        "SELECT campaign_id, outcome, COUNT(*) FROM records "
+        "GROUP BY campaign_id, outcome", True),
+    "latency_count": (
+        "SELECT COUNT(*) FROM records WHERE detect_latency IS NOT NULL",
+        True),
+    "latency_probe": (
+        "SELECT detect_latency FROM records WHERE detect_latency IS NOT "
+        "NULL ORDER BY detect_latency LIMIT 1 OFFSET 10", True),
+}
+
+
+def query_plans(warehouse: Warehouse) -> list[dict]:
+    """EXPLAIN QUERY PLAN for each budgeted query.
+
+    Returns ``{"name", "plan", "covering", "ok"}`` per query; ``ok`` is
+    False when a must-cover query is not answered from a covering index
+    (someone changed the schema or the SQL without keeping the indexes
+    honest — the warehouse benchmark and CI both assert all-ok).
+    """
+    results = []
+    for name, (sql, must_cover) in _PLAN_QUERIES.items():
+        plan_rows = warehouse.connection.execute(
+            f"EXPLAIN QUERY PLAN {sql}").fetchall()
+        plan = "; ".join(row["detail"] for row in plan_rows)
+        covering = "USING COVERING INDEX" in plan
+        results.append({"name": name, "plan": plan, "covering": covering,
+                        "ok": covering or not must_cover})
+    return results
+
+
+# ----------------------------------------------------------------------
+# Text renderers (`repro-sfi query …`).
+
+def render_campaigns(warehouse: Warehouse) -> str:
+    lines = ["campaigns in the warehouse:"]
+    for row in warehouse.campaigns():
+        state = "complete" if row["complete"] else \
+            f"{row['ingested_records']}/{row['total_sites'] or '?'}"
+        lines.append(
+            f"  [{row['campaign_id']}] {row['name']}  seed={row['seed']}  "
+            f"records={row['ingested_records']}  {state}"
+            + (f"  skipped={row['skipped_lines']}" if row["skipped_lines"]
+               else ""))
+    if len(lines) == 1:
+        lines.append("  (none — `repro-sfi ingest <journal>` to add one)")
+    return "\n".join(lines)
+
+
+def render_unit_outcomes(breakdown: dict[str, dict[str, int]]) -> str:
+    order = [outcome.value for outcome in OUTCOME_ORDER]
+    header = f"{'unit':<10}" + "".join(f"{name:>16}" for name in order) \
+        + f"{'total':>10}"
+    lines = ["per-unit outcome breakdown:", header]
+    for unit in sorted(breakdown):
+        counts = breakdown[unit]
+        total = sum(counts.values())
+        lines.append(f"{unit:<10}"
+                     + "".join(f"{counts.get(name, 0):>16}" for name in order)
+                     + f"{total:>10}")
+    return "\n".join(lines)
+
+
+def render_ser_trend(trend: list[dict]) -> str:
+    lines = ["cross-campaign SER (SDC fraction, 95% Wilson interval):"]
+    for point in trend:
+        lines.append(
+            f"  [{point['campaign_id']}] {point['name']:<28} "
+            f"{point['sdc']:>6}/{point['records']:<7} "
+            f"SER {point['ser']:.4f}  "
+            f"[{point['low']:.4f}, {point['high']:.4f}]")
+    return "\n".join(lines)
+
+
+def render_latency(result: dict) -> str:
+    lines = [f"detection latency over {result['detected']} detected "
+             f"injections:"]
+    for quantile, value in result["percentiles"].items():
+        shown = "n/a" if value is None else f"{value} cycles"
+        lines.append(f"  p{int(quantile * 100):<3} {shown}")
+    return "\n".join(lines)
+
+
+def render_fastpath(stats: list[dict]) -> str:
+    lines = ["fast-path hit rates:"]
+    for point in stats:
+        exits = "  ".join(f"{reason}: {count}" for reason, count
+                          in sorted(point["exits"].items()))
+        lines.append(
+            f"  [{point['campaign_id']}] {point['name']:<28} "
+            f"{point['fastpath']}/{point['records']} "
+            f"({100 * point['hit_rate']:.1f}%)  "
+            f"{point['saved_cycles']:,} cycles saved"
+            + (f"  ({exits})" if exits else ""))
+    return "\n".join(lines)
+
+
+def render_leases(health: list[dict]) -> str:
+    if not health:
+        return "no lease events in the warehouse (serial campaigns)"
+    lines = ["lease/retry health:"]
+    for point in health:
+        lines.append(
+            f"  [{point['campaign_id']}] {point['name']:<28} "
+            f"sessions={point['sessions']} grants={point['grants']} "
+            f"done={point['done']} reclaims={point['reclaims']} "
+            f"splits={point['splits']} fenced={point['fenced']}")
+    return "\n".join(lines)
+
+
+def to_json(value) -> str:
+    """Stable JSON for the CLI's ``--json`` paths."""
+    return json.dumps(value, indent=2, sort_keys=True)

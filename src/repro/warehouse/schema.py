@@ -1,0 +1,147 @@
+"""Warehouse schema: versioned DDL plus its integrity fingerprint.
+
+One SQLite file holds many campaigns.  The schema is deliberately
+denormalized around the two questions the paper asks at scale — per-unit
+outcome mixes and SDC (SER) fractions with confidence intervals — so
+both answer from covering indexes without touching the base table.
+
+Versioning contract: ``SCHEMA_VERSION`` names the on-disk layout and is
+stored in ``warehouse_meta``; a store created by a different version is
+refused (no silent migration).  ``SCHEMA_FINGERPRINT`` binds the version
+to the exact DDL text — lint rule REPRO-S01 recomputes it from source,
+so any DDL edit that forgets to bump the version (and refresh the
+fingerprint) fails `repro-sfi lint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = [
+    "SCHEMA_DDL",
+    "SCHEMA_FINGERPRINT",
+    "SCHEMA_VERSION",
+    "compute_fingerprint",
+]
+
+SCHEMA_VERSION = 1
+
+# One statement per entry, executed in order on an empty store.  The
+# ``records`` table carries the columns of
+# ``repro.sfi.storage.RECORD_ROW_FIELDS`` in that order (between the
+# ``campaign_id``/``pos`` key and the fast-path sidecar columns);
+# changing either side is a SCHEMA_VERSION bump.
+SCHEMA_DDL = (
+    """
+    CREATE TABLE warehouse_meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    ) WITHOUT ROWID
+    """,
+    """
+    CREATE TABLE campaigns (
+        campaign_id      INTEGER PRIMARY KEY,
+        name             TEXT NOT NULL UNIQUE,
+        journal_path     TEXT NOT NULL,
+        kind             TEXT NOT NULL,
+        seed             INTEGER,
+        total_sites      INTEGER NOT NULL DEFAULT 0,
+        population_bits  INTEGER NOT NULL DEFAULT 0,
+        meta_json        TEXT,
+        journal_offset   INTEGER NOT NULL DEFAULT 0,
+        journal_line     INTEGER NOT NULL DEFAULT 0,
+        ingested_records INTEGER NOT NULL DEFAULT 0,
+        skipped_lines    INTEGER NOT NULL DEFAULT 0,
+        complete         INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE records (
+        campaign_id    INTEGER NOT NULL,
+        pos            INTEGER NOT NULL,
+        site_index     INTEGER NOT NULL,
+        site_name      TEXT NOT NULL,
+        unit           TEXT NOT NULL,
+        kind           TEXT NOT NULL,
+        ring           TEXT NOT NULL,
+        testcase_seed  INTEGER NOT NULL,
+        inject_cycle   INTEGER NOT NULL,
+        outcome        TEXT NOT NULL,
+        trace_events   INTEGER NOT NULL,
+        detector       TEXT,
+        detect_latency INTEGER,
+        fastpath       INTEGER NOT NULL DEFAULT 0,
+        fastpath_exit  TEXT,
+        saved_cycles   INTEGER NOT NULL DEFAULT 0,
+        PRIMARY KEY (campaign_id, pos)
+    ) WITHOUT ROWID
+    """,
+    """
+    CREATE INDEX idx_records_campaign_unit_outcome
+        ON records (campaign_id, unit, outcome)
+    """,
+    """
+    CREATE INDEX idx_records_unit_outcome
+        ON records (unit, outcome)
+    """,
+    """
+    CREATE INDEX idx_records_campaign_outcome
+        ON records (campaign_id, outcome)
+    """,
+    """
+    CREATE INDEX idx_records_campaign_latency
+        ON records (campaign_id, detect_latency)
+        WHERE detect_latency IS NOT NULL
+    """,
+    """
+    CREATE INDEX idx_records_latency
+        ON records (detect_latency)
+        WHERE detect_latency IS NOT NULL
+    """,
+    """
+    CREATE TABLE lease_events (
+        campaign_id INTEGER NOT NULL,
+        seq         INTEGER NOT NULL,
+        event       TEXT NOT NULL,
+        token       INTEGER,
+        shard       INTEGER,
+        worker      TEXT,
+        payload     TEXT NOT NULL,
+        PRIMARY KEY (campaign_id, seq)
+    ) WITHOUT ROWID
+    """,
+    """
+    CREATE INDEX idx_lease_events_kind
+        ON lease_events (campaign_id, event)
+    """,
+    """
+    CREATE TABLE provenance (
+        campaign_id       INTEGER NOT NULL,
+        pos               INTEGER NOT NULL,
+        detector          TEXT,
+        detection_latency INTEGER,
+        peak_bits         INTEGER NOT NULL DEFAULT 0,
+        residual_tainted  INTEGER NOT NULL DEFAULT 0,
+        nodes             INTEGER NOT NULL DEFAULT 0,
+        edges             INTEGER NOT NULL DEFAULT 0,
+        PRIMARY KEY (campaign_id, pos)
+    ) WITHOUT ROWID
+    """,
+)
+
+
+def compute_fingerprint(version: int = SCHEMA_VERSION,
+                        ddl: tuple = SCHEMA_DDL) -> str:
+    """Whitespace-insensitive digest binding a version to its DDL.
+
+    Mirrored verbatim by lint rule REPRO-S01 (repro/lint/rules_ast.py),
+    which recomputes it from the AST of this file — keep the two in
+    sync, or rather: don't change this algorithm.
+    """
+    blob = "\n".join([str(version), *(" ".join(s.split()) for s in ddl)])
+    return "sha256:" + hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# Refreshing this constant is deliberate friction: REPRO-S01 fails when
+# it is stale, and the paired test asserts SCHEMA_VERSION moved with it.
+SCHEMA_FINGERPRINT = "sha256:182ea81e3aeb72fa"

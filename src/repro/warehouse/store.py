@@ -1,0 +1,413 @@
+"""SQLite-backed result store with idempotent, fencing-aware ingest.
+
+The warehouse consumes campaign journals (and their ``.leases`` /
+``.provenance`` sidecars) into one queryable SQLite file.  Three
+invariants, in descending order of importance:
+
+* **Read-only toward journals.**  Ingest opens journals with a
+  read-only cursor and never holds an append handle — it can run beside
+  a live coordinator without perturbing the run, and a warehouse bug
+  can corrupt at most the warehouse.
+* **Verified-tail fencing.**  Only bytes below the journal's last
+  newline are consumed (``scan_journal``): a torn tail — a crash or an
+  append caught mid-``write`` — is re-examined next poll, never
+  committed, so live streaming is byte-exact versus an offline ingest
+  of the finished journal.
+* **Idempotence.**  Rows key on ``(campaign_id, pos)`` and inserts are
+  ``OR IGNORE``; re-ingesting a journal (or racing two tailers) adds
+  nothing.  Line-level validation mirrors ``verify_journal``: exactly
+  the lines it would flag (malformed interior JSON, missing
+  ``pos``/``record``, undecodable records, out-of-range or duplicate
+  positions) are skipped and counted, never stored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sfi.storage import (
+    CampaignStorageError,
+    JournalCursor,
+    record_from_dict,
+    record_to_row,
+    scan_journal,
+)
+from repro.warehouse.schema import (
+    SCHEMA_DDL,
+    SCHEMA_FINGERPRINT,
+    SCHEMA_VERSION,
+    compute_fingerprint,
+)
+
+__all__ = [
+    "IngestStats",
+    "JournalTailer",
+    "Warehouse",
+    "WarehouseError",
+]
+
+
+class WarehouseError(ValueError):
+    """The warehouse file is unusable (schema mismatch, bad path) or an
+    ingest request is malformed."""
+
+
+@dataclass
+class IngestStats:
+    """What one ingest pass (offline call or tailer poll) did."""
+
+    name: str
+    campaign_id: int
+    added: int = 0            # records newly inserted this pass
+    skipped: int = 0          # lines rejected this pass (verify-parity)
+    lease_events: int = 0     # sidecar events newly inserted this pass
+    provenance_rows: int = 0  # provenance payloads newly inserted
+    records: int = 0          # cumulative records now in the store
+    total_sites: int = 0
+    complete: bool = False
+    rewound: bool = False     # journal shrank; campaign was re-ingested
+
+    @property
+    def lag(self) -> int:
+        """Records the journal plans that the store does not yet hold."""
+        return max(0, self.total_sites - self.records)
+
+
+class Warehouse:
+    """One SQLite file holding many campaigns' results.
+
+    Opens (creating and initializing if absent) the store at ``path``.
+    A store initialized by a different ``SCHEMA_VERSION`` is refused
+    with :class:`WarehouseError` — there are no silent migrations.
+    Usable as a context manager.
+    """
+
+    def __init__(self, path: str | Path, *, metrics=None) -> None:
+        self.path = Path(path)
+        self._conn = sqlite3.connect(os.fspath(self.path), timeout=5.0)
+        self._conn.isolation_level = None  # explicit BEGIN/COMMIT below
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._init_schema()
+        self._ingest_counter = None
+        self._lag_gauge = None
+        if metrics is not None:
+            self._ingest_counter = metrics.counter(
+                "sfi_ingest_records_total",
+                "Journal records ingested into the warehouse",
+                labelnames=("campaign",))
+            self._lag_gauge = metrics.gauge(
+                "sfi_ingest_lag_records",
+                "Journal records not yet ingested (planned - stored)",
+                labelnames=("campaign",))
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _init_schema(self) -> None:
+        fingerprint = compute_fingerprint()
+        if fingerprint != SCHEMA_FINGERPRINT:
+            raise WarehouseError(
+                f"warehouse schema DDL does not match its declared "
+                f"fingerprint ({fingerprint} != {SCHEMA_FINGERPRINT}); "
+                f"bump SCHEMA_VERSION and refresh SCHEMA_FINGERPRINT "
+                f"(lint rule REPRO-S01)")
+        conn = self._conn
+        have = conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' "
+            "AND name='warehouse_meta'").fetchone()
+        if have is None:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                for statement in SCHEMA_DDL:
+                    conn.execute(statement)
+                conn.execute(
+                    "INSERT INTO warehouse_meta (key, value) VALUES "
+                    "('schema_version', ?), ('schema_fingerprint', ?)",
+                    (str(SCHEMA_VERSION), SCHEMA_FINGERPRINT))
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            return
+        row = conn.execute(
+            "SELECT value FROM warehouse_meta WHERE key='schema_version'"
+        ).fetchone()
+        stored = row["value"] if row is not None else None
+        if stored != str(SCHEMA_VERSION):
+            raise WarehouseError(
+                f"{self.path}: warehouse schema version {stored!r} is not "
+                f"{SCHEMA_VERSION} (this build does not migrate; ingest "
+                f"the journals into a fresh store)")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The underlying connection (queries layer; read-mostly)."""
+        return self._conn
+
+    # -- campaign directory --------------------------------------------
+
+    def campaigns(self) -> list[sqlite3.Row]:
+        """Every campaign row, in ingest (= campaign_id) order."""
+        return list(self._conn.execute(
+            "SELECT * FROM campaigns ORDER BY campaign_id"))
+
+    def campaign_id(self, name: str) -> int | None:
+        row = self._conn.execute(
+            "SELECT campaign_id FROM campaigns WHERE name=?",
+            (name,)).fetchone()
+        return None if row is None else row["campaign_id"]
+
+    # -- ingest --------------------------------------------------------
+
+    def ingest_journal(self, journal: str | Path, *, name: str | None = None,
+                       leases: bool = True,
+                       provenance: str | Path | None = None) -> IngestStats:
+        """Consume journal bytes appended since the last ingest of it.
+
+        ``name`` is the campaign's warehouse identity (defaults to the
+        journal's resolved path); re-ingesting under the same name
+        resumes from the stored byte cursor and adds nothing that is
+        already present.  ``leases`` also folds the ``.leases`` sidecar
+        in; ``provenance`` names a provenance JSONL sidecar to join
+        (defaults to ``<journal>.provenance`` when that file exists).
+        Raises :class:`CampaignStorageError` while the journal does not
+        exist yet (the tailer turns that into a wait).
+        """
+        journal = Path(journal)
+        name = name or str(journal.resolve())
+        conn = self._conn
+        row = conn.execute("SELECT * FROM campaigns WHERE name=?",
+                           (name,)).fetchone()
+        cursor = JournalCursor()
+        if row is not None:
+            cursor.offset = row["journal_offset"]
+            cursor.line = row["journal_line"]
+            if cursor.line:
+                cursor.header = {"kind": row["kind"], "seed": row["seed"],
+                                 "total_sites": row["total_sites"]}
+        delta = scan_journal(journal, cursor)
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            stats = self._apply_delta(journal, name, row, cursor, delta)
+            if leases:
+                stats.lease_events = self._ingest_leases(
+                    journal.with_name(journal.name + ".leases"),
+                    stats.campaign_id)
+            sidecar = Path(provenance) if provenance is not None else \
+                journal.with_name(journal.name + ".provenance")
+            if provenance is not None or sidecar.exists():
+                stats.provenance_rows = self._ingest_provenance(
+                    sidecar, stats.campaign_id)
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        if self._ingest_counter is not None and stats.added:
+            self._ingest_counter.inc(stats.added, campaign=name)
+        if self._lag_gauge is not None:
+            self._lag_gauge.set(stats.lag, campaign=name)
+        return stats
+
+    def _apply_delta(self, journal: Path, name: str, row, cursor, delta):
+        """Insert one scan delta's validated records (in a transaction
+        the caller owns)."""
+        conn = self._conn
+        if row is not None and delta.rewound:
+            # Torn-tail recovery rewrote the journal shorter: derived
+            # rows may describe dropped bytes, so re-ingest from zero.
+            for table in ("records", "lease_events", "provenance"):
+                conn.execute(f"DELETE FROM {table} WHERE campaign_id=?",
+                             (row["campaign_id"],))
+            conn.execute(
+                "UPDATE campaigns SET journal_offset=0, journal_line=0, "
+                "ingested_records=0, skipped_lines=0, complete=0 "
+                "WHERE campaign_id=?", (row["campaign_id"],))
+            row = conn.execute("SELECT * FROM campaigns WHERE name=?",
+                               (name,)).fetchone()
+        header = cursor.header
+        if row is None:
+            if header is None:
+                raise CampaignStorageError(
+                    f"{journal}: journal has no complete header line yet")
+            conn.execute(
+                "INSERT INTO campaigns (name, journal_path, kind, seed, "
+                "total_sites, population_bits, meta_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (name, str(journal), header.get("kind", ""),
+                 header.get("seed"), int(header.get("total_sites", 0)),
+                 int(header.get("population_bits", 0)),
+                 json.dumps(header["meta"]) if header.get("meta") else None))
+            row = conn.execute("SELECT * FROM campaigns WHERE name=?",
+                               (name,)).fetchone()
+        campaign_id = row["campaign_id"]
+        total = row["total_sites"] or None
+        stats = IngestStats(name=name, campaign_id=campaign_id,
+                            total_sites=row["total_sites"],
+                            rewound=delta.rewound)
+        stats.skipped = len(delta.skipped)
+        rows = []
+        for _number, payload in delta.entries:
+            position = payload.get("pos")
+            if "record" not in payload or not isinstance(position, int) \
+                    or position < 0 or (total and position >= total):
+                stats.skipped += 1
+                continue
+            try:
+                record = record_from_dict(payload["record"])
+            except CampaignStorageError:
+                stats.skipped += 1
+                continue
+            sidecar = payload.get("fastpath")
+            sidecar = sidecar if isinstance(sidecar, dict) else None
+            rows.append((campaign_id, position, *record_to_row(record),
+                         1 if sidecar else 0,
+                         sidecar.get("exit") if sidecar else None,
+                         int(sidecar.get("saved_cycles", 0)) if sidecar
+                         else 0))
+        before = conn.total_changes
+        conn.executemany(
+            "INSERT OR IGNORE INTO records VALUES "
+            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)", rows)
+        stats.added = conn.total_changes - before
+        # Duplicate positions within/across passes land in OR IGNORE:
+        # count them as skipped, like verify_journal flags them.
+        stats.skipped += len(rows) - stats.added
+        stats.records = row["ingested_records"] + stats.added
+        stats.complete = bool(stats.total_sites) \
+            and stats.records >= stats.total_sites
+        conn.execute(
+            "UPDATE campaigns SET journal_offset=?, journal_line=?, "
+            "ingested_records=?, skipped_lines=skipped_lines+?, "
+            "complete=? WHERE campaign_id=?",
+            (cursor.offset, cursor.line, stats.records,
+             stats.skipped, int(stats.complete), campaign_id))
+        return stats
+
+    def _ingest_leases(self, path: Path, campaign_id: int) -> int:
+        """Fold the ``.leases`` sidecar in (idempotent by line number).
+
+        The sidecar is append-only and rarely more than a few hundred
+        lines, so it is re-read whole; a torn final line is ignored
+        until a later poll sees it complete.
+        """
+        try:
+            lines = path.read_text().splitlines()
+        except OSError:
+            return 0
+        rows = []
+        for seq, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail (or garbage verify_journal flags)
+            if not isinstance(event, dict) or "event" not in event:
+                continue
+            rows.append((campaign_id, seq, event["event"],
+                         event.get("token"), event.get("shard"),
+                         event.get("worker"), json.dumps(event)))
+        conn = self._conn
+        before = conn.total_changes
+        conn.executemany(
+            "INSERT OR IGNORE INTO lease_events VALUES (?, ?, ?, ?, ?, ?, ?)",
+            rows)
+        return conn.total_changes - before
+
+    def _ingest_provenance(self, path: Path, campaign_id: int) -> int:
+        """Join a provenance JSONL sidecar (``repro-sfi propagation
+        --jsonl``) onto the campaign's records, idempotently by pos."""
+        try:
+            lines = path.read_text().splitlines()
+        except OSError:
+            return 0
+        rows = []
+        for line in lines[1:]:  # line 1 is the sidecar header
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(entry, dict) or "pos" not in entry:
+                continue
+            payload = entry.get("payload") or {}
+            detection = payload.get("detection") or {}
+            rows.append((campaign_id, entry["pos"],
+                         detection.get("detector"),
+                         detection.get("latency"),
+                         int(payload.get("peak_bits", 0)),
+                         int(payload.get("residual_tainted", 0)),
+                         len(payload.get("nodes", ())),
+                         len(payload.get("edges", ()))))
+        conn = self._conn
+        before = conn.total_changes
+        conn.executemany(
+            "INSERT OR IGNORE INTO provenance VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            rows)
+        return conn.total_changes - before
+
+
+class JournalTailer:
+    """Follow a live campaign's journal into the warehouse.
+
+    Each :meth:`poll` commits exactly the new verified-tail bytes (one
+    transaction per poll); :meth:`follow` loops until the campaign's
+    journal covers its plan.  Strictly read-only toward the journal —
+    SIGKILL the tailer at any point and a later offline ingest of the
+    finished journal converges to the identical store contents.
+    """
+
+    def __init__(self, warehouse: Warehouse, journal: str | Path, *,
+                 name: str | None = None,
+                 provenance: str | Path | None = None,
+                 leases: bool = True) -> None:
+        self.warehouse = warehouse
+        self.journal = Path(journal)
+        self.name = name
+        self.provenance = provenance
+        self.leases = leases
+        self.last: IngestStats | None = None
+
+    def poll(self) -> IngestStats | None:
+        """One incremental pass; None while the journal does not exist
+        (or has no complete header line yet)."""
+        try:
+            self.last = self.warehouse.ingest_journal(
+                self.journal, name=self.name, leases=self.leases,
+                provenance=self.provenance)
+        except CampaignStorageError:
+            return None
+        return self.last
+
+    def follow(self, *, interval: float = 1.0,
+               max_polls: int | None = None,
+               sleep=time.sleep) -> IngestStats | None:
+        """Poll until the campaign completes (or ``max_polls`` passes).
+
+        Returns the final stats (None if the journal never appeared).
+        """
+        polls = 0
+        while True:
+            stats = self.poll()
+            polls += 1
+            if stats is not None and stats.complete:
+                return stats
+            if max_polls is not None and polls >= max_polls:
+                return stats
+            sleep(interval)

@@ -263,6 +263,66 @@ class TestNaming:
         assert rules_of(clean) == []
 
 
+class TestSchemaRule:
+    """REPRO-S01: SCHEMA_FINGERPRINT must track (SCHEMA_VERSION, DDL)."""
+
+    def _module(self, version=1, ddl="'CREATE TABLE t (x INTEGER)',",
+                fingerprint=None) -> str:
+        if fingerprint is None:
+            from repro.lint.rules_ast import _schema_fingerprint
+            fingerprint = _schema_fingerprint(
+                version, ("CREATE TABLE t (x INTEGER)",))
+        return (f"SCHEMA_VERSION = {version}\n"
+                f"SCHEMA_DDL = ({ddl})\n"
+                f"SCHEMA_FINGERPRINT = {fingerprint!r}\n")
+
+    def test_consistent_constants_clean(self):
+        assert rules_of(self._module(), "warehouse/schema.py") == []
+
+    def test_stale_fingerprint_flagged(self):
+        src = self._module(fingerprint="sha256:0000000000000000")
+        findings = lint_source(src, "warehouse/schema.py")
+        assert [f.rule for f in findings] == ["REPRO-S01"]
+        assert "bump SCHEMA_VERSION" in findings[0].message
+
+    def test_version_bump_without_refresh_flagged(self):
+        # Bumping the version alone also invalidates the fingerprint.
+        stale = self._module()  # fingerprint computed for version 1
+        src = stale.replace("SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2")
+        assert rules_of(src, "warehouse/schema.py") == ["REPRO-S01"]
+
+    def test_missing_companion_constants_flagged(self):
+        src = "SCHEMA_DDL = ('CREATE TABLE t (x INTEGER)',)\n"
+        findings = lint_source(src, "warehouse/schema.py")
+        assert [f.rule for f in findings] == ["REPRO-S01"]
+        assert "SCHEMA_VERSION" in findings[0].message
+
+    def test_computed_constant_flagged(self):
+        src = ("SCHEMA_VERSION = 1\n"
+               "SCHEMA_DDL = tuple(x for x in ('a',))\n"
+               "SCHEMA_FINGERPRINT = 'sha256:0'\n")
+        findings = lint_source(src, "warehouse/schema.py")
+        assert [f.rule for f in findings] == ["REPRO-S01"]
+        assert "pure literal" in findings[0].message
+
+    def test_modules_without_ddl_untouched(self):
+        assert rules_of("SCHEMA_VERSION = 3\n", "warehouse/store.py") == []
+
+    def test_shipped_schema_module_is_clean(self):
+        from pathlib import Path
+        import repro.warehouse.schema as schema_module
+        source = Path(schema_module.__file__).read_text()
+        assert rules_of(source, "warehouse/schema.py") == []
+
+    def test_warehouse_metrics_need_ingest_prefix(self):
+        src = "def f(r):\n    r.counter('sfi_rows_total')\n"
+        assert rules_of(src, "warehouse/store.py") == ["REPRO-N01"]
+        clean = "def f(r):\n    r.counter('sfi_ingest_rows_total')\n"
+        assert rules_of(clean, "warehouse/store.py") == []
+        # Outside the warehouse the broader prefixes still suffice.
+        assert rules_of(src, "repro/obs/x.py") == []
+
+
 class TestSuppressionAndPolicy:
     def test_inline_allow(self):
         src = ("import time\n"
@@ -281,6 +341,11 @@ class TestSuppressionAndPolicy:
 
     def test_policy_default_is_full_contract(self):
         assert groups_for("cpu/core.py") == frozenset(RuleGroup)
+
+    def test_policy_warehouse_gets_schema_not_determinism(self):
+        groups = groups_for("warehouse/schema.py")
+        assert RuleGroup.SCHEMA in groups
+        assert RuleGroup.DETERMINISM not in groups
 
     def test_policy_first_match_wins(self):
         assert groups_for("cli.py") != frozenset(RuleGroup)

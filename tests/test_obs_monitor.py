@@ -5,6 +5,7 @@ import json
 
 from repro.obs import (
     MetricsRegistry,
+    advance_journal_progress,
     format_duration,
     load_metrics_file,
     monitor_campaign,
@@ -52,6 +53,38 @@ class TestJournalProgress:
         path = tmp_path / "camp.jsonl"
         path.write_text("\n".join(_journal_lines(total=3, done=3)) + "\n")
         assert read_journal_progress(path).complete
+
+    def test_advance_reads_only_new_bytes(self, tmp_path):
+        """Polling is incremental: the cursor advances per poll and a
+        later append is folded in without re-reading old lines."""
+        path = tmp_path / "camp.jsonl"
+        path.write_text("\n".join(_journal_lines(total=6, done=2)) + "\n")
+        progress = read_journal_progress(path)
+        assert progress.done == 2
+        offset = progress.cursor.offset
+        assert offset == path.stat().st_size
+        with path.open("a") as handle:
+            handle.write(json.dumps(
+                {"pos": 2, "record": {"outcome": "Hang"}}) + "\n")
+            handle.write('{"pos": 3, "rec')  # torn live append
+        advance_journal_progress(progress)
+        assert progress.done == 3 and progress.outcomes["Hang"] == 1
+        assert progress.cursor.offset > offset
+        # The torn tail was not consumed; completing it counts it once.
+        with path.open("a") as handle:
+            handle.write('ord": {"outcome": "Hang"}}\n')
+        advance_journal_progress(progress)
+        assert progress.done == 4 and progress.outcomes["Hang"] == 2
+
+    def test_advance_resets_after_journal_shrink(self, tmp_path):
+        path = tmp_path / "camp.jsonl"
+        path.write_text("\n".join(_journal_lines(total=6, done=4)) + "\n")
+        progress = read_journal_progress(path)
+        assert progress.done == 4
+        path.write_text("\n".join(_journal_lines(total=6, done=1)) + "\n")
+        advance_journal_progress(progress)
+        assert progress.done == 1
+        assert progress.outcomes["Vanished"] == 1
 
 
 class TestRendering:
