@@ -1,0 +1,83 @@
+"""Structural extraction cost — a full-core latch graph in under 30 s.
+
+The static analyzer is only useful if re-extracting the graph after a
+model change is cheap enough to run in CI on every push.  This bench
+times a cold full-core extraction over the default campaign suite,
+computes bounds, and records peak RSS alongside graph size so a
+blow-up in the whole-run taint window shows as a reviewed diff in
+``benchmarks/results/BENCH_structural.json``.
+"""
+
+import resource
+import sys
+import time
+
+from repro.analysis.static_bounds import compute_bounds
+from repro.emulator.structural import extract_graph
+
+from benchmarks.conftest import publish, scaled, write_bench_json
+
+_EXTRACT_BUDGET_SECONDS = 30.0
+
+
+def _peak_rss_bytes() -> int:
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def test_structural_extraction(benchmark):
+    suite_size = scaled(6, minimum=2)
+
+    def run():
+        start = time.perf_counter()
+        graph = extract_graph(suite_size=suite_size)
+        extract_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        bounds = compute_bounds(graph)
+        bounds_seconds = time.perf_counter() - start
+        return graph, bounds, extract_seconds, bounds_seconds
+
+    graph, bounds, extract_seconds, bounds_seconds = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    latches = len(graph.latch_names())
+    edges = len(graph.edges)
+    total_bits = sum(row["total_bits"]
+                     for row in bounds.unit_bounds.values())
+    proven_bits = sum(row["proven_bits"]
+                      for row in bounds.unit_bounds.values())
+    peak_rss = _peak_rss_bytes()
+    detail = {
+        "suite_size": suite_size,
+        "latches": latches,
+        "edges": edges,
+        "total_bits": total_bits,
+        "proven_bits": proven_bits,
+        "extract_seconds": round(extract_seconds, 3),
+        "bounds_seconds": round(bounds_seconds, 4),
+        "peak_rss_bytes": peak_rss,
+        "seconds_per_latch": round(extract_seconds / latches, 6),
+    }
+    passed = extract_seconds < _EXTRACT_BUDGET_SECONDS
+    write_bench_json("structural", "extract_seconds",
+                     round(extract_seconds, 3), _EXTRACT_BUDGET_SECONDS,
+                     passed, detail=detail)
+
+    lines = [
+        "Structural extraction (whole-run taint trace, full core)",
+        f"  traced testcases:     {suite_size:>10}",
+        f"  latch nodes:          {latches:>10,}   ({edges:,} edges)",
+        f"  proven-masked bits:   {proven_bits:>10,}   of {total_bits:,}",
+        f"  extraction wall time: {extract_seconds:>10.2f} s"
+        f"   (budget: <{_EXTRACT_BUDGET_SECONDS:.0f} s)",
+        f"  bounds fold:          {bounds_seconds:>10.4f} s",
+        f"  peak RSS:             {peak_rss / 1e6:>10.1f} MB",
+    ]
+    publish("structural", "\n".join(lines))
+
+    assert latches > 0 and edges > 0
+    assert 0 < proven_bits < total_bits
+    assert extract_seconds < _EXTRACT_BUDGET_SECONDS, \
+        (f"full-core extraction took {extract_seconds:.1f}s against "
+         f"the {_EXTRACT_BUDGET_SECONDS:.0f}s budget")

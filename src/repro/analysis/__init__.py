@@ -36,6 +36,16 @@ from repro.analysis.provenance import (
     render_provenance_report,
     write_provenance_jsonl,
 )
+from repro.analysis.static_bounds import (
+    ReconcileReport,
+    StaticBounds,
+    compute_bounds,
+    load_sidecar,
+    reconcile,
+    render_bounds,
+    render_cone_browser,
+    write_sidecar,
+)
 from repro.analysis.report import (
     render_fig2,
     render_fig3,
@@ -66,6 +76,14 @@ __all__ = [
     "derating_factor",
     "effective_ser_reduction",
     "per_unit_derating",
+    "ReconcileReport",
+    "StaticBounds",
+    "compute_bounds",
+    "load_sidecar",
+    "reconcile",
+    "render_bounds",
+    "render_cone_browser",
+    "write_sidecar",
     "ProvenanceFormatError",
     "propagation_chain",
     "read_provenance_jsonl",

@@ -1,0 +1,398 @@
+"""Static masking bounds and the static-vs-SFI reconciliation gate.
+
+Built on the structural graph (:mod:`repro.emulator.structural`), this
+module turns read-set evidence into *provable* per-unit masking lower
+bounds and cross-checks them against what journaled campaigns actually
+measured.
+
+Latch classes (mutually exclusive, in precedence order):
+
+``sink``
+    Architected state or the detection network — the analyzer makes no
+    masking claim about these; a flip here is *supposed* to matter.
+``proven-masked``
+    Value never read (nor parity shadow consulted) during any traced
+    golden run.  Injections into such a latch provably classify
+    VANISHED for every suite testcase: the faulty run stays
+    bit-identical to the fault-free run everywhere else until some
+    cycle reads the flipped latch, and none does (classification reads
+    only detection latches, halt flags and memory).  This is the sound
+    class; its bits form the per-unit masking lower bound.
+``dead``
+    Proven-masked *and* no outgoing dataflow edge anywhere in the
+    traced suite — structurally inert storage (spares, debug chains).
+``unreachable``
+    Read at some point, but the BFS cone of influence reaches neither
+    architected state nor the detection network nor any array/memory.
+    Sound up to the consume-on-write window's known under-tainting of
+    control-only dependencies, so it feeds the *structural* (advisory)
+    bound and the reconciliation gate, not the proven bound.
+``reaches``
+    Everything else — the latch can influence an outcome.
+
+The reconciliation gate (`reconcile`) is the CI tripwire: a journaled
+record whose site the analyzer proves masked for that record's testcase
+seed, yet whose outcome is not VANISHED, is a model bug (or an analyzer
+soundness bug) and fails the build.  The per-unit check additionally
+requires the proven bound never to exceed the campaign's measured
+derating on units with enough trials for the comparison to be exact.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from dataclasses import dataclass, field
+
+from repro.emulator.structural import (
+    LatchGraph,
+    ensure_seeds,
+    latch_name_of_site,
+)
+from repro.sfi.outcomes import Outcome
+
+__all__ = [
+    "StaticBounds",
+    "ReconcileReport",
+    "compute_bounds",
+    "load_sidecar",
+    "reconcile",
+    "render_bounds",
+    "render_cone_browser",
+    "write_sidecar",
+]
+
+#: Latch classification labels, in precedence order.
+CLASS_SINK = "sink"
+CLASS_PROVEN = "proven-masked"
+CLASS_DEAD = "dead"
+CLASS_UNREACHABLE = "unreachable"
+CLASS_REACHES = "reaches"
+
+
+@dataclass
+class StaticBounds:
+    """Per-latch classes and per-unit masking lower bounds."""
+
+    classes: dict[str, str]
+    unit_bounds: dict[str, dict]
+    model_digest: str = ""
+
+    def proven_latches(self) -> list[str]:
+        return sorted(name for name, cls in self.classes.items()
+                      if cls in (CLASS_PROVEN, CLASS_DEAD))
+
+    def gate_latches(self) -> list[str]:
+        """Latches the reconciliation gate holds to VANISHED."""
+        return sorted(name for name, cls in self.classes.items()
+                      if cls in (CLASS_PROVEN, CLASS_DEAD,
+                                 CLASS_UNREACHABLE))
+
+    def to_payload(self) -> dict:
+        return {
+            "model_digest": self.model_digest,
+            "classes": {name: self.classes[name]
+                        for name in sorted(self.classes)},
+            "unit_bounds": {unit: self.unit_bounds[unit]
+                            for unit in sorted(self.unit_bounds)},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "StaticBounds":
+        return cls(classes=dict(payload["classes"]),
+                   unit_bounds=dict(payload["unit_bounds"]),
+                   model_digest=payload.get("model_digest", ""))
+
+
+def compute_bounds(graph: LatchGraph) -> StaticBounds:
+    """Classify every latch and fold the classes into per-unit bounds."""
+    adjacency = graph.out_adjacency()
+    sinks = graph.sink_names()
+    read_union = graph.read_union()
+    par_union = graph.par_read_union()
+
+    classes: dict[str, str] = {}
+    unit_bounds: dict[str, dict] = {}
+    for name in graph.latch_names():
+        node = graph.nodes[name]
+        unit = node["unit"]
+        totals = unit_bounds.setdefault(unit, {
+            "total_bits": 0, "proven_bits": 0, "structural_bits": 0,
+            "latches": 0, "proven_latches": 0})
+        totals["total_bits"] += node["bits"]
+        totals["latches"] += 1
+
+        if node["arch"] or node["detect"]:
+            classes[name] = CLASS_SINK
+            continue
+
+        value_silent = name not in read_union
+        par_silent = (not node["protected"]) or name not in par_union
+        proven = value_silent and par_silent
+        # A consulted parity shadow IS a path to the detection network:
+        # any value read of the latch runs the checker, which can raise
+        # Corrected/Checkstop without a single dataflow edge to a sink.
+        # Dataflow-cone reachability alone would misclass such latches
+        # as unreachable — unsound, the reconciliation gate trips on the
+        # first parity-corrected record.
+        reaches_sink = (bool(graph.cone(name, adjacency) & sinks)
+                        or not par_silent)
+
+        if proven and not adjacency.get(name):
+            classes[name] = CLASS_DEAD
+        elif proven:
+            classes[name] = CLASS_PROVEN
+        elif not reaches_sink:
+            classes[name] = CLASS_UNREACHABLE
+        else:
+            classes[name] = CLASS_REACHES
+
+        proven_bits = 0
+        if proven:
+            proven_bits = node["bits"]
+            totals["proven_latches"] += 1
+        elif value_silent:
+            proven_bits = node["width"]
+        elif node["protected"] and par_silent:
+            proven_bits = 1
+        totals["proven_bits"] += proven_bits
+        if classes[name] in (CLASS_DEAD, CLASS_PROVEN, CLASS_UNREACHABLE):
+            totals["structural_bits"] += node["bits"]
+        else:
+            totals["structural_bits"] += proven_bits
+
+    for totals in unit_bounds.values():
+        total = totals["total_bits"] or 1
+        totals["bound"] = round(totals["proven_bits"] / total, 6)
+        totals["structural_bound"] = round(
+            totals["structural_bits"] / total, 6)
+    return StaticBounds(classes=classes, unit_bounds=unit_bounds,
+                        model_digest=graph.model_digest)
+
+
+@dataclass
+class ReconcileReport:
+    """What the static-vs-SFI gate decided for one campaign."""
+
+    records_checked: int = 0
+    records_gated: int = 0
+    violations: list[dict] = field(default_factory=list)
+    unit_checks: list[dict] = field(default_factory=list)
+    seeds_traced: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and all(
+            check["ok"] for check in self.unit_checks)
+
+    def to_payload(self) -> dict:
+        return {
+            "ok": self.ok,
+            "records_checked": self.records_checked,
+            "records_gated": self.records_gated,
+            "violations": list(self.violations),
+            "unit_checks": list(self.unit_checks),
+            "seeds_traced": list(self.seeds_traced),
+        }
+
+
+def _site_is_silent(graph: LatchGraph, latch_name: str, is_par: bool,
+                    seed: int) -> bool:
+    """Was this site provably dormant during ``seed``'s golden run?"""
+    if is_par:
+        return latch_name not in graph.par_reads[seed]
+    # A value flip desyncs the stored parity, so any parity
+    # consultation detects it even if the value is never consumed.
+    return (latch_name not in graph.reads[seed]
+            and latch_name not in graph.par_reads[seed])
+
+
+def reconcile(graph: LatchGraph, bounds: StaticBounds, records,
+              *, core=None, extend: bool = True,
+              min_unit_trials: int = 1) -> ReconcileReport:
+    """Cross-check journaled outcomes against the static analysis.
+
+    ``records`` is any iterable of injection records (journal replay or
+    :class:`repro.sfi.results.CampaignResult` rows).  Seeds the graph
+    has not traced are regenerated and traced on the fly when ``extend``
+    is True (default AVP weights assumed); otherwise they are reported
+    as violations of kind ``untraced-seed``.
+    """
+    records = list(records)
+    report = ReconcileReport()
+    wanted = sorted({record.testcase_seed for record in records})
+    if extend:
+        report.seeds_traced = ensure_seeds(graph, wanted, core=core)
+
+    unreachable = {name for name, cls in bounds.classes.items()
+                   if cls == CLASS_UNREACHABLE}
+    per_unit: dict[str, list[int]] = {}
+    for record in records:
+        report.records_checked += 1
+        outcome = record.outcome
+        vanished = outcome is Outcome.VANISHED or outcome == Outcome.VANISHED
+        per_unit.setdefault(record.unit, []).append(int(vanished))
+
+        latch_name, is_par = latch_name_of_site(record.site_name)
+        node = graph.nodes.get(latch_name)
+        if node is None:
+            report.violations.append({
+                "kind": "unknown-latch", "site": record.site_name,
+                "seed": record.testcase_seed, "outcome": str(outcome),
+                "detail": f"site {record.site_name!r} resolves to no "
+                          f"latch in the structural graph"})
+            continue
+        if node["arch"] or node["detect"]:
+            continue
+        if record.testcase_seed not in graph.reads:
+            report.violations.append({
+                "kind": "untraced-seed", "site": record.site_name,
+                "seed": record.testcase_seed, "outcome": str(outcome),
+                "detail": "testcase seed has no traced golden run and "
+                          "extension was disabled"})
+            continue
+
+        silent = _site_is_silent(graph, latch_name, is_par,
+                                 record.testcase_seed)
+        gated = silent or latch_name in unreachable
+        if gated:
+            report.records_gated += 1
+        if gated and not vanished:
+            why = ("never read during this testcase's fault-free run"
+                   if silent else
+                   "cone of influence reaches no architected or "
+                   "detection state")
+            report.violations.append({
+                "kind": "proven-masked-but-observed",
+                "site": record.site_name, "seed": record.testcase_seed,
+                "outcome": str(getattr(outcome, "value", outcome)),
+                "detail": f"latch {latch_name!r} {why}, yet the journal "
+                          f"records {getattr(outcome, 'value', outcome)!r}"})
+
+    for unit, flags in sorted(per_unit.items()):
+        trials = len(flags)
+        bound = bounds.unit_bounds.get(unit, {}).get("bound", 0.0)
+        measured = sum(flags) / trials
+        check = {"unit": unit, "trials": trials, "bound": bound,
+                 "measured_derating": round(measured, 6),
+                 "ok": trials < min_unit_trials or bound <= measured}
+        report.unit_checks.append(check)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Sidecar: graph + bounds in one versioned file the warehouse can join.
+
+
+def write_sidecar(path, graph: LatchGraph, bounds: StaticBounds):
+    """Persist graph + bounds as one versioned JSON sidecar."""
+    import json
+    from pathlib import Path
+
+    payload = graph.to_payload()
+    payload["bounds"] = bounds.to_payload()
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_sidecar(path) -> tuple[LatchGraph, StaticBounds]:
+    """Load a sidecar written by :func:`write_sidecar`.
+
+    Sidecars written by :meth:`LatchGraph.save` (graph only) load too:
+    the bounds are recomputed from the graph.
+    """
+    import json
+    from pathlib import Path
+
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    graph = LatchGraph.from_payload(payload)
+    if "bounds" in payload:
+        bounds = StaticBounds.from_payload(payload["bounds"])
+    else:
+        bounds = compute_bounds(graph)
+    return graph, bounds
+
+
+# ----------------------------------------------------------------------
+# Renderers.
+
+
+def render_bounds(bounds: StaticBounds) -> str:
+    """Fixed-width per-unit bounds table for the CLI."""
+    lines = [f"{'unit':<6} {'bits':>6} {'proven':>7} {'bound':>7} "
+             f"{'struct':>7}  latches (proven/total)"]
+    for unit in sorted(bounds.unit_bounds):
+        row = bounds.unit_bounds[unit]
+        lines.append(
+            f"{unit:<6} {row['total_bits']:>6} {row['proven_bits']:>7} "
+            f"{row['bound']:>7.3f} {row['structural_bound']:>7.3f}  "
+            f"{row['proven_latches']}/{row['latches']}")
+    counts: dict[str, int] = {}
+    for cls in bounds.classes.values():
+        counts[cls] = counts.get(cls, 0) + 1
+    summary = ", ".join(f"{cls}={counts[cls]}" for cls in sorted(counts))
+    lines.append(f"latch classes: {summary}")
+    return "\n".join(lines)
+
+
+_CONE_LIMIT = 40  # nodes listed per cone in the HTML browser
+
+
+def render_cone_browser(graph: LatchGraph, bounds: StaticBounds) -> str:
+    """Self-contained HTML cone browser (no scripts, no external fetches).
+
+    One ``<details>`` element per latch, grouped by unit, listing its
+    class and the first :data:`_CONE_LIMIT` nodes of its cone of
+    influence.  Kept dependency-free so CI can publish it as an artifact
+    next to the warehouse report.
+    """
+    adjacency = graph.out_adjacency()
+    sinks = graph.sink_names()
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        "<title>Structural cone browser</title>",
+        "<style>body{font-family:monospace;margin:1.5em}"
+        "details{margin:.15em 0}summary{cursor:pointer}"
+        ".cls{color:#555}.sink{color:#a00}"
+        "table{border-collapse:collapse;margin:1em 0}"
+        "td,th{border:1px solid #999;padding:.2em .6em;text-align:right}"
+        "th:first-child,td:first-child{text-align:left}</style>",
+        "</head><body>",
+        "<h1>Structural cone browser</h1>",
+        f"<p>model {_html.escape(graph.model_digest)} &middot; "
+        f"{len(graph.latch_names())} latches &middot; "
+        f"{len(graph.edges)} edges &middot; suite seed "
+        f"{graph.suite_seed} &times; {graph.suite_size}</p>",
+        "<table><tr><th>unit</th><th>bits</th><th>proven bits</th>"
+        "<th>bound</th><th>structural</th></tr>",
+    ]
+    for unit in sorted(bounds.unit_bounds):
+        row = bounds.unit_bounds[unit]
+        parts.append(
+            f"<tr><td>{_html.escape(unit)}</td><td>{row['total_bits']}</td>"
+            f"<td>{row['proven_bits']}</td><td>{row['bound']:.3f}</td>"
+            f"<td>{row['structural_bound']:.3f}</td></tr>")
+    parts.append("</table>")
+
+    by_unit: dict[str, list[str]] = {}
+    for name in graph.latch_names():
+        by_unit.setdefault(graph.nodes[name]["unit"], []).append(name)
+    for unit in sorted(by_unit):
+        parts.append(f"<h2>{_html.escape(unit)}</h2>")
+        for name in sorted(by_unit[unit]):
+            cls = bounds.classes.get(name, CLASS_REACHES)
+            cone = sorted(graph.cone(name, adjacency))
+            reach = cone[:_CONE_LIMIT]
+            more = len(cone) - len(reach)
+            touch = len(set(cone) & sinks)
+            body = ("(empty cone)" if not cone else
+                    ", ".join(_html.escape(n) for n in reach)
+                    + (f" &hellip; +{more} more" if more > 0 else ""))
+            parts.append(
+                f"<details><summary>{_html.escape(name)} "
+                f"<span class='cls'>[{cls}, cone={len(cone)}, "
+                f"sinks={touch}]</span></summary><p>{body}</p></details>")
+    parts.append("</body></html>")
+    return "\n".join(parts)

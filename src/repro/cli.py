@@ -474,6 +474,7 @@ def cmd_lint(args) -> int:
         report = run_lint(
             root=root,
             include_audit=not args.no_audit,
+            include_structural=args.structural,
             baseline_path=args.baseline,
             design_path=args.design)
     except (OSError, ValueError) as exc:
@@ -497,14 +498,121 @@ def cmd_lint(args) -> int:
         summary = (f"lint: {report.files_scanned} files, "
                    f"{len(report.findings)} finding(s), "
                    f"{len(report.suppressed)} suppressed"
-                   f"{', audit ok' if report.audit_ran else ''}")
+                   f"{', audit ok' if report.audit_ran else ''}"
+                   f"{', structural ok' if report.structural_ran else ''}")
         if report.budget_source:
             summary += f" (budgets: {report.budget_source})"
         print(summary)
         for key in sorted(report.stale_baseline):
             print(f"stale baseline entry (violation is gone — remove it): "
                   f"{key[0]} {key[1]}: {key[2]}")
-    return report.exit_code(strict=args.strict)
+    exit_code = report.exit_code(strict=args.strict)
+    if args.strict:
+        # Strict mode is the ratchet gate: it is only meaningful against
+        # a real baseline.  A missing or empty baseline means the gate
+        # would silently pass on a tree it has never ratcheted.
+        from repro.lint import load_baseline
+        from repro.lint.engine import (
+            BASELINE_FILENAME,
+            default_root,
+            find_repo_file,
+        )
+        baseline_file = args.baseline or find_repo_file(
+            root if root is not None else default_root(), BASELINE_FILENAME)
+        if (baseline_file is None or not Path(baseline_file).is_file()
+                or not load_baseline(str(baseline_file))):
+            print("lint --strict: baseline missing or empty (expected a "
+                  f"non-empty {BASELINE_FILENAME}; run `repro-sfi lint "
+                  "--write-baseline` to ratchet the current findings)",
+                  file=sys.stderr)
+            return 1
+    return exit_code
+
+
+def cmd_bounds(args) -> int:
+    """Static masking bounds + the static-vs-SFI reconciliation gate."""
+    from repro.analysis.static_bounds import (
+        compute_bounds,
+        load_sidecar,
+        reconcile,
+        render_bounds,
+        render_cone_browser,
+        write_sidecar,
+    )
+    from repro.emulator.structural import extract_graph
+
+    if args.load:
+        graph, bounds = load_sidecar(args.load)
+        print(f"loaded sidecar {args.load} (model {graph.model_digest})")
+    else:
+        graph = extract_graph(suite_size=args.suite_size,
+                              suite_seed=args.suite_seed,
+                              settle_cycles=args.settle_cycles)
+        bounds = compute_bounds(graph)
+
+    reconcile_report = None
+    if args.journal:
+        from repro.sfi.storage import read_journal
+        records = []
+        for path in args.journal:
+            _header, covered = read_journal(path)
+            records.extend(covered[pos] for pos in sorted(covered))
+        reconcile_report = reconcile(graph, bounds, records)
+        # Reconciliation may have traced extra seeds into the graph;
+        # recompute so the persisted bounds reflect the final read sets.
+        bounds = compute_bounds(graph)
+
+    if args.out:
+        write_sidecar(args.out, graph, bounds)
+    if args.html:
+        from pathlib import Path
+        Path(args.html).write_text(render_cone_browser(graph, bounds),
+                                   encoding="utf-8")
+    if args.db:
+        from repro.warehouse import Warehouse
+        with Warehouse(args.db) as warehouse:
+            warehouse.ingest_structural(graph, bounds)
+        print(f"sidecar ingested into {args.db}")
+
+    if args.json:
+        payload = bounds.to_payload()
+        if reconcile_report is not None:
+            payload["reconcile"] = reconcile_report.to_payload()
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_bounds(bounds))
+        if args.out:
+            print(f"sidecar -> {args.out}")
+        if args.html:
+            print(f"cone browser -> {args.html}")
+        if reconcile_report is not None:
+            checked = reconcile_report.records_checked
+            gated = reconcile_report.records_gated
+            print(f"reconcile: {checked} journaled record(s), {gated} "
+                  f"covered by a static masking proof"
+                  + (f", {len(reconcile_report.seeds_traced)} extra "
+                     f"testcase seed(s) traced"
+                     if reconcile_report.seeds_traced else ""))
+            for check in reconcile_report.unit_checks:
+                verdict = "ok" if check["ok"] else "VIOLATION"
+                print(f"  {check['unit']:<6} bound {check['bound']:.3f} "
+                      f"<= measured {check['measured_derating']:.3f} "
+                      f"({check['trials']} trials): {verdict}")
+            for violation in reconcile_report.violations:
+                print(f"  VIOLATION [{violation['kind']}] "
+                      f"{violation['site']} seed {violation['seed']}: "
+                      f"{violation['detail']}")
+    if reconcile_report is not None and not reconcile_report.ok:
+        print(f"reconciliation gate FAILED: "
+              f"{len(reconcile_report.violations)} record-level "
+              f"violation(s), "
+              f"{sum(not c['ok'] for c in reconcile_report.unit_checks)} "
+              f"unit bound violation(s) — statically-proven-masked "
+              f"latches produced non-VANISHED outcomes (model or "
+              f"analyzer bug)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _parse_endpoint(value: str, default_host: str = "127.0.0.1") -> tuple:
@@ -779,6 +887,9 @@ def cmd_query(args) -> int:
             elif args.what == "leases":
                 value = queries.lease_health(warehouse)
                 text = queries.render_leases(value)
+            elif args.what == "structural":
+                value = queries.bounds_vs_measured(warehouse, campaign)
+                text = queries.render_bounds_vs_measured(value)
             else:  # plans
                 value = queries.query_plans(warehouse)
                 text = "\n".join(
@@ -969,9 +1080,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: auto-discovered)")
     p.add_argument("--no-audit", action="store_true",
                    help="skip the fault-space audit (AST passes only)")
+    p.add_argument("--structural", action="store_true",
+                   help="also extract the structural latch graph from the "
+                        "live model and evaluate the REPRO-G rules "
+                        "(seconds of traced golden runs)")
     p.add_argument("--show-policy", action="store_true",
                    help="print the per-path rule policy table and exit")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "bounds",
+        help="static masking bounds from the structural latch graph, "
+             "plus the static-vs-SFI reconciliation gate over journaled "
+             "campaigns")
+    p.add_argument("--suite-size", type=int, default=6,
+                   help="AVP testcases to trace (default 6, the campaign "
+                        "default)")
+    p.add_argument("--suite-seed", type=int, default=2008,
+                   help="suite seed to trace (default 2008)")
+    p.add_argument("--settle-cycles", type=int, default=2000,
+                   help="post-quiescence cycles to keep tracing "
+                        "(default 2000, covering the drain window)")
+    p.add_argument("--load", metavar="PATH",
+                   help="reuse a previously written sidecar instead of "
+                        "re-extracting the graph")
+    p.add_argument("--journal", metavar="PATH", action="append",
+                   default=[],
+                   help="reconcile this campaign journal against the "
+                        "static analysis (repeatable; exit 1 on any "
+                        "gate violation)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the graph+bounds sidecar JSON here")
+    p.add_argument("--html", metavar="PATH",
+                   help="write the self-contained HTML cone browser here")
+    p.add_argument("--db", metavar="PATH",
+                   help="also ingest the sidecar into this warehouse")
+    p.add_argument("--json", action="store_true",
+                   help="emit bounds (and reconcile verdict) as JSON")
+    p.set_defaults(func=cmd_bounds)
 
     p = sub.add_parser("worker",
                        help="join a distributed campaign as a remote "
@@ -1112,7 +1258,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "(per-unit outcomes, SER trend, latency "
                             "percentiles, fast-path, lease health)")
     p.add_argument("what", choices=("campaigns", "units", "ser", "latency",
-                                    "fastpath", "leases", "plans"),
+                                    "fastpath", "leases", "structural",
+                                    "plans"),
                    help="which question to answer")
     p.add_argument("--db", metavar="PATH", default="warehouse.sqlite")
     p.add_argument("--campaign", default=None,

@@ -108,6 +108,21 @@ class Pervasive(HwModule):
         self.debug = self.add_child(DebugBlock(
             "pervasive.debug", params.scaled_debug_bits("CORE"), ring))
 
+    def detection_latches(self) -> list:
+        """The error-detection / error-handling network.
+
+        Everything a fault must reach for the machine to *notice* it:
+        the FIRs, the corrected/recovery counters, the watchdog and its
+        hang/checkstop outputs, and the recovery sequencer state.  The
+        structural analyzer treats these as sinks: a latch whose cone of
+        influence reaches none of them (and no architected state) cannot
+        produce any outcome but Vanished.
+        """
+        return [self.fir_rec, self.fir_xstop, self.fir_info,
+                self.corrected_ctr, self.rec_count, self.rec_since_commit,
+                self.wd_ctr, self.hang, self.xstop, self.rstate,
+                self.rcnt, self.restore_idx, self.rec_pc, self.rec_reason]
+
     # ------------------------------------------------------------------
     # Configuration reads.
 

@@ -370,6 +370,15 @@ class TaintTracker:
         if key in self._tainted:
             self._pending.add(key)
 
+    def _on_par_read(self, latch) -> None:
+        """A checker consulted the parity shadow (``Latch.parity_ok``).
+
+        Provenance-wise a parity consult is just another read of the
+        latch, so the default delegates; the structural extractor
+        overrides this to record protection-coverage evidence (which
+        protected latches actually have their shadow checked)."""
+        self._on_latch_read(latch)
+
     def _on_memory_write(self, memory, addr: int) -> None:
         self._on_word_write(("m", id(memory), addr >> 2))
 
@@ -462,7 +471,7 @@ class _TaintedLatch(Latch):
     def par(self) -> int:
         tracker = _TAINT
         if tracker is not None:
-            tracker._on_latch_read(self)
+            tracker._on_par_read(self)
         return _PAR.__get__(self)
 
     @par.setter

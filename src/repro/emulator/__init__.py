@@ -11,6 +11,13 @@ from repro.emulator.awan import (
 from repro.emulator.host import CommHost
 from repro.emulator.netlist import LatchMap
 from repro.emulator.software_sim import SoftwareSimulator
+from repro.emulator.structural import (
+    LatchGraph,
+    extract_graph,
+    latch_name_of_site,
+    load_graph,
+    probe_cone,
+)
 
 __all__ = [
     "AWAN_CYCLES_PER_SECOND",
@@ -18,6 +25,11 @@ __all__ = [
     "CommHost",
     "EngineStats",
     "HOST_INTERACTION_SECONDS",
+    "LatchGraph",
     "LatchMap",
     "SoftwareSimulator",
+    "extract_graph",
+    "latch_name_of_site",
+    "load_graph",
+    "probe_cone",
 ]

@@ -38,6 +38,7 @@ from repro.lint.findings import (
 )
 from repro.lint.policy import DEFAULT_POLICY, PathPolicy, RuleGroup
 from repro.lint.rules_ast import lint_source
+from repro.lint.structural import lint_structural
 
 __all__ = [
     "DEFAULT_POLICY",

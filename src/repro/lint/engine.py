@@ -19,7 +19,7 @@ from repro.lint.baseline import (
     apply_baseline,
     load_baseline,
 )
-from repro.lint.findings import Finding, Severity
+from repro.lint.findings import Finding, Severity, sort_findings
 from repro.lint.policy import DEFAULT_POLICY, PathPolicy, groups_for
 from repro.lint.rules_ast import lint_source
 
@@ -59,6 +59,7 @@ class LintReport:
     stale_baseline: set[BaselineKey] = field(default_factory=set)
     files_scanned: int = 0
     audit_ran: bool = False
+    structural_ran: bool = False
     budget_source: str = ""
 
     def errors(self) -> list[Finding]:
@@ -95,14 +96,38 @@ def lint_tree(root: Path,
     return findings, len(files)
 
 
+#: Rule-id prefix per optional lint pass: baseline entries belonging to
+#: a pass that did not run are exempt from staleness (they *couldn't*
+#: match a finding this run), so ``--strict`` without ``--structural``
+#: does not trip over the ratcheted REPRO-G entries.
+_PASS_RULE_PREFIXES = {"audit": "REPRO-A", "structural": "REPRO-G"}
+
+
+def _filter_stale(stale: set[BaselineKey], audit_ran: bool,
+                  structural_ran: bool) -> set[BaselineKey]:
+    skipped = []
+    if not audit_ran:
+        skipped.append(_PASS_RULE_PREFIXES["audit"])
+    if not structural_ran:
+        skipped.append(_PASS_RULE_PREFIXES["structural"])
+    if not skipped:
+        return stale
+    return {key for key in stale
+            if not any(key[0].startswith(prefix) for prefix in skipped)}
+
+
 def run_lint(root: Path | None = None,
              policy: tuple[PathPolicy, ...] = DEFAULT_POLICY,
              include_audit: bool = True,
+             include_structural: bool = False,
              baseline_path: str | os.PathLike | None = None,
              design_path: str | os.PathLike | None = None,
              ) -> LintReport:
     """One full lint run: AST passes + fault-space audit + baseline.
 
+    ``include_structural`` additionally extracts the structural latch
+    graph from the live model (a few traced golden runs, seconds of
+    work) and evaluates the REPRO-G rules over it.
     ``baseline_path``/``design_path`` default to auto-discovery relative
     to the lint root; pass an explicit path to pin them, or a path that
     does not exist to disable that input.
@@ -124,6 +149,23 @@ def run_lint(root: Path | None = None,
         findings.extend(audit_fault_space(budgets=budgets))
         audit_ran = True
 
+    structural_ran = False
+    if include_structural:
+        from repro.analysis.static_bounds import compute_bounds
+        from repro.cpu.core import Power6Core
+        from repro.emulator.structural import extract_graph
+        from repro.lint.structural import lint_structural
+        core = Power6Core()
+        graph = extract_graph(core)
+        findings.extend(lint_structural(graph, compute_bounds(graph),
+                                        core=Power6Core()))
+        structural_ran = True
+
+    # Deterministic report order regardless of which passes ran and in
+    # what order they appended: the full sort key includes the rule id,
+    # so baseline writes diff stably across runs.
+    findings = sort_findings(findings)
+
     if baseline_path is None:
         found = find_repo_file(root, BASELINE_FILENAME)
         baseline_path = found if found is not None else None
@@ -132,7 +174,10 @@ def run_lint(root: Path | None = None,
     if baseline_path is not None and Path(baseline_path).is_file():
         baseline = load_baseline(os.fspath(baseline_path))
         findings, suppressed, stale = apply_baseline(findings, baseline)
+        stale = _filter_stale(stale, audit_ran, structural_ran)
+        suppressed = sort_findings(suppressed)
 
     return LintReport(findings=findings, suppressed=suppressed,
                       stale_baseline=stale, files_scanned=files_scanned,
-                      audit_ran=audit_ran, budget_source=budget_source)
+                      audit_ran=audit_ran, structural_ran=structural_ran,
+                      budget_source=budget_source)

@@ -28,6 +28,27 @@ class RuleGroup(enum.Enum):
 
 ALL_GROUPS = frozenset(RuleGroup)
 
+#: Model-level rule families that do not go through the per-path table:
+#: they audit the *live machine*, not source files.  REPRO-A* (the
+#: fault-space audit, :mod:`repro.lint.audit`) always runs; REPRO-G*
+#: (the structural latch-graph rules, :mod:`repro.lint.structural`)
+#: run under ``repro-sfi lint --structural`` and ratchet through the
+#: same baseline as everything else — baseline entries of a family
+#: whose pass did not run are exempt from staleness.
+STRUCTURAL_RULES: dict[str, str] = {
+    "REPRO-G01": "structurally-dead latches: never read, drive nothing "
+                 "in any traced golden run (warning, per unit)",
+    "REPRO-G02": "protection-coverage hole: parity-protected latch "
+                 "consumed without its shadow ever being checked "
+                 "(error, per latch)",
+    "REPRO-G03": "scan-ring partition violation: latch on zero or "
+                 "multiple scan rings (error, per latch)",
+    "REPRO-G04": "functional write into scan-only MODE/GPTR state "
+                 "(error, per latch)",
+    "REPRO-G05": "dormant configuration: scan-only latches never read "
+                 "by the workload suite (warning, per unit)",
+}
+
 #: Packages whose code runs inside (or feeds) the simulated machine —
 #: the paper's reproducibility claim covers exactly these.
 SIMULATION_PACKAGES = ("cpu", "isa", "sfi", "avp", "beam", "emulator",
@@ -94,4 +115,9 @@ def render_policy(policy: tuple[PathPolicy, ...] = DEFAULT_POLICY) -> str:
         groups = ",".join(sorted(group.value for group in row.groups))
         prefix = row.prefix or "(default)"
         lines.append(f"{prefix:<12} {groups:<40} {row.reason}")
+    lines.append("")
+    lines.append("model-level rules (not per-path; REPRO-G* need "
+                 "--structural):")
+    for rule in sorted(STRUCTURAL_RULES):
+        lines.append(f"{rule:<12} {STRUCTURAL_RULES[rule]}")
     return "\n".join(lines)

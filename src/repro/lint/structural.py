@@ -1,0 +1,154 @@
+"""Structural lint rules (REPRO-G01..G05) over the latch graph.
+
+Where the fault-space audit (REPRO-A*) cross-checks *inventories* — the
+netlist against the live model against DESIGN.md — these rules check
+*structure*: what the extracted latch→latch dependency graph
+(:mod:`repro.emulator.structural`) says the model can and cannot do.
+
+REPRO-G01 (warning, per unit)
+    Structurally-dead latches: never read during any traced golden run
+    and with no outgoing dataflow edge.  Dead storage inflates the SER
+    budget denominator and burns campaign trials on foregone
+    conclusions; the baseline ratchet keeps the population from
+    growing.
+REPRO-G02 (error, per latch)
+    Protection-coverage hole: a parity-protected latch whose value the
+    machine consumes but whose parity shadow is never consulted at any
+    point of use.  Data is being used unchecked — the parity bit can
+    never produce a detected outcome, so checker-effectiveness results
+    are biased.
+REPRO-G03 (error, per latch)
+    Scan-ring partition violation: every latch must sit on exactly one
+    scan ring.  A latch on zero rings is invisible to ring-stratified
+    sampling (Figure 5); one on several is double-counted and shifts
+    ring statistics.
+REPRO-G04 (error, per latch)
+    Functional write into scan-only state: a MODE/GPTR latch with an
+    incoming dataflow edge.  Persistent configuration must only change
+    via scan access; a functional writer makes "configuration" outcomes
+    depend on program content.
+REPRO-G05 (warning, per unit)
+    Dormant configuration: scan-only latches never read during any
+    traced golden run.  Their flips are foregone VANISHED conclusions
+    for this workload suite — worth knowing when budgeting campaigns,
+    and a ratchet against config sprawl.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding, Severity
+
+_SCAN_ONLY_KINDS = ("MODE", "GPTR")
+_EXAMPLE_LIMIT = 3
+
+
+def _finding(rule: str, severity: Severity, path: str,
+             message: str) -> Finding:
+    return Finding(rule=rule, severity=severity, category="structural",
+                   path=path, line=0, message=message)
+
+
+def _examples(names: list[str]) -> str:
+    shown = ", ".join(sorted(names)[:_EXAMPLE_LIMIT])
+    extra = len(names) - _EXAMPLE_LIMIT
+    return shown + (f" (+{extra} more)" if extra > 0 else "")
+
+
+def lint_structural(graph, bounds, core=None,
+                    rings: dict | None = None) -> list[Finding]:
+    """Evaluate REPRO-G01..G05 against one extracted graph + bounds.
+
+    ``core``/``rings`` feed the scan-ring partition check (G03); pass
+    ``rings`` explicitly to audit a doctored ring layout in tests.
+    ``graph`` is a :class:`repro.emulator.structural.LatchGraph` and
+    ``bounds`` the matching
+    :class:`repro.analysis.static_bounds.StaticBounds`.
+    """
+    findings: list[Finding] = []
+    read_union = graph.read_union()
+    par_union = graph.par_read_union()
+
+    # G01: structurally-dead latch populations, one finding per unit.
+    # Scan-only configuration is G05's domain, so it is excluded here.
+    dead_by_unit: dict[str, list[str]] = {}
+    for name, cls in bounds.classes.items():
+        if (cls == "dead" and graph.nodes[name]["latch_kind"]
+                not in _SCAN_ONLY_KINDS):
+            dead_by_unit.setdefault(
+                graph.nodes[name]["unit"], []).append(name)
+    for unit in sorted(dead_by_unit):
+        names = dead_by_unit[unit]
+        bits = sum(graph.nodes[name]["bits"] for name in names)
+        findings.append(_finding(
+            "REPRO-G01", Severity.WARNING, unit,
+            f"{len(names)} structurally-dead latches ({bits} bits) are "
+            f"never read and drive nothing in any traced golden run, "
+            f"e.g. {_examples(names)}; they dilute the SER budget and "
+            f"every campaign trial spent on them is a foregone "
+            f"VANISHED"))
+
+    # G02: consumed-but-unchecked protected latches.
+    for name in graph.latch_names():
+        node = graph.nodes[name]
+        if (node["protected"] and name in read_union
+                and name not in par_union):
+            findings.append(_finding(
+                "REPRO-G02", Severity.ERROR, name,
+                "parity-protected latch is consumed (value read during "
+                "traced runs) but its parity shadow is never consulted "
+                "at any point of use; its parity bit cannot produce a "
+                "detected outcome"))
+
+    # G03: scan-ring partition (exactly one ring per latch).
+    if rings is None and core is not None:
+        rings = core.scan_rings()
+    if rings is not None and core is not None:
+        membership: dict[int, list[str]] = {}
+        for ring_name, ring in rings.items():
+            for latch in ring.latches:
+                membership.setdefault(
+                    id(latch),  # repro-lint: allow[REPRO-D03]
+                    []).append(ring_name)
+        for latch in core.all_latches():
+            on = membership.get(id(latch), [])  # repro-lint: allow[REPRO-D03]
+            if len(on) == 0:
+                findings.append(_finding(
+                    "REPRO-G03", Severity.ERROR, latch.name,
+                    "latch is on no scan ring; ring-stratified sampling "
+                    "and scan access cannot reach it"))
+            elif len(on) > 1:
+                listed = ", ".join(sorted(on))
+                findings.append(_finding(
+                    "REPRO-G03", Severity.ERROR, latch.name,
+                    f"latch sits on {len(on)} scan rings ({listed}); "
+                    "per-ring populations double-count it"))
+
+    # G04: functional writes into scan-only configuration.
+    scan_only = {name for name in graph.latch_names()
+                 if graph.nodes[name]["latch_kind"] in _SCAN_ONLY_KINDS}
+    writers: dict[str, list[str]] = {}
+    for (src, dst) in graph.edges:
+        if dst in scan_only:
+            writers.setdefault(dst, []).append(src)
+    for name in sorted(writers):
+        findings.append(_finding(
+            "REPRO-G04", Severity.ERROR, name,
+            f"scan-only latch has incoming functional dataflow from "
+            f"{_examples(writers[name])}; persistent configuration "
+            "must only change via scan access"))
+
+    # G05: dormant configuration, one finding per unit.
+    dormant_by_unit: dict[str, list[str]] = {}
+    for name in sorted(scan_only):
+        if name not in read_union and name not in writers:
+            dormant_by_unit.setdefault(
+                graph.nodes[name]["unit"], []).append(name)
+    for unit in sorted(dormant_by_unit):
+        names = dormant_by_unit[unit]
+        findings.append(_finding(
+            "REPRO-G05", Severity.WARNING, unit,
+            f"{len(names)} scan-only configuration latches are never "
+            f"read in any traced golden run ({_examples(names)}); "
+            f"their injections are foregone VANISHED outcomes for "
+            f"this workload suite"))
+    return findings

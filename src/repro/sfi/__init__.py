@@ -47,8 +47,10 @@ from repro.sfi.results import CampaignResult, InjectionRecord
 from repro.sfi.sampling import (
     EmptyPopulationError,
     kind_sample,
+    prior_weighted_sample,
     random_sample,
     ring_fraction_sample,
+    static_prior_allocation,
     stratified_sample,
     unit_sample,
 )
@@ -103,9 +105,11 @@ __all__ = [
     "per_kind_campaigns",
     "per_ring_campaigns",
     "per_unit_campaigns",
+    "prior_weighted_sample",
     "random_sample",
     "ring_fraction_sample",
     "sample_size_experiment",
+    "static_prior_allocation",
     "stratified_sample",
     "unit_sample",
 ]

@@ -91,3 +91,63 @@ def stratified_sample(latch_map: LatchMap, per_unit: int,
     for unit in latch_map.units():
         sample.extend(unit_sample(latch_map, unit, per_unit, rng))
     return sample
+
+
+def static_prior_allocation(latch_map: LatchMap, unit_bounds: dict,
+                            total: int, *,
+                            min_per_unit: int = 1) -> dict[str, int]:
+    """Per-unit trial counts weighted by the static masking bounds.
+
+    ``unit_bounds`` is ``StaticBounds.unit_bounds`` from
+    :mod:`repro.analysis.static_bounds` (only each unit's ``bound`` is
+    consulted; units the analysis never saw get bound 0).  Each unit is
+    weighted by ``population_bits * (1 - bound)`` — the bits the
+    analyzer could *not* prove masked, which are the only ones whose
+    outcome a trial can still inform.  Equal-variance sampling over
+    provably-VANISHED bits is wasted simulation; this skews trials
+    toward the undecided fault space while keeping every unit at
+    ``min_per_unit`` so the reconciliation gate retains a measurement
+    to compare each bound against.
+
+    Deterministic largest-remainder apportionment: the counts sum to
+    ``max(total, units * min_per_unit)`` and depend only on the inputs.
+    """
+    units = latch_map.units()
+    if not units:
+        raise EmptyPopulationError("the whole-core latch map")
+    weights = {}
+    for unit in units:
+        bits = len(latch_map.indices_for_unit(unit))
+        bound = float(unit_bounds.get(unit, {}).get("bound", 0.0))
+        weights[unit] = bits * max(0.0, 1.0 - bound)
+    floor_total = sum(min_per_unit for _ in units)
+    spread = max(total, floor_total) - floor_total
+    mass = sum(weights.values())
+    allocation = {unit: min_per_unit for unit in units}
+    if spread and mass:
+        quotas = {unit: spread * weights[unit] / mass for unit in units}
+        for unit in units:
+            allocation[unit] += int(quotas[unit])
+        leftover = spread - sum(int(quotas[unit]) for unit in units)
+        by_remainder = sorted(units,
+                              key=lambda u: (-(quotas[u] - int(quotas[u])),
+                                             u))
+        for unit in by_remainder[:leftover]:
+            allocation[unit] += 1
+    return allocation
+
+
+def prior_weighted_sample(latch_map: LatchMap, unit_bounds: dict,
+                          total: int, rng: random.Random, *,
+                          min_per_unit: int = 1) -> list[int]:
+    """Stratified sample with strata sized by :func:`static_prior_allocation`.
+
+    The draw order is the latch map's unit order, so one seeded
+    ``random.Random`` reproduces the same sites across runs.
+    """
+    allocation = static_prior_allocation(latch_map, unit_bounds, total,
+                                         min_per_unit=min_per_unit)
+    sample: list[int] = []
+    for unit in latch_map.units():
+        sample.extend(unit_sample(latch_map, unit, allocation[unit], rng))
+    return sample

@@ -19,6 +19,7 @@ Two on-disk shapes share the line format:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import warnings
@@ -215,30 +216,51 @@ def read_journal(path: str | Path, record_decoder=None,
 # enforces offline.  Readers never write the journal.
 
 
+#: Tail-window length of :attr:`JournalCursor.check` — the checksum
+#: covers the last ``min(offset, 64)`` consumed bytes.  64 bytes spans
+#: at least the tail of the previous line, which is what distinguishes
+#: "same journal, grown" from "rewritten journal that happens to be at
+#: least as long" (shrink-then-grow between polls).
+_CURSOR_CHECK_BYTES = 64
+
+
+def _cursor_check(tail: bytes) -> str:
+    """Checksum of the consumed tail window (empty tail -> '')."""
+    if not tail:
+        return ""
+    return "sha256:" + hashlib.sha256(tail).hexdigest()[:16]
+
+
 @dataclass
 class JournalCursor:
     """Resumable read position in an append-only JSON-lines journal.
 
     ``offset`` counts bytes of complete (newline-terminated) lines
     already consumed, ``line`` counts those lines, and ``header`` caches
-    the decoded header once line 1 has been consumed.  The cursor is a
-    plain value: persist it (e.g. the warehouse stores it per campaign)
-    and resume scanning later, across processes.
+    the decoded header once line 1 has been consumed.  ``check`` is a
+    checksum over the last :data:`_CURSOR_CHECK_BYTES` consumed bytes:
+    a bare size comparison cannot see a journal that was rewritten
+    shorter *and then grew past the cursor* between two polls, but the
+    rewrite changes the bytes under the cursor, so the checksum does.
+    The cursor is a plain value: persist it (e.g. the warehouse stores
+    it per campaign) and resume scanning later, across processes.
     """
 
     offset: int = 0
     line: int = 0
     header: dict | None = None
+    check: str = ""
 
     def to_dict(self) -> dict:
         return {"offset": self.offset, "line": self.line,
-                "header": self.header}
+                "header": self.header, "check": self.check}
 
     @classmethod
     def from_dict(cls, payload: dict) -> "JournalCursor":
         return cls(offset=int(payload.get("offset", 0)),
                    line=int(payload.get("line", 0)),
-                   header=payload.get("header"))
+                   header=payload.get("header"),
+                   check=str(payload.get("check", "") or ""))
 
 
 @dataclass
@@ -251,8 +273,10 @@ class JournalDelta:
     different subsets).  ``skipped`` lists line numbers of complete lines
     that failed to decode — interior corruption, never the torn tail,
     which by construction lacks its newline and is not consumed at all.
-    ``rewound`` reports that the file shrank below the cursor (journal
-    recovery rewrote it), so the caller must discard derived state.
+    ``rewound`` reports that the file shrank below the cursor — or was
+    rewritten under it: the tail checksum no longer matches even though
+    the size grew back (journal recovery rewrote it) — so the caller
+    must discard derived state.
     """
 
     entries: list = field(default_factory=list)
@@ -267,23 +291,36 @@ def scan_journal(path: str | Path, cursor: JournalCursor, *,
     Only newline-terminated bytes are consumed; a torn final line stays
     un-consumed until a later append completes it (or recovery drops
     it — the resulting shrink is detected and reported as ``rewound``
-    after resetting the cursor to the start).  On the first poll the
-    header line is validated against ``kind`` (pass ``kind=None`` to
-    accept any journal header); a malformed or foreign header raises
-    :class:`CampaignStorageError` and leaves the cursor untouched.
+    after resetting the cursor to the start).  A rewrite the poll never
+    *saw* as a shrink — the file shrank and then grew past the cursor
+    between two polls — is caught the same way: the consumed tail bytes
+    under the cursor no longer match :attr:`JournalCursor.check`.  On
+    the first poll the header line is validated against ``kind`` (pass
+    ``kind=None`` to accept any journal header); a malformed or foreign
+    header raises :class:`CampaignStorageError` and leaves the cursor
+    untouched.
     """
     path = Path(path)
     try:
         with path.open("rb") as handle:
             handle.seek(0, os.SEEK_END)
             size = handle.tell()
+            rewound = False
+            tail = b""
             if size < cursor.offset:
+                rewound = True
+            elif cursor.offset:
+                window = min(_CURSOR_CHECK_BYTES, cursor.offset)
+                handle.seek(cursor.offset - window)
+                tail = handle.read(window)
+                if cursor.check and _cursor_check(tail) != cursor.check:
+                    rewound = True  # shrink-then-grow between polls
+                    tail = b""
+            if rewound:
                 cursor.offset = 0
                 cursor.line = 0
                 cursor.header = None
-                rewound = True
-            else:
-                rewound = False
+                cursor.check = ""
             handle.seek(cursor.offset)
             chunk = handle.read()
     except FileNotFoundError as exc:
@@ -324,6 +361,7 @@ def scan_journal(path: str | Path, cursor: JournalCursor, *,
     cursor.offset += len(complete)
     cursor.line += len(lines)
     cursor.header = header
+    cursor.check = _cursor_check((tail + complete)[-_CURSOR_CHECK_BYTES:])
     return delta
 
 

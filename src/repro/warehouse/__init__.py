@@ -17,6 +17,7 @@ from repro.warehouse.fixture import (
     write_fixture_journal,
 )
 from repro.warehouse.queries import (
+    bounds_vs_measured,
     detection_latency_percentiles,
     fastpath_stats,
     lease_health,
@@ -44,6 +45,7 @@ __all__ = [
     "JournalTailer",
     "Warehouse",
     "WarehouseError",
+    "bounds_vs_measured",
     "compute_fingerprint",
     "detection_latency_percentiles",
     "fastpath_stats",

@@ -23,11 +23,13 @@ from repro.stats import wilson_interval
 from repro.warehouse.store import Warehouse, WarehouseError
 
 __all__ = [
+    "bounds_vs_measured",
     "detection_latency_percentiles",
     "fastpath_stats",
     "lease_health",
     "outcome_totals",
     "query_plans",
+    "render_bounds_vs_measured",
     "render_campaigns",
     "render_fastpath",
     "render_latency",
@@ -198,6 +200,49 @@ def lease_health(warehouse: Warehouse) -> list[dict]:
     return health
 
 
+def bounds_vs_measured(warehouse: Warehouse, campaign=None) -> list[dict]:
+    """Static per-unit masking bounds joined against measured derating.
+
+    Uses the most recently ingested structural sidecar
+    (:meth:`Warehouse.ingest_structural`) and compares each unit's
+    *proven* bound — the fraction of bits the analyzer guarantees mask —
+    with the VANISHED fraction the store's records actually measured.
+    ``ok`` is False exactly when the bound exceeds the measurement on a
+    unit with trials, which is the warehouse-side restatement of the
+    reconciliation gate's per-unit check.  Empty when no sidecar has
+    been ingested.
+    """
+    conn = warehouse.connection
+    sidecar = conn.execute(
+        "SELECT sidecar_id, model_digest FROM structural_sidecars "
+        "ORDER BY sidecar_id DESC LIMIT 1").fetchone()
+    if sidecar is None:
+        return []
+    measured = unit_outcomes(warehouse, campaign)
+    vanished = Outcome.VANISHED.value
+    rows = []
+    for bound in conn.execute(
+            "SELECT * FROM structural_bounds WHERE sidecar_id=? "
+            "ORDER BY unit", (sidecar["sidecar_id"],)):
+        counts = measured.get(bound["unit"], {})
+        trials = sum(counts.values())
+        derating = counts.get(vanished, 0) / trials if trials else None
+        rows.append({
+            "sidecar_id": sidecar["sidecar_id"],
+            "model_digest": sidecar["model_digest"],
+            "unit": bound["unit"],
+            "total_bits": bound["total_bits"],
+            "proven_bits": bound["proven_bits"],
+            "bound": bound["bound"],
+            "structural_bound": bound["structural_bound"],
+            "trials": trials,
+            "measured_derating": round(derating, 6)
+            if derating is not None else None,
+            "ok": derating is None or bound["bound"] <= derating,
+        })
+    return rows
+
+
 # ----------------------------------------------------------------------
 # Plan hygiene: the latency budget rests on covering indexes.
 
@@ -306,6 +351,26 @@ def render_fastpath(stats: list[dict]) -> str:
             f"({100 * point['hit_rate']:.1f}%)  "
             f"{point['saved_cycles']:,} cycles saved"
             + (f"  ({exits})" if exits else ""))
+    return "\n".join(lines)
+
+
+def render_bounds_vs_measured(rows: list[dict]) -> str:
+    if not rows:
+        return ("no structural sidecar in the warehouse "
+                "(`repro-sfi bounds --db <store>` to ingest one)")
+    lines = [f"static bound vs measured derating "
+             f"(sidecar {rows[0]['sidecar_id']}, model "
+             f"{rows[0]['model_digest']}):",
+             f"{'unit':<6} {'bound':>7} {'struct':>7} {'measured':>9} "
+             f"{'trials':>7}  verdict"]
+    for row in rows:
+        measured = ("n/a" if row["measured_derating"] is None
+                    else f"{row['measured_derating']:.4f}")
+        lines.append(
+            f"{row['unit']:<6} {row['bound']:>7.3f} "
+            f"{row['structural_bound']:>7.3f} {measured:>9} "
+            f"{row['trials']:>7}  "
+            f"{'ok' if row['ok'] else 'BOUND EXCEEDS MEASUREMENT'}")
     return "\n".join(lines)
 
 

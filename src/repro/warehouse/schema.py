@@ -4,6 +4,11 @@ One SQLite file holds many campaigns.  The schema is deliberately
 denormalized around the two questions the paper asks at scale — per-unit
 outcome mixes and SDC (SER) fractions with confidence intervals — so
 both answer from covering indexes without touching the base table.
+Version 2 adds the structural-analysis side: ``structural_sidecars`` /
+``structural_bounds`` hold the latch-graph sidecar and its per-unit
+static masking bounds (joinable against measured outcomes), and
+campaigns carry the journal cursor's tail checksum (``journal_check``)
+so shrink-then-grow rewrites are detected across warehouse restarts.
 
 Versioning contract: ``SCHEMA_VERSION`` names the on-disk layout and is
 stored in ``warehouse_meta``; a store created by a different version is
@@ -24,7 +29,7 @@ __all__ = [
     "compute_fingerprint",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # One statement per entry, executed in order on an empty store.  The
 # ``records`` table carries the columns of
@@ -50,6 +55,7 @@ SCHEMA_DDL = (
         meta_json        TEXT,
         journal_offset   INTEGER NOT NULL DEFAULT 0,
         journal_line     INTEGER NOT NULL DEFAULT 0,
+        journal_check    TEXT NOT NULL DEFAULT '',
         ingested_records INTEGER NOT NULL DEFAULT 0,
         skipped_lines    INTEGER NOT NULL DEFAULT 0,
         complete         INTEGER NOT NULL DEFAULT 0
@@ -115,6 +121,33 @@ SCHEMA_DDL = (
         ON lease_events (campaign_id, event)
     """,
     """
+    CREATE TABLE structural_sidecars (
+        sidecar_id    INTEGER PRIMARY KEY,
+        model_digest  TEXT NOT NULL,
+        suite_seed    INTEGER NOT NULL,
+        suite_size    INTEGER NOT NULL,
+        settle_cycles INTEGER NOT NULL DEFAULT 0,
+        latches       INTEGER NOT NULL DEFAULT 0,
+        edges         INTEGER NOT NULL DEFAULT 0,
+        payload       TEXT NOT NULL,
+        UNIQUE (model_digest, suite_seed, suite_size)
+    )
+    """,
+    """
+    CREATE TABLE structural_bounds (
+        sidecar_id       INTEGER NOT NULL,
+        unit             TEXT NOT NULL,
+        total_bits       INTEGER NOT NULL,
+        proven_bits      INTEGER NOT NULL,
+        structural_bits  INTEGER NOT NULL,
+        latches          INTEGER NOT NULL,
+        proven_latches   INTEGER NOT NULL,
+        bound            REAL NOT NULL,
+        structural_bound REAL NOT NULL,
+        PRIMARY KEY (sidecar_id, unit)
+    ) WITHOUT ROWID
+    """,
+    """
     CREATE TABLE provenance (
         campaign_id       INTEGER NOT NULL,
         pos               INTEGER NOT NULL,
@@ -144,4 +177,4 @@ def compute_fingerprint(version: int = SCHEMA_VERSION,
 
 # Refreshing this constant is deliberate friction: REPRO-S01 fails when
 # it is stale, and the paired test asserts SCHEMA_VERSION moved with it.
-SCHEMA_FINGERPRINT = "sha256:182ea81e3aeb72fa"
+SCHEMA_FINGERPRINT = "sha256:49a271b5a9f2921b"

@@ -197,6 +197,7 @@ class Warehouse:
         if row is not None:
             cursor.offset = row["journal_offset"]
             cursor.line = row["journal_line"]
+            cursor.check = row["journal_check"]
             if cursor.line:
                 cursor.header = {"kind": row["kind"], "seed": row["seed"],
                                  "total_sites": row["total_sites"]}
@@ -235,8 +236,8 @@ class Warehouse:
                              (row["campaign_id"],))
             conn.execute(
                 "UPDATE campaigns SET journal_offset=0, journal_line=0, "
-                "ingested_records=0, skipped_lines=0, complete=0 "
-                "WHERE campaign_id=?", (row["campaign_id"],))
+                "journal_check='', ingested_records=0, skipped_lines=0, "
+                "complete=0 WHERE campaign_id=?", (row["campaign_id"],))
             row = conn.execute("SELECT * FROM campaigns WHERE name=?",
                                (name,)).fetchone()
         header = cursor.header
@@ -292,9 +293,9 @@ class Warehouse:
             and stats.records >= stats.total_sites
         conn.execute(
             "UPDATE campaigns SET journal_offset=?, journal_line=?, "
-            "ingested_records=?, skipped_lines=skipped_lines+?, "
-            "complete=? WHERE campaign_id=?",
-            (cursor.offset, cursor.line, stats.records,
+            "journal_check=?, ingested_records=?, "
+            "skipped_lines=skipped_lines+?, complete=? WHERE campaign_id=?",
+            (cursor.offset, cursor.line, cursor.check, stats.records,
              stats.skipped, int(stats.complete), campaign_id))
         return stats
 
@@ -361,6 +362,63 @@ class Warehouse:
             "INSERT OR IGNORE INTO provenance VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
             rows)
         return conn.total_changes - before
+
+    # -- structural sidecars -------------------------------------------
+
+    def ingest_structural(self, graph, bounds) -> int:
+        """Store a structural graph + its static bounds, returning the
+        ``sidecar_id``.
+
+        ``graph`` is a :class:`repro.emulator.structural.LatchGraph`,
+        ``bounds`` its :class:`repro.analysis.static_bounds.StaticBounds`.
+        Keyed on ``(model_digest, suite_seed, suite_size)``: re-ingesting
+        the same extraction replaces its payload and per-unit bound rows
+        (the graph may have traced additional journal seeds since), so
+        the store never holds two generations of one sidecar.
+        """
+        payload = graph.to_payload()
+        payload["bounds"] = bounds.to_payload()
+        conn = self._conn
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            row = conn.execute(
+                "SELECT sidecar_id FROM structural_sidecars WHERE "
+                "model_digest=? AND suite_seed=? AND suite_size=?",
+                (graph.model_digest, graph.suite_seed,
+                 graph.suite_size)).fetchone()
+            latches = len(graph.latch_names())
+            if row is not None:
+                sidecar_id = row["sidecar_id"]
+                conn.execute(
+                    "UPDATE structural_sidecars SET settle_cycles=?, "
+                    "latches=?, edges=?, payload=? WHERE sidecar_id=?",
+                    (graph.settle_cycles, latches, len(graph.edges),
+                     json.dumps(payload, sort_keys=True), sidecar_id))
+                conn.execute(
+                    "DELETE FROM structural_bounds WHERE sidecar_id=?",
+                    (sidecar_id,))
+            else:
+                sidecar_id = conn.execute(
+                    "INSERT INTO structural_sidecars (model_digest, "
+                    "suite_seed, suite_size, settle_cycles, latches, "
+                    "edges, payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (graph.model_digest, graph.suite_seed,
+                     graph.suite_size, graph.settle_cycles, latches,
+                     len(graph.edges),
+                     json.dumps(payload, sort_keys=True))).lastrowid
+            conn.executemany(
+                "INSERT INTO structural_bounds VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [(sidecar_id, unit, totals["total_bits"],
+                  totals["proven_bits"], totals["structural_bits"],
+                  totals["latches"], totals["proven_latches"],
+                  totals["bound"], totals["structural_bound"])
+                 for unit, totals in sorted(bounds.unit_bounds.items())])
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        return sidecar_id
 
 
 class JournalTailer:

@@ -107,6 +107,33 @@ class TestEngine:
         assert scanned == 1
         assert findings[0].path == "repro/sfi/bad.py"
 
+    def test_finding_order_is_total(self):
+        """Findings sharing (severity, path, line) still order
+        deterministically — the full (rule, message) tuple breaks the
+        tie, so two runs emit byte-identical reports."""
+        from repro.lint import Finding, Severity
+        from repro.lint.findings import sort_findings
+        a = Finding("REPRO-G05", Severity.WARNING, "c", "CORE", 0, "m2")
+        b = Finding("REPRO-G01", Severity.WARNING, "c", "CORE", 0, "m1")
+        c = Finding("REPRO-G01", Severity.WARNING, "c", "CORE", 0, "m0")
+        assert sort_findings([a, b, c]) == [c, b, a]
+        assert sort_findings([c, a, b]) == [c, b, a]
+
+    def test_stale_exemption_for_skipped_passes(self):
+        """Baseline entries of a family whose pass did not run are not
+        stale: a plain `lint --strict` must stay green with structural
+        (REPRO-G) entries ratcheted, and vice versa for the audit."""
+        from repro.lint.engine import _filter_stale
+        stale = {("REPRO-G01", "CORE", "m"), ("REPRO-A01", "x", "m"),
+                 ("REPRO-D02", "repro/cpu/gone.py", "m")}
+        kept = _filter_stale(stale, audit_ran=False, structural_ran=False)
+        assert kept == {("REPRO-D02", "repro/cpu/gone.py", "m")}
+        kept = _filter_stale(stale, audit_ran=True, structural_ran=False)
+        assert kept == {("REPRO-A01", "x", "m"),
+                        ("REPRO-D02", "repro/cpu/gone.py", "m")}
+        assert _filter_stale(stale, audit_ran=True,
+                             structural_ran=True) == stale
+
 
 class TestBaseline:
     def _finding_tree(self, tmp_path) -> Path:
@@ -161,10 +188,16 @@ class TestBaseline:
         assert suppressed == [hit]
         assert stale == {("R9", "x", "y")}
 
-    def test_shipped_baseline_is_empty(self):
+    def test_shipped_baseline_is_structural_debt_only(self):
+        """The ratcheted baseline carries exactly the known structural
+        debt (REPRO-G dead/dormant latches) — any AST or audit finding
+        must be fixed, never baselined."""
         baseline = REPO_ROOT / "lint-baseline.jsonl"
         assert baseline.is_file()
-        assert load_baseline(str(baseline)) == set()
+        entries = load_baseline(str(baseline))
+        assert entries, "strict gate needs a non-empty ratchet"
+        assert all(rule.startswith("REPRO-G")
+                   for rule, _path, _message in entries)
 
 
 class TestCli:
@@ -223,6 +256,27 @@ class TestCli:
         assert main(["lint", "--show-policy"]) == 0
         out = capsys.readouterr().out
         assert "obs" in out and "determinism" in out
+        assert "REPRO-G01" in out  # structural rules are documented
+
+    def test_strict_with_missing_baseline_fails(self, tmp_path, capsys):
+        """Acceptance: ``--strict`` against a clean tree but no baseline
+        exits 1 and says why — a never-ratcheted gate must not pass."""
+        root = make_tree(tmp_path, {"cpu/clean.py": "X = 1\n"})
+        code = main(["lint", "--root", str(root), "--no-audit",
+                     "--baseline", str(tmp_path / "absent"), "--strict"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "baseline missing or empty" in captured.err
+
+    def test_strict_with_empty_baseline_fails(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"cpu/clean.py": "X = 1\n"})
+        empty = tmp_path / "baseline.jsonl"
+        empty.write_text("# nothing ratcheted yet\n")
+        code = main(["lint", "--root", str(root), "--no-audit",
+                     "--baseline", str(empty), "--strict"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "baseline missing or empty" in captured.err
 
     def test_malformed_baseline_is_infra_error(self, tmp_path, capsys):
         root = make_tree(tmp_path, {"cpu/clean.py": "X = 1\n"})

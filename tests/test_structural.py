@@ -1,0 +1,388 @@
+"""Structural latch-graph analyzer: extraction, bounds, gate, lint.
+
+The soundness contract under test: a latch never read during a
+testcase's fault-free run classifies VANISHED for injections during
+that testcase, so the per-unit proven bound must never exceed the
+derating a real campaign measures, and the reconciliation gate must
+fire on (and only on) journaled outcomes that contradict the proof.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.static_bounds import (
+    CLASS_DEAD,
+    CLASS_PROVEN,
+    CLASS_REACHES,
+    CLASS_SINK,
+    compute_bounds,
+    load_sidecar,
+    reconcile,
+    render_bounds,
+    render_cone_browser,
+    write_sidecar,
+)
+from repro.avp.suite import make_suite
+from repro.cpu.core import Power6Core
+from repro.emulator.structural import (
+    LatchGraph,
+    ensure_seeds,
+    extract_graph,
+    latch_name_of_site,
+    load_graph,
+    probe_cone,
+)
+from repro.lint.findings import Severity
+from repro.lint.structural import lint_structural
+from repro.obs.provenance import TaintNodeKind
+from repro.rtl.latch import LatchKind
+from repro.sfi.outcomes import Outcome
+from repro.sfi.results import InjectionRecord
+
+SUITE_SIZE = 2
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return extract_graph(suite_size=SUITE_SIZE)
+
+
+@pytest.fixture(scope="module")
+def bounds(graph):
+    return compute_bounds(graph)
+
+
+def _record(graph, latch_name, *, outcome, seed=None, bit=0):
+    """A synthetic journal record for one latch of the real model."""
+    node = graph.nodes[latch_name]
+    if seed is None:
+        seed = sorted(graph.reads)[0]
+    return InjectionRecord(
+        site_index=0, site_name=f"{latch_name}.{bit}",
+        unit=node["unit"], kind=LatchKind(node["latch_kind"]),
+        ring=node["ring"], testcase_seed=seed, inject_cycle=100,
+        outcome=outcome, trace=())
+
+
+class TestExtraction:
+    def test_extraction_is_deterministic(self, graph):
+        again = extract_graph(suite_size=SUITE_SIZE)
+        assert again.to_payload() == graph.to_payload()
+
+    def test_every_model_latch_is_a_node(self, graph):
+        core = Power6Core()
+        names = {latch.name for latch in core.all_latches()}
+        assert names == set(graph.latch_names())
+        assert graph.model_digest.startswith("sha256:")
+
+    def test_dynamic_probe_cone_within_structural_cone(self, graph):
+        """Cross-validation: per-latch dynamic taint probing must never
+        reach a node the whole-run structural trace missed (the
+        structural pending window is a superset of the probe's)."""
+        core = Power6Core()
+        testcase = make_suite(SUITE_SIZE, 2008)[0]
+        adjacency = graph.out_adjacency()
+        probed = 0
+        for name in sorted(adjacency):
+            node = graph.nodes[name]
+            if node["kind"] != TaintNodeKind.LATCH.value or node["arch"]:
+                continue
+            dynamic = probe_cone(core, testcase, name)
+            assert dynamic <= graph.cone(name, adjacency), name
+            probed += 1
+            if probed == 3:
+                break
+        assert probed == 3
+
+    def test_known_dormant_latches_are_proven(self, graph, bounds):
+        # Debug chains are write-only scratch: structurally dead.
+        assert bounds.classes["pervasive.debug.dbg0"] == CLASS_DEAD
+        assert bounds.classes["fxu.debug.dbg5"] == CLASS_DEAD
+        # Scan-only LBIST/ABIST config is never consulted by a
+        # functional workload.
+        assert bounds.classes["pervasive.gptr_abist"] in (
+            CLASS_DEAD, CLASS_PROVEN)
+
+    def test_arch_and_detect_are_sinks(self, graph, bounds):
+        assert bounds.classes["fxu.gprs.t0[0]"] == CLASS_SINK
+        assert bounds.classes["idu.cr"] == CLASS_SINK
+        assert bounds.classes["pervasive.fir_rec"] == CLASS_SINK
+        # Sinks carry no masking claim: they are not in the gate set.
+        assert "idu.cr" not in bounds.gate_latches()
+
+    def test_hot_datapath_reaches(self, graph, bounds):
+        assert bounds.classes["fxu.res"] == CLASS_REACHES
+
+    def test_site_name_resolution(self):
+        assert latch_name_of_site("fxu.gprs.t0[3].17") == \
+            ("fxu.gprs.t0[3]", False)
+        assert latch_name_of_site("lsu.dcache.tag[9].p") == \
+            ("lsu.dcache.tag[9]", True)
+
+    def test_graph_sidecar_roundtrip(self, graph, tmp_path):
+        path = graph.save(tmp_path / "graph.json")
+        clone = load_graph(path)
+        assert clone.to_payload() == graph.to_payload()
+
+    def test_combined_sidecar_roundtrip(self, graph, bounds, tmp_path):
+        path = write_sidecar(tmp_path / "sidecar.json", graph, bounds)
+        graph2, bounds2 = load_sidecar(path)
+        assert graph2.to_payload() == graph.to_payload()
+        assert bounds2.to_payload() == bounds.to_payload()
+        # A graph-only sidecar recomputes its bounds on load.
+        bare = graph.save(tmp_path / "bare.json")
+        _, recomputed = load_sidecar(bare)
+        assert recomputed.to_payload() == bounds.to_payload()
+
+    def test_ensure_seeds_extends_read_evidence(self, graph):
+        before = set(graph.reads)
+        new_seed = 424242
+        assert new_seed not in before
+        traced = ensure_seeds(graph, [new_seed])
+        assert traced == [new_seed]
+        assert new_seed in graph.reads and new_seed in graph.par_reads
+        assert ensure_seeds(graph, [new_seed]) == []  # idempotent
+
+
+class TestBounds:
+    def test_unit_totals_cover_the_model(self, graph, bounds):
+        per_unit: dict[str, int] = {}
+        for name in graph.latch_names():
+            node = graph.nodes[name]
+            per_unit[node["unit"]] = \
+                per_unit.get(node["unit"], 0) + node["bits"]
+        assert {unit: row["total_bits"]
+                for unit, row in bounds.unit_bounds.items()} == per_unit
+
+    def test_bounds_are_fractions_and_ordered(self, bounds):
+        for row in bounds.unit_bounds.values():
+            assert 0 <= row["proven_bits"] <= row["structural_bits"] \
+                <= row["total_bits"]
+            assert 0.0 <= row["bound"] <= row["structural_bound"] <= 1.0
+
+    def test_renderers_cover_every_unit(self, graph, bounds):
+        text = render_bounds(bounds)
+        html = render_cone_browser(graph, bounds)
+        for unit in bounds.unit_bounds:
+            assert unit in text and f"<h2>{unit}</h2>" in html
+        assert "<script" not in html and "http" not in html
+
+
+class TestReconcile:
+    def test_gate_green_on_a_real_campaign(self, graph, bounds):
+        """Acceptance: a real random campaign over the traced suite
+        never contradicts the static analysis — zero violations and
+        every unit's proven bound at or below measured derating."""
+        from repro.sfi.campaign import CampaignConfig, SfiExperiment
+        from repro.sfi.sampling import random_sample
+        exp = SfiExperiment(CampaignConfig(suite_size=SUITE_SIZE))
+        sites = random_sample(exp.latch_map, 60, random.Random(99))
+        result = exp.run_campaign(sites, seed=99)
+        report = reconcile(graph, bounds, result.records)
+        assert report.ok, report.violations
+        assert report.records_checked == 60
+        assert report.records_gated > 0  # the proof really bit
+        for check in report.unit_checks:
+            assert check["bound"] <= check["measured_derating"] + 1e-9
+
+    def test_gate_fires_on_contradicted_proof(self, graph, bounds):
+        dead = "pervasive.debug.dbg0"
+        assert bounds.classes[dead] == CLASS_DEAD
+        bad = _record(graph, dead, outcome=Outcome.SDC)
+        report = reconcile(graph, bounds, [bad])
+        assert not report.ok
+        (violation,) = report.violations
+        assert violation["kind"] == "proven-masked-but-observed"
+        assert violation["site"] == bad.site_name
+
+    def test_gate_accepts_vanished_on_proven_latch(self, graph, bounds):
+        good = _record(graph, "pervasive.debug.dbg0",
+                       outcome=Outcome.VANISHED)
+        report = reconcile(graph, bounds, [good],
+                           min_unit_trials=10)
+        assert report.ok and report.records_gated == 1
+
+    def test_unknown_latch_is_a_violation(self, graph, bounds):
+        ghost = InjectionRecord(
+            site_index=0, site_name="nox.ghost.0", unit="CORE",
+            kind=LatchKind.FUNC, ring="PRV",
+            testcase_seed=sorted(graph.reads)[0], inject_cycle=1,
+            outcome=Outcome.VANISHED, trace=())
+        report = reconcile(graph, bounds, [ghost], min_unit_trials=10)
+        assert [v["kind"] for v in report.violations] == ["unknown-latch"]
+
+    def test_untraced_seed_without_extension(self, graph, bounds):
+        record = _record(graph, "fxu.res", outcome=Outcome.VANISHED,
+                         seed=31337)
+        report = reconcile(graph, bounds, [record], extend=False,
+                           min_unit_trials=10)
+        assert [v["kind"] for v in report.violations] == ["untraced-seed"]
+
+    def test_unit_check_flags_bound_above_measurement(self, graph,
+                                                      bounds):
+        """A unit measuring less derating than its proven bound is a
+        soundness failure even without a per-record contradiction."""
+        unit = max(bounds.unit_bounds,
+                   key=lambda u: bounds.unit_bounds[u]["bound"])
+        assert bounds.unit_bounds[unit]["bound"] > 0
+        victim = next(name for name, cls in bounds.classes.items()
+                      if cls == CLASS_REACHES
+                      and graph.nodes[name]["unit"] == unit)
+        record = _record(graph, victim, outcome=Outcome.SDC)
+        report = reconcile(graph, bounds, [record])
+        (check,) = [c for c in report.unit_checks if c["unit"] == unit]
+        assert not check["ok"]
+        assert not report.ok and not report.violations
+
+
+def _mini_graph(**tweaks):
+    """A hand-built two-unit graph exercising each lint rule in
+    isolation (the real model is too healthy to trip the errors)."""
+    latch = TaintNodeKind.LATCH.value
+
+    def node(unit, latch_kind, *, width=4, protected=False,
+             arch=False, detect=False):
+        return {"unit": unit, "kind": latch, "latch_kind": latch_kind,
+                "ring": unit, "width": width,
+                "bits": width + (1 if protected else 0),
+                "protected": protected, "arch": arch, "detect": detect}
+
+    nodes = {
+        "u.src": node("U", "FUNC"),
+        "u.chk": node("U", "FUNC", protected=True),
+        "u.cfg": node("U", "MODE"),
+        "u.dorm": node("U", "GPTR"),
+        "u.dead": node("U", "FUNC"),
+        "u.fir": node("U", "FUNC", detect=True),
+    }
+    edges = {("u.src", "u.fir"): [10, 3]}
+    reads = {1: {"u.src", "u.chk"}}
+    par_reads: dict[int, set[str]] = {1: set()}
+    base = {"nodes": nodes, "edges": edges, "reads": reads,
+            "par_reads": par_reads, "model_digest": "sha256:test"}
+    base.update(tweaks)
+    return LatchGraph(**base)
+
+
+class TestStructuralLint:
+    def _rules(self, findings):
+        return sorted(f.rule for f in findings)
+
+    def test_real_model_has_no_structural_errors(self, graph, bounds):
+        findings = lint_structural(graph, bounds, core=Power6Core())
+        assert all(f.severity is Severity.WARNING for f in findings)
+        rules = {f.rule for f in findings}
+        assert rules == {"REPRO-G01", "REPRO-G05"}
+
+    def test_g01_dead_and_g05_dormant(self):
+        g = _mini_graph()
+        findings = lint_structural(g, compute_bounds(g))
+        by_rule = {f.rule: f for f in findings}
+        assert "u.dead" in by_rule["REPRO-G01"].message
+        assert by_rule["REPRO-G01"].path == "U"
+        assert "u.dorm" in by_rule["REPRO-G05"].message
+        # u.cfg is unread too, so it is dormant alongside u.dorm.
+        assert "u.cfg" in by_rule["REPRO-G05"].message
+
+    def test_g02_consumed_but_unchecked(self):
+        g = _mini_graph()
+        findings = lint_structural(g, compute_bounds(g))
+        (g02,) = [f for f in findings if f.rule == "REPRO-G02"]
+        assert g02.path == "u.chk" and g02.severity is Severity.ERROR
+        # Consulting the parity shadow anywhere clears the finding.
+        g.par_reads[1].add("u.chk")
+        findings = lint_structural(g, compute_bounds(g))
+        assert not [f for f in findings if f.rule == "REPRO-G02"]
+
+    def test_g03_ring_partition(self):
+        from repro.rtl.latch import Latch
+
+        orphan = Latch("u.orphan", 4, ring="U")
+        doubled = Latch("u.doubled", 4, ring="U")
+        fine = Latch("u.fine", 4, ring="U")
+
+        class Ring:
+            def __init__(self, latches):
+                self.latches = latches
+
+        class FakeCore:
+            def all_latches(self):
+                return [orphan, doubled, fine]
+
+        rings = {"R1": Ring([doubled, fine]), "R2": Ring([doubled])}
+        g = _mini_graph()
+        findings = [f for f in lint_structural(
+            g, compute_bounds(g), core=FakeCore(), rings=rings)
+            if f.rule == "REPRO-G03"]
+        assert sorted(f.path for f in findings) == \
+            ["u.doubled", "u.orphan"]
+        assert all(f.severity is Severity.ERROR for f in findings)
+
+    def test_g04_functional_write_into_config(self):
+        g = _mini_graph(edges={("u.src", "u.fir"): [10, 3],
+                               ("u.src", "u.cfg"): [20, 1]})
+        findings = lint_structural(g, compute_bounds(g))
+        (g04,) = [f for f in findings if f.rule == "REPRO-G04"]
+        assert g04.path == "u.cfg" and "u.src" in g04.message
+        # A written config latch is no longer "dormant".
+        g05 = [f for f in findings if f.rule == "REPRO-G05"]
+        assert g05 and "u.cfg" not in g05[0].message
+
+    def test_real_model_ring_partition_is_clean(self, graph, bounds):
+        core = Power6Core()
+        findings = lint_structural(graph, bounds, core=core,
+                                   rings=core.scan_rings())
+        assert not [f for f in findings if f.rule == "REPRO-G03"]
+
+
+class TestPriorSampling:
+    def test_allocation_tracks_undecided_bits(self, bounds):
+        from repro.emulator.netlist import LatchMap
+        from repro.sfi.sampling import (
+            prior_weighted_sample,
+            static_prior_allocation,
+        )
+        latch_map = LatchMap(Power6Core())
+        allocation = static_prior_allocation(latch_map,
+                                             bounds.unit_bounds, 200)
+        assert sum(allocation.values()) == 200
+        assert set(allocation) == set(latch_map.units())
+        assert min(allocation.values()) >= 1
+        # Units the analysis proves mostly masked get fewer trials per
+        # bit than undecided ones.
+        weights = {
+            unit: len(latch_map.indices_for_unit(unit))
+            * (1 - bounds.unit_bounds[unit]["bound"])
+            for unit in allocation}
+        heaviest = max(weights, key=lambda u: weights[u])
+        lightest = min(weights, key=lambda u: weights[u])
+        assert allocation[heaviest] > allocation[lightest]
+
+        sample = prior_weighted_sample(latch_map, bounds.unit_bounds,
+                                       200, random.Random(5))
+        assert len(sample) == 200
+        assert sample == prior_weighted_sample(
+            latch_map, bounds.unit_bounds, 200, random.Random(5))
+
+    def test_allocation_respects_floor(self, bounds):
+        from repro.emulator.netlist import LatchMap
+        from repro.sfi.sampling import static_prior_allocation
+        latch_map = LatchMap(Power6Core())
+        units = len(latch_map.units())
+        allocation = static_prior_allocation(
+            latch_map, bounds.unit_bounds, 0, min_per_unit=2)
+        assert all(n == 2 for n in allocation.values())
+        assert sum(allocation.values()) == units * 2
+
+    def test_no_bounds_degenerates_to_population_weights(self):
+        from repro.emulator.netlist import LatchMap
+        from repro.sfi.sampling import static_prior_allocation
+        latch_map = LatchMap(Power6Core())
+        allocation = static_prior_allocation(latch_map, {}, 100)
+        sizes = {unit: len(latch_map.indices_for_unit(unit))
+                 for unit in allocation}
+        biggest = max(sizes, key=lambda u: sizes[u])
+        assert allocation[biggest] == max(allocation.values())

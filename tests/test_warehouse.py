@@ -131,10 +131,98 @@ class TestJournalCursor:
         assert cursor.header["kind"] == "not-a-journal"
 
     def test_cursor_roundtrips_through_dict(self):
-        cursor = JournalCursor(offset=123, line=4, header={"kind": "x"})
+        cursor = JournalCursor(offset=123, line=4, header={"kind": "x"},
+                               check="sha256:0123456789abcdef")
         clone = JournalCursor.from_dict(json.loads(
             json.dumps(cursor.to_dict())))
         assert clone == cursor
+        # Cursors persisted before the tail checksum existed still load.
+        legacy = JournalCursor.from_dict({"offset": 9, "line": 2})
+        assert legacy.check == ""
+
+    def test_zero_length_file_is_an_empty_delta(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        cursor = JournalCursor()
+        delta = scan_journal(path, cursor)
+        assert delta.entries == [] and not delta.rewound
+        assert cursor == JournalCursor()
+        # The same cursor then consumes the journal once it appears.
+        journal = write_fixture_journal(path, seed=41, records=2)
+        assert len(scan_journal(journal, cursor).entries) == 2
+
+    def test_partial_line_at_check_window_boundary(self, tmp_path):
+        """A torn fragment starting exactly at the cursor keeps the
+        checksum window honest: the window covers only consumed bytes,
+        so neither the fragment nor its later completion trips a
+        spurious rewind."""
+        from repro.sfi.storage import _CURSOR_CHECK_BYTES
+        journal = write_fixture_journal(tmp_path / "c.jsonl", seed=42,
+                                        records=3)
+        cursor = JournalCursor()
+        assert len(scan_journal(journal, cursor).entries) == 3
+        assert cursor.offset > _CURSOR_CHECK_BYTES
+        line = _record_line(journal, 60)
+        cut = len(line) // 2
+        with journal.open("a") as handle:
+            handle.write(line[:cut])  # torn exactly at cursor.offset
+        delta = scan_journal(journal, cursor)
+        assert delta.entries == [] and not delta.rewound
+        with journal.open("a") as handle:
+            handle.write(line[cut:] + "\n")
+        delta = scan_journal(journal, cursor)
+        assert not delta.rewound
+        assert [payload["pos"] for _, payload in delta.entries] == [60]
+
+    def test_short_journal_window_smaller_than_check_bytes(self, tmp_path):
+        """Consumed bytes shorter than the checksum window: the window
+        clips to the whole consumed prefix and verification still
+        passes poll to poll."""
+        from repro.sfi.storage import _CURSOR_CHECK_BYTES
+        path = tmp_path / "tiny.jsonl"
+        path.write_text('{"format": 1, "kind": "sfi-journal"}\n')
+        cursor = JournalCursor()
+        scan_journal(path, cursor)
+        assert 0 < cursor.offset < _CURSOR_CHECK_BYTES
+        assert cursor.check
+        with path.open("a") as handle:
+            handle.write('{"pos": 0, "record": {}}\n')
+        delta = scan_journal(path, cursor)
+        assert not delta.rewound and len(delta.entries) == 1
+
+    def test_shrink_then_grow_between_polls_is_detected(self, tmp_path):
+        """The classic blind spot of size-only rewind detection: the
+        journal is rewritten shorter AND grows past the cursor before
+        the next poll.  The tail checksum catches the rewrite and the
+        scan restarts from byte zero."""
+        journal = write_fixture_journal(tmp_path / "c.jsonl", seed=43,
+                                        records=4)
+        cursor = JournalCursor()
+        assert len(scan_journal(journal, cursor).entries) == 4
+        # Recovery drops two records, then the campaign appends three
+        # more — the file ends up *longer* than the cursor offset.
+        lines = journal.read_text().splitlines(keepends=True)
+        rewritten = "".join(lines[:-2]) + "".join(
+            _record_line(journal, 70 + i) + "\n" for i in range(3))
+        journal.write_text(rewritten)
+        assert journal.stat().st_size > cursor.offset
+        delta = scan_journal(journal, cursor)
+        assert delta.rewound
+        assert [payload["pos"] for _, payload in delta.entries] == \
+            [0, 1, 70, 71, 72]
+
+    def test_unchanged_tail_does_not_rewind(self, tmp_path):
+        """Appends alone never trip the checksum (no false positives)."""
+        journal = write_fixture_journal(tmp_path / "c.jsonl", seed=44,
+                                        records=2)
+        cursor = JournalCursor()
+        scan_journal(journal, cursor)
+        for pos in (50, 51, 52):
+            with journal.open("a") as handle:
+                handle.write(_record_line(journal, pos) + "\n")
+            delta = scan_journal(journal, cursor)
+            assert not delta.rewound
+            assert [payload["pos"] for _, payload in delta.entries] == [pos]
 
 
 @pytest.fixture
@@ -292,6 +380,29 @@ class TestIngest:
                 "SELECT COUNT(*) AS n FROM records").fetchone()["n"]
             assert count == 4
 
+    def test_shrink_then_grow_reingests_from_scratch(self, tmp_path):
+        """The persisted tail checksum (``campaigns.journal_check``)
+        catches a journal rewritten shorter and regrown past the stored
+        cursor between two ingest passes — even across warehouse
+        re-opens."""
+        journal = write_fixture_journal(tmp_path / "c.jsonl", seed=7,
+                                        records=8)
+        path = tmp_path / "wh.sqlite"
+        with Warehouse(path) as warehouse:
+            assert warehouse.ingest_journal(journal).added == 8
+        lines = journal.read_text().splitlines(keepends=True)
+        replacement = "".join(lines[:3]) + "".join(
+            _record_line(journal, pos, pad="x" * 60) + "\n"
+            for pos in range(2, 8))
+        journal.write_text(replacement)
+        assert len(replacement) > sum(len(line) for line in lines)
+        with Warehouse(path) as warehouse:
+            stats = warehouse.ingest_journal(journal)
+            assert stats.rewound
+            rows = warehouse.connection.execute(
+                "SELECT pos FROM records ORDER BY pos").fetchall()
+            assert [row["pos"] for row in rows] == list(range(8))
+
     def test_lease_health_counts_sidecar_events(self, tmp_path, campaigns):
         with Warehouse(tmp_path / "wh.sqlite") as warehouse:
             warehouse.ingest_journal(campaigns[0])
@@ -355,6 +466,80 @@ class TestSchemaVersioning:
             assert plans and all(plan["ok"] for plan in plans)
             for plan in plans:
                 assert "COVERING INDEX" in plan["plan"]
+
+
+@pytest.fixture(scope="module")
+def structural():
+    """One small structural extraction shared by the sidecar tests."""
+    from repro.analysis.static_bounds import compute_bounds
+    from repro.emulator.structural import extract_graph
+    graph = extract_graph(suite_size=2)
+    return graph, compute_bounds(graph)
+
+
+class TestStructuralSidecar:
+    def test_ingest_structural_stores_bounds(self, tmp_path, structural):
+        graph, bounds = structural
+        with Warehouse(tmp_path / "wh.sqlite") as warehouse:
+            sidecar_id = warehouse.ingest_structural(graph, bounds)
+            rows = warehouse.connection.execute(
+                "SELECT * FROM structural_bounds WHERE sidecar_id=? "
+                "ORDER BY unit", (sidecar_id,)).fetchall()
+            assert [row["unit"] for row in rows] == \
+                sorted(bounds.unit_bounds)
+            for row in rows:
+                expected = bounds.unit_bounds[row["unit"]]
+                assert row["total_bits"] == expected["total_bits"]
+                assert row["proven_bits"] == expected["proven_bits"]
+                assert row["bound"] == pytest.approx(expected["bound"])
+
+    def test_reingest_replaces_not_duplicates(self, tmp_path, structural):
+        graph, bounds = structural
+        with Warehouse(tmp_path / "wh.sqlite") as warehouse:
+            first = warehouse.ingest_structural(graph, bounds)
+            second = warehouse.ingest_structural(graph, bounds)
+            assert first == second
+            count = warehouse.connection.execute(
+                "SELECT COUNT(*) AS n FROM structural_bounds").fetchone()
+            assert count["n"] == len(bounds.unit_bounds)
+
+    def test_stored_payload_reloads_as_a_graph(self, tmp_path, structural):
+        from repro.emulator.structural import LatchGraph
+        graph, bounds = structural
+        with Warehouse(tmp_path / "wh.sqlite") as warehouse:
+            sidecar_id = warehouse.ingest_structural(graph, bounds)
+            payload = json.loads(warehouse.connection.execute(
+                "SELECT payload FROM structural_sidecars WHERE "
+                "sidecar_id=?", (sidecar_id,)).fetchone()["payload"])
+            clone = LatchGraph.from_payload(payload)
+            assert clone.model_digest == graph.model_digest
+            assert sorted(clone.edges) == sorted(graph.edges)
+            assert payload["bounds"]["unit_bounds"].keys() == \
+                bounds.unit_bounds.keys()
+
+    def test_bounds_vs_measured_joins_records(self, tmp_path, structural,
+                                              campaigns):
+        from repro.warehouse import bounds_vs_measured
+        from repro.warehouse.queries import render_bounds_vs_measured
+        graph, bounds = structural
+        with Warehouse(tmp_path / "wh.sqlite") as warehouse:
+            assert bounds_vs_measured(warehouse) == []  # no sidecar yet
+            warehouse.ingest_journal(campaigns[0])
+            warehouse.ingest_structural(graph, bounds)
+            rows = bounds_vs_measured(warehouse)
+            assert [row["unit"] for row in rows] == \
+                sorted(bounds.unit_bounds)
+            measured = unit_outcomes(warehouse)
+            for row in rows:
+                counts = measured.get(row["unit"], {})
+                assert row["trials"] == sum(counts.values())
+                if row["trials"]:
+                    expected = counts.get(Outcome.VANISHED.value, 0) \
+                        / row["trials"]
+                    assert row["measured_derating"] == \
+                        pytest.approx(expected, abs=1e-6)
+            text = render_bounds_vs_measured(rows)
+            assert "static bound vs measured" in text
 
 
 class TestDashboard:
