@@ -1,0 +1,103 @@
+"""Bit-plane backend speedup — waves, peels and lag-shifted rejoins.
+
+PR 9's bit-plane backend claims a >=5x reduction in *campaign* cycles
+simulated per trial over the PR-4 fast path on the seed campaign, while
+staying bit-identical to it (and the fast path is bit-identical to the
+slow path by its own suite).  This bench runs the same mini-campaign
+both ways on prepared machines, compares campaign-only cycle deltas
+(both sides prepare identically-sized golden instrumentation; the
+bit-plane side additionally re-runs each golden once to compile its
+schedule, which is amortized across every campaign that reuses the
+cached schedule), checks record equality, and publishes
+``benchmarks/results/BENCH_bitplane.json``.
+
+The trial count is pinned, not ``scaled()``: the speedup is a property
+of the seed campaign's lane-fate mix (how many lanes converge in-plane,
+peel, rejoin with lag), and shrinking or growing the sample changes the
+mix being measured, not the measurement's cost-accuracy trade-off.
+"""
+
+import random
+import time
+
+from repro.cpu import CoreParams
+from repro.sfi import CampaignConfig, SfiExperiment
+from repro.sfi.sampling import random_sample
+
+from benchmarks.conftest import publish, write_bench_json
+
+_SEED = 2008
+_TRIALS = 120
+_PARAMS = CoreParams(scale=0.15, icache_lines=32, dcache_lines=32)
+
+
+def _campaign(backend: str):
+    config = CampaignConfig(suite_size=2, suite_seed=99,
+                            core_params=_PARAMS, backend=backend)
+    experiment = SfiExperiment(config)
+    sites = random_sample(experiment.latch_map, _TRIALS,
+                          random.Random(_SEED ^ 0x5F1))
+    prepared = experiment.emulator.stats.cycles_run
+    start = time.perf_counter()
+    result = experiment.run_campaign(sites, seed=_SEED)
+    wall = time.perf_counter() - start
+    campaign_cycles = experiment.emulator.stats.cycles_run - prepared
+    return experiment, result, campaign_cycles, wall
+
+
+def _side(campaign_cycles: int, wall: float) -> dict:
+    return {
+        "wall_seconds": round(wall, 4),
+        "trials_per_second": round(_TRIALS / wall, 2),
+        "campaign_cycles": campaign_cycles,
+        "cycles_per_trial": round(campaign_cycles / _TRIALS, 1),
+    }
+
+
+def test_bitplane_speedup(benchmark):
+    def run():
+        return _campaign("scalar"), _campaign("bitplane")
+
+    ((fast_exp, fast_result, fast_cycles, fast_wall),
+     (bp_exp, bp_result, bp_cycles, bp_wall)) = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    fast = _side(fast_cycles, fast_wall)
+    bitplane = _side(bp_cycles, bp_wall)
+    cycles_speedup = fast_cycles / bp_cycles
+    detail = {
+        "workload": "AVP suite (Table-1 mix)",
+        "trials": _TRIALS,
+        "suite_size": 2,
+        "fastpath": fast,
+        "bitplane": bitplane,
+        "speedup_cycles": round(cycles_speedup, 2),
+        "speedup_wall": round(fast_wall / bp_wall, 2),
+        "records_bit_identical": fast_result.records == bp_result.records,
+    }
+    write_bench_json(
+        "bitplane", "speedup_cycles", detail["speedup_cycles"], 5.0,
+        cycles_speedup >= 5.0 and detail["records_bit_identical"],
+        detail=detail)
+
+    lines = [
+        "Bit-plane backend speedup (waves + peels + lag-shifted rejoins)",
+        f"  trials:                    {_TRIALS}  (AVP suite, Table-1 mix,"
+        " pinned)",
+        f"  fast-path cycles/trial:    {fast['cycles_per_trial']:10.1f}"
+        f"   ({fast['trials_per_second']:.1f} trials/s)",
+        f"  bit-plane cycles/trial:    {bitplane['cycles_per_trial']:10.1f}"
+        f"   ({bitplane['trials_per_second']:.1f} trials/s)",
+        f"  campaign-cycles speedup:   {cycles_speedup:10.2f} x"
+        "   (acceptance floor: 5x over the PR-4 fast path)",
+        f"  wall-clock speedup:        {detail['speedup_wall']:10.2f} x",
+        f"  records bit-identical:     {detail['records_bit_identical']}",
+    ]
+    publish("bitplane", "\n".join(lines))
+
+    # The claim, stated three ways: same answers, strictly fewer
+    # campaign cycles, and at least the acceptance-floor reduction.
+    assert fast_result.records == bp_result.records
+    assert bp_cycles < fast_cycles
+    assert cycles_speedup >= 5.0, \
+        f"bit-plane only {cycles_speedup:.2f}x below the 5x floor"

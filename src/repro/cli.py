@@ -68,6 +68,12 @@ def _config(args, **overrides) -> CampaignConfig:
     ckpt_stride = getattr(args, "ckpt_stride", None)
     if ckpt_stride is not None:
         kwargs["ckpt_stride"] = ckpt_stride or None
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        kwargs["backend"] = backend
+    wave_lanes = getattr(args, "wave_lanes", None)
+    if wave_lanes is not None:
+        kwargs["wave_lanes"] = wave_lanes
     kwargs.update(overrides)
     return CampaignConfig(**kwargs)
 
@@ -946,6 +952,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the fast path (checkpoint ladder + "
                         "golden-digest early exit); records are "
                         "bit-identical either way")
+    p.add_argument("--backend", choices=("scalar", "bitplane"),
+                   default="scalar",
+                   help="trial execution backend: 'bitplane' packs up to "
+                        "63 trials per machine word and resolves them "
+                        "against the compiled golden schedule; records "
+                        "are byte-identical to the scalar backend")
+    p.add_argument("--wave-lanes", type=int, default=None, metavar="N",
+                   help="bitplane backend: trials per wave (1-63, "
+                        "default 63)")
     p.add_argument("--workers", type=int, default=1,
                    help="parallel simulation copies (paper §2.2)")
     p.add_argument("--journal", metavar="PATH",

@@ -267,7 +267,8 @@ class Power6Core:
     # ------------------------------------------------------------------
     # State digests (the fast path's golden-match primitive).
 
-    def state_digest(self) -> int:
+    def state_digest(self, exclude: frozenset | None = None,
+                     include_cycle: bool = True) -> int:
         """Order-stable digest of the complete *machine* state.
 
         Covers everything that determines future behaviour — every latch
@@ -278,16 +279,40 @@ class Power6Core:
         digests match evolve identically from here even though their
         logs differ (the injected run carries an INJECTION event).
 
+        ``exclude`` masks a set of latches out of the digest, given as
+        positions in :meth:`all_latches` order: excluded latches hash as
+        a placeholder in both value and parity sections, so two states
+        match exactly when they agree everywhere *outside* the set.  The
+        bit-plane backend's set-masked early exit compares against a
+        golden trail digested with the same exclusion; ``None`` (and the
+        empty set) is bit-for-bit the original full digest.
+
+        ``include_cycle=False`` drops the cycle counter from the digest,
+        producing a *lag-free* digest: a trial delayed by recovery can
+        match the golden trajectory at an earlier cycle — same machine,
+        shifted in time — which the bit-plane drain exploits to rejoin
+        recovered lanes onto the golden tail.
+
         Built section-by-section (scalars, per-latch values, memory,
         arrays) so the cost is one tuple-hash pass over the state rather
         than a serialisation; at a few thousand latches this is cheap
         enough to sample every ``digest_stride`` cycles on the campaign
         hot path.
         """
+        latches = self._all_latches
+        if exclude:
+            values = tuple(None if i in exclude else latch.value
+                           for i, latch in enumerate(latches))
+            pars = tuple(None if i in exclude else latch.par
+                         for i, latch in enumerate(latches))
+        else:
+            values = tuple(latch.value for latch in latches)
+            pars = tuple(latch.par for latch in latches)
         return hash((
-            self.cycles, self.halted, self.commits_prev, self.committed,
-            tuple(latch.value for latch in self._all_latches),
-            tuple(latch.par for latch in self._all_latches),
+            self.cycles if include_cycle else None,
+            self.halted, self.commits_prev, self.committed,
+            values,
+            pars,
             tuple(sorted(self.memory.nonzero_words().items())),
             tuple(tuple(tuple(part) for part in array.snapshot())
                   for array in self._arrays),

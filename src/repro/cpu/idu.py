@@ -93,9 +93,9 @@ class Idu(HwModule):
         instruction's flags and target register (no side state)."""
         from repro.cpu.fxu import Fxu
         if commit_flags & Fxu.F_WGPR:
-            self.gpr_busy.write(self.gpr_busy.value & ~(1 << (rt & 31)))
+            self.gpr_busy.write_bit(rt & 31, 0)
         if commit_flags & Fxu.F_WFPR:
-            self.fpr_busy.write(self.fpr_busy.value & ~(1 << (rt & 31)))
+            self.fpr_busy.write_bit(rt & 31, 0)
         flags = self.flag_busy.value
         if commit_flags & Fxu.F_WCR:
             flags &= ~1
@@ -144,17 +144,18 @@ class Idu(HwModule):
         )
 
     def _hazard(self, dec: _Decoded) -> bool:
-        gbusy = self.gpr_busy.value
+        # Per-bit scoreboard probes: only the registers an instruction
+        # names are consulted, so an upset busy bit for a register the
+        # program never touches is dead state, not a hazard.
         for reg in dec.gpr_sources:
-            if (gbusy >> reg) & 1:
+            if self.gpr_busy.bit(reg):
                 return True
-        if dec.writes_gpr and (gbusy >> dec.rt) & 1:
+        if dec.writes_gpr and self.gpr_busy.bit(dec.rt):
             return True
-        fbusy = self.fpr_busy.value
         for reg in dec.fpr_sources:
-            if (fbusy >> reg) & 1:
+            if self.fpr_busy.bit(reg):
                 return True
-        if dec.writes_fpr and (fbusy >> dec.rt) & 1:
+        if dec.writes_fpr and self.fpr_busy.bit(dec.rt):
             return True
         flags = self.flag_busy.value
         if (dec.reads_cr or dec.writes_cr) and flags & 1:
@@ -248,9 +249,9 @@ class Idu(HwModule):
 
         # Scoreboard reservations; commit releases them from its flags.
         if dec.writes_gpr:
-            self.gpr_busy.write(self.gpr_busy.value | (1 << dec.rt))
+            self.gpr_busy.write_bit(dec.rt, 1)
         if dec.writes_fpr:
-            self.fpr_busy.write(self.fpr_busy.value | (1 << dec.rt))
+            self.fpr_busy.write_bit(dec.rt, 1)
         flags = self.flag_busy.value
         if dec.writes_cr:
             flags |= 1

@@ -86,6 +86,25 @@ class Latch:
         """Current level of one bit."""
         return (self.value >> bit) & 1
 
+    def write_bit(self, bit: int, level: int) -> None:
+        """Functional write of one bit (parity shadow kept consistent).
+
+        Consumers that own a bit-indexed latch (scoreboards, valid masks)
+        write through here instead of a read-modify-write of ``value``,
+        which lets tracing subclasses account the access to the single
+        bit actually driven rather than the whole latch.  The base
+        implementation routes through the ``value`` attribute, so plain
+        touch tracing still sees a conservative whole-latch access.
+        """
+        value = self.value
+        if level:
+            value |= 1 << bit
+        else:
+            value &= ~(1 << bit) & self.mask
+        self.value = value
+        if self.protected:
+            self.par = value.bit_count() & 1
+
     def reset(self) -> None:
         """Hardware reset: restore the reset value with consistent parity."""
         self.value = self.reset_value

@@ -19,11 +19,19 @@ from repro.avp.runner import AvpBaselineError, ReferenceRun
 from repro.avp.suite import make_suite
 from repro.avp.testcase import AvpTestcase
 from repro.cpu.core import CoreSnapshot, Power6Core
-from repro.cpu.events import EventLog, MachineEvent
+from repro.cpu.events import EventKind, EventLog, MachineEvent
 from repro.cpu.tainttrace import detection_info, taint_trace
 from repro.cpu.touchtrace import trace_touches, untraced
 from repro.cpu.params import CoreParams
+from repro.cpu.pervasive import R_IDLE
 from repro.emulator.awan import AwanEmulator
+from repro.emulator.bitplane import (
+    BITPLANE_DIGEST_STRIDE,
+    BITPLANE_RUNG_STRIDE,
+    MAX_WAVE_TRIALS,
+    compile_netlist,
+    record_schedule,
+)
 from repro.emulator.host import CommHost
 from repro.obs.provenance import MaskingEvent, ProvenanceReport
 from repro.rtl.fault import InjectionMode
@@ -149,6 +157,22 @@ class CampaignConfig:
     # bit-identical (the provenance differential suite asserts this).
     # Fast-path campaigns with provenance off are untouched.
     provenance: bool = False
+    # --- Bit-plane backend (64 trials per machine word) ---------------
+    # ``backend="bitplane"`` batches same-testcase plan items into waves
+    # of up to ``wave_lanes`` trials, classifies every lane against the
+    # compiled golden schedule with word-wide plane code, and only peels
+    # lanes whose divergence the golden run actually consumes out to the
+    # scalar path.  Records are byte-identical to the scalar path (the
+    # bit-plane differential suite asserts it).  Requires the fast-path
+    # machinery; incompatible with ``provenance`` (the taint tracker
+    # must observe every post-injection cycle of every trial).
+    backend: str = "scalar"
+    # Trials per wave (clamped to the 63 non-golden lanes of a plane
+    # word; plane bit 0 is the golden lane).
+    wave_lanes: int = MAX_WAVE_TRIALS
+    # Optional bound on the injection-cycle span batched into one wave
+    # (None: any same-testcase items share a wave).
+    wave_window: int | None = None
 
 
 @dataclass(frozen=True)
@@ -196,6 +220,10 @@ _DETECTION_LATENCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
 # Peak simultaneously tainted storage bits of one injection.
 _PEAK_BITS_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
                       512.0, 1024.0, float("inf"))
+
+# Trial lanes per resolved bit-plane wave (63 = a full plane word).
+_WAVE_OCCUPANCY_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 63.0,
+                           float("inf"))
 
 
 def observe_provenance_metrics(inst, payload: dict) -> None:
@@ -260,6 +288,18 @@ class _ExperimentInstruments:
             "sfi_taint_edges_total",
             "taint propagation DAG edge traversals by unit pair",
             ("src_unit", "dst_unit"))
+        self.waves = registry.counter(
+            "sfi_waves_total",
+            "bit-plane waves resolved against a compiled golden schedule")
+        self.wave_lanes = registry.counter(
+            "sfi_wave_lanes_total", "wave trial lanes by plane fate",
+            ("fate",))
+        self.wave_peels = registry.counter(
+            "sfi_wave_peels_total",
+            "wave lanes peeled to the scalar path, by reason", ("reason",))
+        self.wave_occupancy = registry.histogram(
+            "sfi_wave_occupancy_lanes", "trial lanes per resolved wave",
+            buckets=_WAVE_OCCUPANCY_BUCKETS)
 
 
 class SfiExperiment:
@@ -295,6 +335,26 @@ class SfiExperiment:
         # latch's golden-final (value, par) pair in a CoreSnapshot.
         self._latch_index = {id(latch): i
                              for i, latch in enumerate(self.core.all_latches())}
+        # --- Bit-plane backend state ----------------------------------
+        backend = self.config.backend
+        if backend not in ("scalar", "bitplane"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.bitplane = backend == "bitplane"
+        if self.bitplane and not self.fastpath:
+            raise ValueError(
+                "bitplane backend requires the fast-path machinery "
+                "(fastpath=True and a ladder-capable emulator)")
+        if self.bitplane and self.config.provenance:
+            raise ValueError(
+                "bitplane backend is incompatible with provenance "
+                "(the taint tracker must observe every trial cycle)")
+        # Per-testcase compiled schedules plus the dense digest trails
+        # (full and never-read-set masked) the wave path drains against.
+        self.schedules: list = []
+        self._bp_lagmap: list[dict[int, int]] = []
+        self._bp_masked: list[dict[int, int]] = []
+        self._schedule_trace = None
+        self._latches = self.core.all_latches()
         self.suite: list[AvpTestcase] = make_suite(
             self.config.suite_size, self.config.suite_seed, self.config.weights)
         self.references: list[ReferenceRun] = []
@@ -352,6 +412,8 @@ class SfiExperiment:
             self.emulator.checkpoint(self._ckpt_name(index))
             reference = self._reference_run(testcase, index)
             self.references.append(reference)
+            if self.bitplane:
+                self._bitplane_prepare(index)
             self.emulator.reload(self._ckpt_name(index))
 
     def _reference_budget(self, testcase: AvpTestcase) -> int:
@@ -396,7 +458,9 @@ class SfiExperiment:
         digest_stride = max(1, config.digest_stride)
         digests: dict[int, int] = {}
         remaining = budget
-        with trace_touches(core) as trace:
+        tracer = (record_schedule(core) if self.bitplane
+                  else trace_touches(core))
+        with tracer as trace:
             while remaining > 0 and not core.quiesced:
                 cycle = core.cycles
                 target = cycle + min(config.poll_interval, remaining,
@@ -424,6 +488,8 @@ class SfiExperiment:
             final=final,
             last_touch=dict(trace.last_touch),
         ))
+        if self.bitplane:
+            self._schedule_trace = trace
 
     @staticmethod
     def _ckpt_name(index: int) -> str:
@@ -603,6 +669,384 @@ class SfiExperiment:
                         return "masked"
         return None
 
+    # ------------------------------------------------------------------
+    # Bit-plane backend (waves of up to 63 trials per plane word).
+
+    def _bitplane_prepare(self, index: int) -> None:
+        """Compile the recorded schedule and lay down the bit-plane
+        side's dense instrumentation in a second, untraced golden run.
+
+        The re-run replays the exact reference trajectory (chunk
+        boundaries cannot change cycle-by-cycle evolution — asserted
+        against the golden-final snapshot) and samples what the traced
+        run could not know yet: the *lag map* — every cycle's set-masked
+        lag-free digest mapped to its first occurrence, letting a trial
+        delayed by recovery rejoin the golden tail at an earlier golden
+        cycle — the set-masked digest trail for the frozen-flip check
+        (the never-read mask set only exists once the schedule is
+        compiled), and denser ladder rungs so a peeled lane enters close
+        to its first-read cycle.
+        """
+        core = self.core
+        emulator = self.emulator
+        config = self.config
+        golden = self.goldens[index]
+        testcase = self.suite[index]
+        trace = self._schedule_trace
+        self._schedule_trace = None
+        cache_key = ("schedule", repr(config.core_params),
+                     repr(config.weights), testcase.seed,
+                     config.checker_mask,
+                     tuple(sorted(config.mode_overrides.items())))
+        schedule = compile_netlist(core, trace, cache_key=cache_key)
+        self.schedules.append(schedule)
+        mask = schedule.mask_indices
+        lagmap: dict[int, int] = {}
+        masked: dict[int, int] = {}
+        emulator.reload(self._ckpt_name(index))
+        end = golden.end_cycle
+        stride = BITPLANE_DIGEST_STRIDE
+        rung_stride = BITPLANE_RUNG_STRIDE
+        # First occurrence wins: if two golden cycles digest identically
+        # outside the mask set, their futures mirror (the digest covers
+        # everything that drives evolution), so rejoining through the
+        # earlier one reconstructs the same final state and event tail.
+        lagmap.setdefault(
+            core.state_digest(exclude=mask, include_cycle=False),
+            core.cycles)
+        while core.cycles < end and not core.quiesced:
+            if emulator.clock(1) < 1:
+                break
+            cycle = core.cycles
+            if cycle % rung_stride == 0:
+                emulator.save_rung(self._ckpt_name(index))
+            if cycle < end:
+                lagmap.setdefault(
+                    core.state_digest(exclude=mask, include_cycle=False),
+                    cycle)
+                if cycle % stride == 0:
+                    masked[cycle] = core.state_digest(exclude=mask)
+        if core.snapshot() != golden.final:
+            raise AvpBaselineError(
+                f"testcase seed={testcase.seed}: bit-plane golden re-run "
+                "diverged from the reference trajectory")
+        self._bp_lagmap.append(lagmap)
+        self._bp_masked.append(masked)
+
+    def _run_waves(self, scheduled, records, record_hook) -> None:
+        """Batch scheduled plan items into waves and execute them.
+
+        Items group by testcase (one compiled schedule per wave), sort
+        by (inject cycle, position) and chunk into ``wave_lanes``-sized
+        waves (optionally bounded to a ``wave_window`` cycle span).
+        Every item is self-contained, so batching cannot change any
+        record; results are keyed by plan position exactly like the
+        scalar loop's.
+        """
+        config = self.config
+        by_testcase: dict[int, list] = {}
+        for item, inject_cycle in scheduled:
+            by_testcase.setdefault(item.testcase_index, []).append(
+                (item, inject_cycle))
+        lanes_cap = max(1, min(config.wave_lanes, MAX_WAVE_TRIALS))
+        window = config.wave_window
+        for tc_index in sorted(by_testcase):
+            lanes = sorted(by_testcase[tc_index],
+                           key=lambda pair: (pair[1], pair[0].position))
+            wave: list = []
+            for pair in lanes:
+                if wave and (len(wave) >= lanes_cap
+                             or (window is not None
+                                 and pair[1] - wave[0][1] > window)):
+                    self._run_wave(tc_index, wave, records, record_hook)
+                    wave = []
+                wave.append(pair)
+            if wave:
+                self._run_wave(tc_index, wave, records, record_hook)
+
+    def _run_wave(self, tc_index: int, wave, records, record_hook) -> None:
+        """Resolve one wave in-plane and execute its lanes.
+
+        In-plane fates (converge/survive) reconstruct their records
+        host-side at zero simulation cost; peeled lanes fall to the
+        scalar path (:meth:`_run_peeled`, or plain :meth:`run_one` when
+        the wave could not be resolved in-plane at all — non-TOGGLE
+        modes and goldens with truncated event logs).
+        """
+        config = self.config
+        inst = self._instruments
+        golden = self.goldens[tc_index]
+        schedule = self.schedules[tc_index]
+        in_plane = (config.injection_mode is InjectionMode.TOGGLE
+                    and golden.usable)
+        if in_plane:
+            descriptors = []
+            for item, inject_cycle in wave:
+                site = self.latch_map.site(item.site_index)
+                descriptors.append(
+                    (self._latch_index[id(site.latch)], site.bit,
+                     site.is_parity_bit, inject_cycle))
+            fates = schedule.resolve_wave(descriptors)
+        else:
+            fates = [("peel", None)] * len(wave)
+        if inst is not None:
+            inst.waves.inc()
+            inst.wave_occupancy.observe(float(len(wave)))
+        for (item, inject_cycle), (fate, read_cycle) in zip(wave, fates):
+            start = time.perf_counter() if inst is not None else 0.0
+            if fate == "peel":
+                if not in_plane:
+                    reason = ("mode" if config.injection_mode
+                              is not InjectionMode.TOGGLE else "no-golden")
+                    record = self.run_one(item.site_index, tc_index,
+                                          inject_cycle)
+                else:
+                    reason = "consumed"
+                    record = self._run_peeled(item.site_index, tc_index,
+                                              inject_cycle, read_cycle)
+                if inst is not None:
+                    inst.wave_peels.inc(reason=reason)
+            else:
+                record = self._wave_record(item.site_index, tc_index,
+                                           inject_cycle, fate, schedule)
+            if inst is not None:
+                inst.injection_seconds.observe(time.perf_counter() - start)
+                inst.injections.inc(outcome=record.outcome.value)
+                inst.wave_lanes.inc(fate=fate)
+            if self.last_fastpath is not None \
+                    and self.fastpath_hook is not None:
+                self.fastpath_hook(item.position, self.last_fastpath)
+            records[item.position] = record
+            if record_hook is not None:
+                record_hook(item.position, record)
+
+    def _wave_record(self, site_index: int, tc_index: int,
+                     inject_cycle: int, fate: str,
+                     schedule) -> InjectionRecord:
+        """Reconstruct an in-plane lane's record without simulating.
+
+        A converged lane's final state *is* the golden final state (the
+        golden run overwrote the flipped bit before ever reading it); a
+        surviving lane's is the golden final state with the flip still
+        applied (the bit is never read or written again).  Either way
+        the trial's event sequence is the golden sequence with the
+        INJECTION event spliced in at the inject cycle, replayed through
+        the ring so truncation matches a real drain.
+        """
+        config = self.config
+        core = self.core
+        golden = self.goldens[tc_index]
+        reference = self.references[tc_index]
+        site = self.latch_map.site(site_index)
+        index = self._latch_index[id(site.latch)]
+        old = schedule.level_at(index, site.bit, site.is_parity_bit,
+                                schedule.boundary(inject_cycle))
+        core.restore(golden.final)
+        log = core.event_log
+        log.clear()
+        log.replay(event for event in golden.events
+                   if event.cycle <= inject_cycle)
+        log.record(inject_cycle, EventKind.INJECTION,
+                   f"{site.name} -> {old ^ 1} "
+                   f"({config.injection_mode.value})")
+        log.replay(event for event in golden.events
+                   if event.cycle > inject_cycle)
+        if fate == "survive":
+            site.inject()
+        outcome = classify(core, reference.testcase,
+                           config.classify_options)
+        if self._instruments is not None:
+            self._instruments.early_exits.inc(reason=f"wave-{fate}")
+            self._instruments.cycles_saved.observe(float(golden.end_cycle))
+        self.last_fastpath = {"saved_cycles": golden.end_cycle,
+                              "exit": f"wave-{fate}"}
+        self.last_provenance = None
+        return InjectionRecord(
+            site_index=site_index,
+            site_name=site.name,
+            unit=self.latch_map.unit_of(site_index),
+            kind=site.latch.kind,
+            ring=site.latch.ring,
+            testcase_seed=reference.testcase.seed,
+            inject_cycle=inject_cycle,
+            outcome=outcome,
+            trace=tuple(core.event_log),
+        )
+
+    def _run_peeled(self, site_index: int, tc_index: int, inject_cycle: int,
+                    read_cycle: int) -> InjectionRecord:
+        """Scalar execution of a peeled wave lane.
+
+        Until the golden run first *reads* the diverged bit (at
+        ``read_cycle``) the trial is bit-identical to golden everywhere
+        else, so enter at the densest ladder rung at or below
+        ``read_cycle - 1``: re-apply the flip in place, rebuild the
+        event prefix the trial would carry (golden prefix + INJECTION
+        splice), and drain against the dense bit-plane digest trail.
+        """
+        config = self.config
+        emulator = self.emulator
+        core = self.core
+        reference = self.references[tc_index]
+        golden = self.goldens[tc_index]
+        inst = self._instruments
+        name = self._ckpt_name(tc_index)
+        entry_target = inject_cycle
+        if read_cycle is not None:
+            entry_target = max(inject_cycle, read_cycle - 1)
+        start_cycle = emulator.restore_nearest(name, entry_target)
+        skipped = 0
+        if start_cycle <= inject_cycle:
+            if inject_cycle > start_cycle:
+                emulator.clock(inject_cycle - start_cycle)
+            site = emulator.inject(site_index, config.injection_mode,
+                                   config.sticky_cycles)
+        else:
+            # Entered from a golden rung *after* the injection point:
+            # no golden event touches the bit in (inject, entry], so the
+            # trial state there is the golden state plus the flip.
+            site = self.latch_map.site(site_index)
+            level = site.inject()
+            emulator.stats.injections += 1
+            log = core.event_log
+            log.clear()
+            log.replay(event for event in golden.events
+                       if event.cycle <= inject_cycle)
+            log.record(inject_cycle, EventKind.INJECTION,
+                       f"{site.name} -> {level} "
+                       f"({config.injection_mode.value})")
+            log.replay(event for event in golden.events
+                       if inject_cycle < event.cycle <= start_cycle)
+            skipped = start_cycle - inject_cycle
+        budget = ((reference.cycles - inject_cycle) + config.drain_cycles
+                  - skipped)
+        exit_info = self._drain_bitplane(tc_index, budget, site)
+        cycles_saved = start_cycle
+        exit_kind = None
+        if exit_info is not None:
+            exit_kind, cut = exit_info
+            schedule = self.schedules[tc_index]
+            # ``cut`` is the *golden* cycle the trial rejoined at; the
+            # trial itself sits ``delta`` cycles later (recovery stalls
+            # it, then it replays the golden trajectory shifted in
+            # time).  The remaining trial evolution is the golden tail
+            # after ``cut`` with every cycle stamp shifted by ``delta``.
+            delta = core.cycles - cut
+            cycles_saved += golden.end_cycle - cut
+            frozen = (site.latch.value, site.latch.par)
+            mask_state = [(i, self._latches[i].value, self._latches[i].par)
+                          for i in schedule.mask_indices]
+            events = core.event_log.snapshot()
+            core.restore(golden.final)
+            core.cycles += delta
+            core.event_log.restore(events)
+            tail = (event for event in golden.events if event.cycle > cut)
+            if delta:
+                tail = (MachineEvent(event.cycle + delta, event.kind,
+                                     event.detail) for event in tail)
+            core.event_log.replay(tail)
+            # Mask-set latches are never read, so the trial's writes to
+            # them mirror golden's (time-shifted): a whole-write after
+            # the cut lands the golden final value (already restored);
+            # otherwise the trial value at the cut persists, with golden
+            # bit-writes after the cut merged over it.
+            for i, value, par in mask_state:
+                latch = self._latches[i]
+                final_value, _final_par = golden.final.latches[i]
+                if not schedule.whole_write_after(i, cut):
+                    bits = schedule.bits_written_after(i, cut)
+                    latch.value = (value & ~bits) | (final_value & bits)
+                if not schedule.whole_write_after(i, cut, is_parity=True):
+                    latch.par = par
+            if exit_kind == "masked":
+                site.latch.value, site.latch.par = frozen
+        outcome = classify(core, reference.testcase,
+                           config.classify_options)
+        if inst is not None:
+            if start_cycle > 0:
+                inst.ladder_hits.inc()
+            else:
+                inst.ladder_misses.inc()
+            if exit_kind is not None:
+                inst.early_exits.inc(reason=exit_kind)
+            inst.cycles_saved.observe(float(cycles_saved))
+        extras = {"saved_cycles": cycles_saved}
+        if exit_kind is not None:
+            extras["exit"] = exit_kind
+        self.last_fastpath = extras
+        self.last_provenance = None
+        return InjectionRecord(
+            site_index=site_index,
+            site_name=site.name,
+            unit=self.latch_map.unit_of(site_index),
+            kind=site.latch.kind,
+            ring=site.latch.ring,
+            testcase_seed=reference.testcase.seed,
+            inject_cycle=inject_cycle,
+            outcome=outcome,
+            trace=tuple(core.event_log),
+        )
+
+    def _drain_bitplane(self, tc_index: int, budget: int,
+                        site) -> tuple[str, int] | None:
+        """Peeled-lane drain against the bit-plane lag map.
+
+        Every drained cycle, the trial's set-masked *lag-free* digest
+        (cycle counter excluded, never-read mask set excluded — neither
+        can influence future golden-mirroring evolution) is looked up in
+        the golden lag map.  A hit at golden cycle ``u`` means the trial
+        is the golden machine at ``u``, possibly delayed: recovery
+        stalls the pipeline for a handful of cycles, after which the
+        trial replays the golden trajectory shifted in time, which a
+        same-cycle compare can never see.  Returns ``("rejoin", u)``.
+
+        A second, stride-cadence check handles the flip that golden
+        never reads again (``("masked", cycle)``): the diverged latch is
+        inert, so compare with it temporarily held at its golden-final
+        value.  Checks are skipped while a sticky fault still re-arms
+        (the flip keeps returning) and while the recovery sequencer is
+        active (golden never leaves ``R_IDLE``, so no digest can match).
+        """
+        core = self.core
+        emulator = self.emulator
+        golden = self.goldens[tc_index]
+        schedule = self.schedules[tc_index]
+        lagmap = self._bp_lagmap[tc_index]
+        masked_trail = self._bp_masked[tc_index]
+        mask = schedule.mask_indices
+        stride = BITPLANE_DIGEST_STRIDE
+        end = golden.end_cycle
+        latch = site.latch
+        in_mask = self._latch_index[id(latch)] in mask
+        last_touch = golden.last_touch.get(id(latch), -1)
+        frozen = golden.final.latches[self._latch_index[id(latch)]]
+        rstate = core.pervasive.rstate
+        remaining = budget
+        while remaining > 0:
+            run = emulator.clock(1)
+            remaining -= run
+            if run < 1 or core.quiesced:
+                return None
+            if emulator.sticky_pending or rstate.value != R_IDLE:
+                continue
+            rejoin = lagmap.get(
+                core.state_digest(exclude=mask, include_cycle=False))
+            if rejoin is not None:
+                return ("rejoin", rejoin)
+            cycle = core.cycles
+            if (not in_mask and cycle < end and cycle % stride == 0
+                    and last_touch <= cycle):
+                reference_masked = masked_trail.get(cycle)
+                if reference_masked is None:
+                    continue
+                held = (latch.value, latch.par)
+                latch.value, latch.par = frozen
+                masked_digest = core.state_digest(exclude=mask)
+                latch.value, latch.par = held
+                if masked_digest == reference_masked:
+                    return ("masked", cycle)
+        return None
+
     def run_plan(self, plan: list[InjectionPlan], seed: int = 0,
                  record_hook=None) -> CampaignResult:
         """Execute plan items (in the given order).
@@ -633,6 +1077,9 @@ class SfiExperiment:
                 pair[0].testcase_index, pair[1], pair[0].position))
         report = ProvenanceReport() if self.config.provenance else None
         records: dict[int, InjectionRecord] = {}
+        if self.bitplane:
+            self._run_waves(scheduled, records, record_hook)
+            order = ()  # every record produced by the wave path
         for item, inject_cycle in order:
             start = time.perf_counter() if inst is not None else 0.0
             record = self.run_one(item.site_index, item.testcase_index,

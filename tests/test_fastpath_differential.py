@@ -8,29 +8,22 @@ randomized mini-campaigns whose slow-path outcomes span every class —
 vanished, corrected, hang, checkstop and SDC — across ladder strides
 K in {1, 7, 64, inf}.
 
-On a mismatch, a repro line per differing record is appended to the file
-named by ``FASTPATH_REPRO_FILE`` (default ``fastpath-failing-seeds.txt``
-in the working directory); CI uploads it as an artifact.
+Campaign plumbing and failing-seed reporting live in
+``tests/difftools.py`` (shared with the bit-plane suite).
 """
 
 from __future__ import annotations
 
-import os
-import random
-
 import pytest
 
-from repro.cpu import CoreParams
 from repro.rtl.fault import InjectionMode
 from repro.sfi import CampaignConfig, ClassifyOptions, SfiExperiment
 from repro.sfi.outcomes import Outcome
-from repro.sfi.sampling import random_sample
+
+from tests.difftools import (BASE_CONFIG, report_mismatches, run_campaign,
+                             sample_sites)
 
 pytestmark = pytest.mark.differential
-
-SMALL_PARAMS = CoreParams(scale=0.15, icache_lines=32, dcache_lines=32)
-
-_BASE = dict(suite_size=2, suite_seed=99, core_params=SMALL_PARAMS)
 
 #: name -> (config overrides, campaign seed, flips).  Seeds are chosen so
 #: the slow-path outcomes of these mini-campaigns jointly cover every
@@ -54,13 +47,8 @@ STRIDES = {"K1": 1, "K7": 7, "K64": 64, "Kinf": None}
 
 def _campaign(case: str, *, fastpath: bool, ckpt_stride=64):
     overrides, seed, flips = CASES[case]
-    config = CampaignConfig(**_BASE, **overrides, fastpath=fastpath,
-                            ckpt_stride=ckpt_stride)
-    experiment = SfiExperiment(config)
-    sites = random_sample(experiment.latch_map, flips,
-                          random.Random(seed ^ 0x5F1))
-    result = experiment.run_campaign(sites, seed)
-    return experiment, result
+    return run_campaign(overrides, seed, flips, fastpath=fastpath,
+                        ckpt_stride=ckpt_stride)
 
 
 @pytest.fixture(scope="module")
@@ -76,34 +64,14 @@ def slow_records():
     return get
 
 
-def _report_mismatches(case: str, stride_name: str, seed: int,
-                       slow, fast) -> list[str]:
-    lines = []
-    for index, (a, b) in enumerate(zip(slow, fast)):
-        if a != b:
-            lines.append(
-                f"case={case} stride={stride_name} seed={seed} "
-                f"record={index} site={a.site_index} "
-                f"testcase_seed={a.testcase_seed} cycle={a.inject_cycle} "
-                f"slow={a.outcome.value} fast={b.outcome.value} "
-                f"trace_equal={a.trace == b.trace}")
-    if lines:
-        path = os.environ.get("FASTPATH_REPRO_FILE",
-                              "fastpath-failing-seeds.txt")
-        with open(path, "a", encoding="utf-8") as handle:
-            for line in lines:
-                handle.write(line + "\n")
-    return lines
-
-
 @pytest.mark.parametrize("case", sorted(CASES))
 @pytest.mark.parametrize("stride_name", sorted(STRIDES))
 def test_fast_path_records_bit_identical(case, stride_name, slow_records):
     slow = slow_records(case)
     experiment, result = _campaign(case, fastpath=True,
                                    ckpt_stride=STRIDES[stride_name])
-    mismatches = _report_mismatches(case, stride_name, CASES[case][1],
-                                    slow, result.records)
+    mismatches = report_mismatches(f"{case}/{stride_name}", CASES[case][1],
+                                   slow, result.records)
     assert not mismatches, \
         "fast path diverged from slow path:\n" + "\n".join(mismatches)
     assert len(slow) == len(result.records)
@@ -132,11 +100,10 @@ def test_trace_ring_truncation_under_pressure(slow_records):
     dropped count baked into the trace) is bit-identical."""
     overrides, seed, flips = CASES["toggle"]
     for fastpath in (False, True):
-        config = CampaignConfig(**_BASE, **overrides, fastpath=fastpath,
-                                trace_max_events=4)
+        config = CampaignConfig(**BASE_CONFIG, **overrides,
+                                fastpath=fastpath, trace_max_events=4)
         experiment = SfiExperiment(config)
-        sites = random_sample(experiment.latch_map, flips,
-                              random.Random(seed ^ 0x5F1))
+        sites = sample_sites(experiment, flips, seed)
         result = experiment.run_campaign(sites, seed)
         if not fastpath:
             slow = result.records

@@ -23,7 +23,8 @@ from repro.sfi.outcomes import Outcome
 from repro.sfi.sampling import random_sample
 from repro.sfi.supervisor import CampaignSupervisor
 
-from tests.test_fastpath_differential import _BASE, CASES
+from tests.difftools import BASE_CONFIG as _BASE
+from tests.test_fastpath_differential import CASES
 
 pytestmark = pytest.mark.differential
 

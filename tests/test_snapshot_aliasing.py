@@ -212,6 +212,84 @@ def test_ladder_rungs_do_not_alias(running_core):
     assert running_core.state_digest() == digests[rungs[1]]
 
 
+def test_lagfree_digest_ignores_exactly_the_cycle_counter(running_core):
+    """``include_cycle=False`` is the lag-shifted rejoin's digest: blind
+    to the cycle counter (a recovery-delayed trial matches an earlier
+    golden cycle) and to nothing else."""
+    full = running_core.state_digest()
+    lagfree = running_core.state_digest(include_cycle=False)
+    running_core.cycles += 1
+    assert running_core.state_digest() != full
+    assert running_core.state_digest(include_cycle=False) == lagfree
+
+
+@pytest.mark.parametrize("field", sorted(set(MUTATIONS) - {"cycles"}))
+def test_lagfree_digest_sensitive_to_every_other_field(running_core, field):
+    before = running_core.state_digest(include_cycle=False)
+    MUTATIONS[field](running_core)
+    assert running_core.state_digest(include_cycle=False) != before, \
+        f"lag-free digest blind to {field} mutation"
+
+
+def test_exclusion_composes_with_lagfree_digest(running_core):
+    """The drain's actual compare: mask exclusion and cycle exclusion
+    are orthogonal — together they ignore the masked latch and the
+    cycle counter, and still see everything else."""
+    core = running_core
+    index = core.all_latches().index(core.rut.cmt_res)
+    mask = frozenset({index})
+    before = core.state_digest(exclude=mask, include_cycle=False)
+    core.rut.cmt_res.value ^= 1
+    core.cycles += 1
+    assert core.state_digest(exclude=mask, include_cycle=False) == before
+    core.pervasive.fir_rec.value ^= 1
+    assert core.state_digest(exclude=mask, include_cycle=False) != before
+
+
+# ----------------------------------------------------------------------
+# Bit-plane state: wave reconstructions restore golden snapshots and
+# splice event tails dozens of times per campaign — none of it may leak
+# back into the stored goldens or the compiled schedule.
+
+def test_wave_reconstruction_does_not_alias_golden_state():
+    """Re-running a bit-plane campaign on the same prepared experiment
+    must reproduce every record — the golden finals, event tails and
+    compiled schedules it reconstructs from are never mutated."""
+    import copy
+
+    from tests.difftools import run_campaign
+
+    experiment, result = run_campaign({}, 4, 40, backend="bitplane")
+    finals = [copy.deepcopy(golden.final) for golden in experiment.goldens]
+    tails = [tuple(golden.events) for golden in experiment.goldens]
+    digests = [schedule.model_digest for schedule in experiment.schedules]
+    sites = [record.site_index for record in result.records]
+    again = experiment.run_campaign(sites, 4)
+    assert again.records == result.records
+    for golden, final, tail in zip(experiment.goldens, finals, tails):
+        assert golden.final == final
+        assert tuple(golden.events) == tail
+    assert [s.model_digest for s in experiment.schedules] == digests
+
+
+def test_compiled_schedule_cache_shares_frozen_schedules():
+    """Two experiments with identical config hit the schedule cache —
+    same object — which is only sound because nothing downstream
+    mutates it: resolving the same wave twice is bit-stable."""
+    from tests.difftools import run_campaign, sample_sites
+
+    exp1, result1 = run_campaign({}, 4, 40, backend="bitplane")
+    exp2, result2 = run_campaign({}, 4, 40, backend="bitplane")
+    assert [id(s) for s in exp1.schedules] == [id(s) for s in exp2.schedules]
+    assert result1.records == result2.records
+    schedule = exp1.schedules[0]
+    site = exp1.latch_map.site(sample_sites(exp1, 1, 4)[0])
+    descriptor = (exp1._latch_index[id(site.latch)], site.bit,
+                  site.is_parity_bit, 10)
+    assert schedule.resolve_wave([descriptor]) \
+        == schedule.resolve_wave([descriptor])
+
+
 def test_rung_restore_matches_replay_from_base(running_core):
     """A restored rung is bit-identical to replaying from the base
     checkpoint for the same number of cycles (the fast path's core
