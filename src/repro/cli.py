@@ -153,6 +153,24 @@ class _TraceLogProgress:
         return lambda *args, **kwargs: None
 
 
+class _ExecutedCounter:
+    """Progress observer separating this run's work from journal
+    recovery, so the summary rate never divides by resumed records."""
+
+    def __init__(self) -> None:
+        self.executed = 0
+        self.recovered = 0
+
+    def on_start(self, total: int, pending: int) -> None:
+        self.recovered = total - pending
+
+    def on_record(self, position: int, record) -> None:
+        self.executed += 1
+
+    def __getattr__(self, name):
+        return lambda *args, **kwargs: None
+
+
 def cmd_campaign(args) -> int:
     config = _config(args)
     start = time.perf_counter()
@@ -187,15 +205,25 @@ def cmd_campaign(args) -> int:
             # determinism contract REPRO-D01 enforces repo-wide.
             sites = random_sample(probe.latch_map, args.flips,
                                   Random(args.seed ^ 0x5F1))
-            observers = []
+            counter = _ExecutedCounter()
+            observers = [counter]
             if not args.json:
                 observers.append(PrintProgress(
                     every=max(1, args.flips // 10)))
             if trace_writer is not None:
                 observers.append(_TraceLogProgress(trace_writer))
+            telemetry_on = getattr(args, "telemetry", 0.0) > 0
+            trace = None
+            if telemetry_on:
+                from repro.obs.fleet import SpanRecorder
+                trace = SpanRecorder()
             transport = None
             if args.listen is not None:
                 from repro.sfi.service.coordinator import SocketTransport
+                convergence = None
+                if telemetry_on:
+                    from repro.obs.convergence import ConvergenceTracker
+                    convergence = ConvergenceTracker()
                 host, port = _parse_endpoint(args.listen,
                                              default_host="0.0.0.0")
                 transport = SocketTransport(
@@ -204,7 +232,10 @@ def cmd_campaign(args) -> int:
                     worker_wait=args.worker_wait,
                     min_workers=args.min_workers,
                     max_retries=args.max_retries,
-                    metrics=registry)
+                    metrics=registry,
+                    telemetry_interval=args.telemetry,
+                    campaign=args.journal or "",
+                    convergence=convergence)
                 if not args.json:
                     print(f"[coordinator] listening for workers on "
                           f"{host}:{transport.port}")
@@ -219,11 +250,29 @@ def cmd_campaign(args) -> int:
                 metrics=registry,
                 reference_cycles=[r.cycles for r in probe.references],
                 transport=transport,
+                trace=trace,
                 progress=TeeProgress(*observers) if observers else None)
+            executed = counter.executed
+            recovered = counter.recovered
+            if trace is not None and args.journal:
+                from repro.obs.fleet import write_span_log
+                spans = list(trace.drain())
+                if transport is not None:
+                    spans.extend(transport.worker_spans)
+                span_path = args.journal + ".spans"
+                write_span_log(span_path, spans, campaign=args.journal)
+                if not args.json:
+                    print(f"{len(spans)} fleet spans -> {span_path}")
+            if registry is not None and transport is not None \
+                    and transport.fleet is not None:
+                # Fold the worker-streamed cumulatives into the exported
+                # snapshot (same merge semantics as shard results).
+                registry.merge(transport.fleet.fleet)
         else:
             experiment = SfiExperiment(config)
             result = experiment.run_random_campaign(args.flips,
                                                     seed=args.seed)
+            executed, recovered = result.total, 0
     finally:
         if trace_writer is not None:
             trace_writer.close()
@@ -235,8 +284,12 @@ def cmd_campaign(args) -> int:
             write_jsonl(registry, args.metrics_jsonl)
     elapsed = time.perf_counter() - start
     if not args.json:
+        # Rate over the injections this process actually ran: a resumed
+        # campaign's journal-recovered records cost no wall-clock here.
         print(f"{result.total} injections in {elapsed:.1f}s "
-              f"({1000 * elapsed / max(1, result.total):.0f} ms each)")
+              f"({1000 * elapsed / max(1, executed):.0f} ms each"
+              + (f"; {recovered} recovered from journal" if recovered
+                 else "") + ")")
         if trace_writer is not None:
             print(f"{trace_writer.written} span chains -> {args.trace_log} "
                   f"({trace_writer.filtered} vanished filtered)")
@@ -722,6 +775,8 @@ def _service_config_payload(args) -> dict:
 
 
 def cmd_status(args) -> int:
+    if args.journal:
+        return _status_journal(args)
     reply = _control(args, {"op": "status", "id": args.id})
     if reply is None:
         return 2
@@ -739,6 +794,34 @@ def cmd_status(args) -> int:
     for spec in campaigns:
         print(f"{spec['id']:<12}{spec['state']:<11}{spec['sites']:>7}"
               f"{spec['records']:>9}  {spec['detail']}")
+    return 0
+
+
+def _status_journal(args) -> int:
+    """Offline campaign status: journal progress plus statistical
+    convergence (the live coordinator folds the same counts, so the two
+    views agree exactly on a finished journal)."""
+    from repro.obs import read_journal_progress
+    from repro.obs.convergence import ConvergenceTracker, render_convergence
+    progress = read_journal_progress(args.journal)
+    if not progress.done and progress.total == 0:
+        print(f"{args.journal}: no readable journal records yet",
+              file=sys.stderr)
+        return 2
+    tracker = ConvergenceTracker.from_counts(
+        progress.unit_outcomes, target_width=args.target_width)
+    if args.json:
+        json.dump({"journal": str(args.journal), "done": progress.done,
+                   "total": progress.total,
+                   "complete": progress.complete,
+                   "convergence": tracker.snapshot()},
+                  sys.stdout, indent=2)
+        print()
+        return 0
+    state = "complete" if progress.complete else "in progress"
+    print(f"{args.journal}: {progress.done}/{progress.total or '?'} "
+          f"injections ({state})")
+    print(render_convergence(tracker))
     return 0
 
 
@@ -778,13 +861,91 @@ def cmd_journal(args) -> int:
 
 
 def cmd_monitor(args) -> int:
+    if args.connect:
+        return _monitor_fleet(args)
+    if not args.journal:
+        print("monitor needs --journal (tail a journal) or --connect "
+              "(live fleet view from a coordinator)", file=sys.stderr)
+        return 2
     from repro.obs import monitor_campaign
     return monitor_campaign(
         args.journal,
         metrics_path=args.metrics,
         interval=args.interval,
         follow=not args.once,
-        max_updates=args.max_updates)
+        max_updates=args.max_updates,
+        target_width=args.target_width,
+        convergence=not args.no_convergence)
+
+
+def _monitor_fleet(args) -> int:
+    """Live fleet view: join a telemetry-enabled coordinator as a
+    read-only monitor and render the snapshots it pushes."""
+    import socket
+
+    from repro.obs.convergence import render_convergence
+    from repro.obs.fleet import unpack_payload, render_fleet
+    from repro.sfi.service.messages import (
+        FleetSnapshotMessage,
+        MonitorHelloMessage,
+    )
+    from repro.sfi.service.wire import FrameError, recv_message, send_message
+
+    host, port = _parse_endpoint(args.connect)
+    try:
+        sock = socket.create_connection((host, port), timeout=10.0)
+    except OSError as exc:
+        print(f"cannot reach coordinator {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 2
+    frames = 0
+    last: dict = {}          # worker -> (monotonic stamp, injections)
+    try:
+        sock.settimeout(max(args.interval * 10, 30.0))
+        send_message(sock, MonitorHelloMessage().to_wire())
+        while True:
+            try:
+                payload = recv_message(sock)
+            except (FrameError, OSError) as exc:
+                print(f"[monitor] connection lost: {exc}", file=sys.stderr)
+                return 0 if frames else 2
+            if payload is None:
+                # Orderly close: the campaign finished.
+                return 0
+            if payload.get("type") != FleetSnapshotMessage.TYPE:
+                continue
+            try:
+                snapshot = unpack_payload(payload.get("snapshot") or "")
+            except ValueError:
+                continue
+            frames += 1
+            now = time.monotonic()
+            rates = _fleet_rates(snapshot, last, now)
+            print(render_fleet(snapshot, rates=rates))
+            if snapshot.get("convergence"):
+                print(render_convergence(snapshot["convergence"], limit=4))
+            sys.stdout.flush()
+            if args.once or (args.max_updates is not None
+                             and frames >= args.max_updates):
+                return 0
+    except KeyboardInterrupt:
+        return 130
+    finally:
+        sock.close()
+
+
+def _fleet_rates(snapshot: dict, last: dict, now: float) -> dict:
+    """Per-worker injections/s from consecutive fleet snapshots."""
+    from repro.obs.fleet import _counter_total
+    rates = {}
+    for name, info in snapshot.get("workers", {}).items():
+        injections = _counter_total(info.get("snapshot", []),
+                                    "sfi_injections_total")
+        stamp, previous = last.get(name, (None, None))
+        if stamp is not None and now > stamp and injections >= previous:
+            rates[name] = (injections - previous) / (now - stamp)
+        last[name] = (now, injections)
+    return rates
 
 
 def cmd_stats(args) -> int:
@@ -848,6 +1009,8 @@ def cmd_ingest(args) -> int:
                           f"record(s) ({state}), "
                           f"{stats.lease_events} lease event(s), "
                           f"{stats.provenance_rows} provenance row(s)"
+                          + (f", {stats.span_rows} span(s)"
+                             if stats.span_rows else "")
                           + (f", {stats.skipped} line(s) skipped"
                              if stats.skipped else ""))
     except WarehouseError as exc:
@@ -896,6 +1059,21 @@ def cmd_query(args) -> int:
             elif args.what == "structural":
                 value = queries.bounds_vs_measured(warehouse, campaign)
                 text = queries.render_bounds_vs_measured(value)
+            elif args.what == "convergence":
+                from repro.obs.convergence import render_convergence
+                tracker = queries.convergence(
+                    warehouse, campaign,
+                    target_width=args.target_width)
+                value = tracker.snapshot()
+                text = render_convergence(tracker)
+            elif args.what == "spans":
+                if campaign is not None:
+                    value = queries.campaign_critical_path(warehouse,
+                                                           campaign)
+                    text = queries.render_critical_path(value)
+                else:
+                    value = queries.span_phases(warehouse)
+                    text = queries.render_span_phases(value)
             else:  # plans
                 value = queries.query_plans(warehouse)
                 text = "\n".join(
@@ -999,6 +1177,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-workers", type=int, default=0,
                    help="wait for this many workers before granting "
                         "the first lease")
+    p.add_argument("--telemetry", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="fleet telemetry: workers stream metrics and "
+                        "spans back roughly every SECONDS, the "
+                        "coordinator tracks live convergence and serves "
+                        "`repro-sfi monitor --connect`, and the merged "
+                        "span tree lands in <journal>.spans (0 "
+                        "disables; journals are byte-identical either "
+                        "way)")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("units", help="per-unit campaigns (Figures 3 & 4)")
@@ -1194,9 +1381,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sticky", action="store_true")
     p.set_defaults(func=cmd_submit)
 
-    p = sub.add_parser("status", help="list a serve instance's campaigns")
+    p = sub.add_parser("status",
+                       help="list a serve instance's campaigns, or "
+                            "(--journal) one campaign's progress and "
+                            "statistical convergence")
     p.add_argument("--server", metavar="HOST:PORT", default="127.0.0.1:2008")
     p.add_argument("--id", default=None, help="show one campaign only")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="offline mode: report this journal's progress "
+                        "and per-unit Wilson-interval convergence "
+                        "instead of asking a server")
+    p.add_argument("--target-width", type=float, default=0.02,
+                   help="full CI width every estimate should reach "
+                        "(default 0.02 = ±1%%)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_status)
 
@@ -1216,9 +1413,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_journal)
 
     p = sub.add_parser("monitor",
-                       help="live view of a running campaign's journal")
-    p.add_argument("--journal", metavar="PATH", required=True,
+                       help="live view of a running campaign: tail its "
+                            "journal, or --connect to a telemetry-"
+                            "enabled coordinator for the fleet view")
+    p.add_argument("--journal", metavar="PATH",
                    help="the campaign's --journal file to tail")
+    p.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="join a coordinator started with --telemetry as "
+                        "a read-only monitor (streamed worker metrics, "
+                        "fleet totals, live convergence)")
     p.add_argument("--metrics", metavar="PATH",
                    help="also show headline series from this metrics "
                         "snapshot (Prometheus textfile or JSONL)")
@@ -1229,6 +1432,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-updates", type=int, default=None,
                    help="stop after this many frames (default: until "
                         "the campaign completes)")
+    p.add_argument("--target-width", type=float, default=0.02,
+                   help="convergence target: full CI width every "
+                        "estimate should reach (default 0.02 = ±1%%)")
+    p.add_argument("--no-convergence", action="store_true",
+                   help="skip the per-unit convergence table")
     p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("stats",
@@ -1274,12 +1482,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "percentiles, fast-path, lease health)")
     p.add_argument("what", choices=("campaigns", "units", "ser", "latency",
                                     "fastpath", "leases", "structural",
-                                    "plans"),
-                   help="which question to answer")
+                                    "convergence", "spans", "plans"),
+                   help="which question to answer ('convergence': Wilson "
+                        "CI widths and trials-to-target; 'spans': phase "
+                        "totals, or the critical path with --campaign)")
     p.add_argument("--db", metavar="PATH", default="warehouse.sqlite")
     p.add_argument("--campaign", default=None,
-                   help="restrict units/latency to one campaign "
-                        "(warehouse name)")
+                   help="restrict units/latency/convergence/spans to "
+                        "one campaign (warehouse name)")
+    p.add_argument("--target-width", type=float, default=0.02,
+                   help="convergence target: full CI width every "
+                        "estimate should reach (default 0.02 = ±1%%)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_query)
 

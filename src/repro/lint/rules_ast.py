@@ -101,12 +101,20 @@ _HISTOGRAM_SUFFIXES = ("_seconds", "_bytes", "_cycles", "_bits", "_lanes")
 #: Warehouse metrics get a narrower namespace so dashboards can select
 #: the ingest pipeline with one prefix match.
 _WAREHOUSE_METRIC_PREFIXES = ("sfi_ingest_", "sfi_warehouse_")
+#: Same idea for the fleet-telemetry modules: the coordinator's own
+#: accounting and the convergence gauges each own a prefix, so a
+#: monitor can split worker-streamed series from fold-side series.
+_PATH_METRIC_PREFIXES = {
+    "obs/fleet.py": ("sfi_fleet_",),
+    "obs/convergence.py": ("sfi_convergence_",),
+}
 
 # --- REPRO-N02 ---------------------------------------------------------
 _EVENT_VALUE_RE = re.compile(r"^[a-z][a-z0-9-]*$")
-# Enum classes whose values are serialized wire format: machine events
-# plus the provenance vocabulary (masking causes, taint node kinds).
-_SERIALIZED_ENUM_MARKERS = ("Event", "Taint", "Masking")
+# Enum classes whose values are serialized wire format: machine events,
+# the provenance vocabulary (masking causes, taint node kinds), and the
+# fleet span phases stored in .spans sidecars and the warehouse.
+_SERIALIZED_ENUM_MARKERS = ("Event", "Taint", "Masking", "Phase")
 
 # --- REPRO-S01 ---------------------------------------------------------
 _SCHEMA_CONSTANTS = ("SCHEMA_VERSION", "SCHEMA_DDL", "SCHEMA_FINGERPRINT")
@@ -437,6 +445,10 @@ class _FileChecker(ast.NodeVisitor):
                 and not name.startswith(_WAREHOUSE_METRIC_PREFIXES)):
             problems.append("warehouse metrics must carry a "
                             "sfi_ingest_/sfi_warehouse_ prefix")
+        scoped = _PATH_METRIC_PREFIXES.get(self.relpath)
+        if scoped and not name.startswith(scoped):
+            problems.append(f"metrics in {self.relpath} must carry a "
+                            + "/".join(scoped) + " prefix")
         if problems:
             self._report(
                 "REPRO-N01", Severity.WARNING, "naming", node,

@@ -13,6 +13,11 @@ the read-only journal-cursor primitives in ``repro.sfi.storage`` with
 the warehouse tailer, so both consume journals identically.
 """
 
+from repro.obs.convergence import (
+    ConvergenceRow,
+    ConvergenceTracker,
+    render_convergence,
+)
 from repro.obs.exporters import (
     ParsedMetrics,
     load_jsonl_snapshot,
@@ -21,6 +26,18 @@ from repro.obs.exporters import (
     render_prometheus,
     write_jsonl,
     write_prometheus,
+)
+from repro.obs.fleet import (
+    FleetRegistry,
+    FleetSpanPhase,
+    Span,
+    SpanRecorder,
+    TelemetryStream,
+    critical_path,
+    read_span_log,
+    rebase_spans,
+    render_fleet,
+    write_span_log,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -37,6 +54,7 @@ from repro.obs.monitor import (
     JournalProgress,
     advance_journal_progress,
     format_duration,
+    lease_sidecar_lines,
     load_metrics_file,
     monitor_campaign,
     read_journal_progress,
@@ -60,8 +78,12 @@ from repro.obs.trace import (
 __all__ = [
     "DEFAULT_BUCKETS",
     "TRACE_FORMAT_VERSION",
+    "ConvergenceRow",
+    "ConvergenceTracker",
     "CoreProfiler",
     "Counter",
+    "FleetRegistry",
+    "FleetSpanPhase",
     "Gauge",
     "Histogram",
     "JournalProgress",
@@ -71,18 +93,27 @@ __all__ = [
     "MetricsRegistry",
     "ParsedMetrics",
     "ProvenanceReport",
+    "Span",
+    "SpanRecorder",
     "TaintNodeKind",
+    "TelemetryStream",
     "TraceWriter",
     "advance_journal_progress",
     "chain_from_record",
+    "critical_path",
     "default_registry",
     "format_duration",
+    "lease_sidecar_lines",
     "load_jsonl_snapshot",
     "load_metrics_file",
     "monitor_campaign",
     "parse_prometheus_text",
     "read_journal_progress",
+    "read_span_log",
     "read_trace_log",
+    "rebase_spans",
+    "render_convergence",
+    "render_fleet",
     "render_jsonl",
     "render_monitor_frame",
     "render_prometheus",

@@ -1,0 +1,199 @@
+"""Live statistical convergence: Wilson CI widths per unit and outcome.
+
+The paper's machinery (§2.1) answers "how many flips do I need" *before*
+a campaign; this module answers "how far along am I" *during* one.  A
+:class:`ConvergenceTracker` folds (unit, outcome) counts — from a
+journal tail, a warehouse query, or live records — into per-category
+Wilson interval widths and a trials-to-target estimate via
+:func:`repro.stats.required_trials_for_width`.
+
+The tracker is a pure fold: feeding it the same counts in any order
+yields the same rows, so the live view in ``repro-sfi status`` /
+``repro-sfi monitor`` matches an offline recomputation from the journal
+exactly.  It never imports the execution layers; callers hand it unit
+and outcome strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stats import required_trials_for_width, wilson_width
+
+__all__ = [
+    "ConvergenceRow",
+    "ConvergenceTracker",
+    "render_convergence",
+]
+
+#: Default full-width target for a "converged" category: +/-1%.
+DEFAULT_TARGET_WIDTH = 0.02
+
+
+@dataclass(frozen=True)
+class ConvergenceRow:
+    """One (unit, outcome) category's convergence state."""
+
+    unit: str
+    outcome: str
+    count: int        #: records in this category
+    trials: int       #: all records for the unit (the denominator)
+    proportion: float
+    width: float      #: full Wilson interval width at ``trials``
+    converged: bool
+    trials_needed: int  #: total unit trials for the target width
+
+
+@dataclass
+class ConvergenceTracker:
+    """Folds per-unit outcome counts into Wilson-width convergence rows.
+
+    ``target_width`` is the full interval width (high - low) a category
+    must narrow to before it counts as converged.
+    """
+
+    target_width: float = DEFAULT_TARGET_WIDTH
+    confidence: float = 0.95
+    _counts: dict = field(default_factory=dict)
+
+    def fold(self, unit: str, outcome: str, n: int = 1) -> None:
+        """Account ``n`` more records of ``outcome`` in ``unit``."""
+        per_unit = self._counts.setdefault(str(unit), {})
+        per_unit[str(outcome)] = per_unit.get(str(outcome), 0) + int(n)
+
+    def fold_counts(self, breakdown: dict) -> None:
+        """Fold a ``unit -> outcome -> count`` mapping (warehouse shape)."""
+        for unit, outcomes in breakdown.items():
+            for outcome, count in outcomes.items():
+                self.fold(unit, outcome, count)
+
+    @classmethod
+    def from_counts(cls, breakdown: dict, *,
+                    target_width: float = DEFAULT_TARGET_WIDTH,
+                    confidence: float = 0.95) -> "ConvergenceTracker":
+        tracker = cls(target_width=target_width, confidence=confidence)
+        tracker.fold_counts(breakdown)
+        return tracker
+
+    @property
+    def total(self) -> int:
+        return sum(sum(per.values()) for per in self._counts.values())
+
+    def counts(self) -> dict:
+        """The folded ``unit -> outcome -> count`` state (copied)."""
+        return {unit: dict(per) for unit, per in
+                sorted(self._counts.items())}
+
+    def rows(self) -> list:
+        """Per-(unit, outcome) convergence rows, sorted for stable output."""
+        rows = []
+        for unit in sorted(self._counts):
+            per_unit = self._counts[unit]
+            trials = sum(per_unit.values())
+            if trials <= 0:
+                continue
+            for outcome in sorted(per_unit):
+                count = per_unit[outcome]
+                width = wilson_width(count, trials,
+                                     confidence=self.confidence)
+                needed = required_trials_for_width(
+                    count, trials, self.target_width,
+                    confidence=self.confidence)
+                rows.append(ConvergenceRow(
+                    unit=unit, outcome=outcome, count=count,
+                    trials=trials, proportion=count / trials,
+                    width=width,
+                    converged=width <= self.target_width,
+                    trials_needed=needed))
+        return rows
+
+    def worst(self):
+        """The widest (least converged) row, or None when empty."""
+        rows = self.rows()
+        return max(rows, key=lambda row: row.width) if rows else None
+
+    def remaining_trials(self) -> int:
+        """Additional trials until every category meets the target.
+
+        Per unit, the binding category is the one demanding the most
+        trials; across units the campaign must satisfy all of them, so
+        the answer is the sum of per-unit shortfalls.
+        """
+        shortfall: dict = {}
+        for row in self.rows():
+            missing = max(0, row.trials_needed - row.trials)
+            shortfall[row.unit] = max(shortfall.get(row.unit, 0), missing)
+        return sum(shortfall.values())
+
+    def publish(self, registry) -> None:
+        """Publish the convergence state as gauges.
+
+        Lets the exporters and the fleet monitor carry convergence next
+        to throughput without a second transport: widths are
+        last-write-wins by construction, so republishing is idempotent.
+        """
+        width = registry.gauge(
+            "sfi_convergence_width",
+            "full Wilson interval width per unit and outcome",
+            labelnames=("unit", "outcome"))
+        needed = registry.gauge(
+            "sfi_convergence_trials_needed",
+            "total unit trials required to reach the target width",
+            labelnames=("unit", "outcome"))
+        for row in self.rows():
+            width.set(row.width, unit=row.unit, outcome=row.outcome)
+            needed.set(row.trials_needed, unit=row.unit,
+                       outcome=row.outcome)
+        registry.gauge(
+            "sfi_convergence_remaining_trials",
+            "estimated additional trials until every category converges",
+        ).set(self.remaining_trials())
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary (``--json`` paths and the fleet monitor)."""
+        return {
+            "target_width": self.target_width,
+            "confidence": self.confidence,
+            "total": self.total,
+            "remaining_trials": self.remaining_trials(),
+            "rows": [{
+                "unit": row.unit, "outcome": row.outcome,
+                "count": row.count, "trials": row.trials,
+                "proportion": round(row.proportion, 6),
+                "width": round(row.width, 6),
+                "converged": row.converged,
+                "trials_needed": row.trials_needed,
+            } for row in self.rows()],
+        }
+
+
+def render_convergence(source, *, limit: int = 0) -> str:
+    """Text table for ``repro-sfi status`` / the monitor.
+
+    ``source`` is a :class:`ConvergenceTracker` or the dict its
+    :meth:`~ConvergenceTracker.snapshot` produced (the fleet monitor
+    receives the latter over the wire).  ``limit`` > 0 keeps only the
+    widest rows — the monitor's terminal frame has room for a handful,
+    and the widest are the ones still driving the campaign length.
+    """
+    snap = source.snapshot() if isinstance(source, ConvergenceTracker) \
+        else source
+    rows = snap.get("rows", [])
+    if not rows:
+        return "convergence: no records yet"
+    shown = sorted(rows, key=lambda row: -row["width"])
+    if limit > 0:
+        shown = shown[:limit]
+    lines = [f"convergence toward ±{snap['target_width'] / 2:.3%} "
+             f"({snap['confidence']:.0%} Wilson):"]
+    for row in shown:
+        status = "ok" if row["converged"] else \
+            f"needs {row['trials_needed']:,} trials"
+        lines.append(
+            f"  {row['unit']:<8} {row['outcome']:<16} "
+            f"{row['count']:>7}/{row['trials']:<7} "
+            f"p={row['proportion']:.4f} width={row['width']:.4f}  {status}")
+    remaining = snap.get("remaining_trials", 0)
+    lines.append(f"  estimated additional trials to target: {remaining:,}"
+                 if remaining else "  all categories converged")
+    return "\n".join(lines)

@@ -20,6 +20,7 @@ warehouse tailer uses) instead of re-parsing the whole journal.
 
 from __future__ import annotations
 
+import json
 import math
 import sys
 import time
@@ -27,6 +28,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.convergence import ConvergenceTracker, render_convergence
 from repro.obs.exporters import load_jsonl_snapshot, parse_prometheus_text
 from repro.obs.metrics import Histogram, MetricsRegistry
 # The one place obs reaches into an execution-layer module: the journal
@@ -39,6 +41,7 @@ __all__ = [
     "JournalProgress",
     "advance_journal_progress",
     "format_duration",
+    "lease_sidecar_lines",
     "load_metrics_file",
     "monitor_campaign",
     "read_journal_progress",
@@ -70,6 +73,10 @@ class JournalProgress:
     fastpath: int = 0
     saved_cycles: int = 0
     early_exits: Counter = field(default_factory=Counter)
+    # Per-unit outcome counts — the convergence tracker's input, folded
+    # here so the live view and an offline journal recount are the same
+    # computation on the same accumulator.
+    unit_outcomes: dict = field(default_factory=dict)
     cursor: JournalCursor = field(default_factory=JournalCursor)
     positions: set = field(default_factory=set, repr=False)
 
@@ -100,6 +107,7 @@ def advance_journal_progress(progress: JournalProgress) -> JournalProgress:
         progress.fastpath = 0
         progress.saved_cycles = 0
         progress.early_exits.clear()
+        progress.unit_outcomes.clear()
         progress.positions.clear()
     if progress.cursor.header is not None:
         progress.header = progress.cursor.header
@@ -110,6 +118,10 @@ def advance_journal_progress(progress: JournalProgress) -> JournalProgress:
         record = payload.get("record", {})
         outcome = record.get("outcome") if isinstance(record, dict) else None
         progress.outcomes[outcome or "?"] += 1
+        unit = record.get("unit") if isinstance(record, dict) else None
+        if unit and outcome:
+            per_unit = progress.unit_outcomes.setdefault(str(unit), {})
+            per_unit[str(outcome)] = per_unit.get(str(outcome), 0) + 1
         sidecar = payload.get("fastpath")
         if isinstance(sidecar, dict):
             progress.fastpath += 1
@@ -189,14 +201,72 @@ def _interesting_metric_lines(registry: MetricsRegistry) -> list[str]:
     for name in ("sfi_shard_retries_total", "sfi_shard_splits_total",
                  "sfi_degrades_total", "sfi_early_exits_total",
                  "sfi_ladder_hits_total", "sfi_ladder_misses_total",
-                 "sfi_taint_edges_total", "sfi_ingest_records_total"):
+                 "sfi_taint_edges_total", "sfi_ingest_records_total",
+                 "sfi_waves_total", "sfi_lease_reissues_total",
+                 "sfi_fenced_records_total"):
         metric = registry.get(name)
-        if metric is None:
+        if metric is None or isinstance(metric, Histogram):
             continue
         total = sum(metric.series().values())
         if total:
             lines.append(f"{name} = {total:g}")
+    occupancy = _histogram_mean(registry, "sfi_wave_occupancy_lanes")
+    if occupancy is not None:
+        lines.append(f"sfi_wave_occupancy_lanes mean = {occupancy:.2f}")
     return lines
+
+
+def _histogram_mean(registry: MetricsRegistry, name: str) -> float | None:
+    """Mean of a histogram in either loaded shape.
+
+    A JSONL snapshot keeps the Histogram object; the Prometheus text
+    loader folds ``<name>_sum`` / ``<name>_count`` into plain series, so
+    both spellings are checked.
+    """
+    metric = registry.get(name)
+    if isinstance(metric, Histogram):
+        count = sum(series.count for series in metric.series().values())
+        total = sum(series.sum for series in metric.series().values())
+        return total / count if count else None
+    total_metric = registry.get(f"{name}_sum")
+    count_metric = registry.get(f"{name}_count")
+    if total_metric is None or count_metric is None:
+        return None
+    count = sum(count_metric.series().values())
+    total = sum(total_metric.series().values())
+    return total / count if count else None
+
+
+def lease_sidecar_lines(journal_path: str | Path) -> list[str]:
+    """Lease/fencing health from the ``<journal>.leases`` sidecar.
+
+    One line summarizing grant/reclaim/split/fence counts when the
+    sidecar exists and has events; empty otherwise (serial campaigns
+    have no sidecar and the monitor shows nothing new).
+    """
+    sidecar = Path(str(journal_path) + ".leases")
+    try:
+        text = sidecar.read_text()
+    except OSError:
+        return []
+    counts: Counter = Counter()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line).get("event")
+        except (ValueError, AttributeError):
+            continue  # torn tail of a live writer
+        if event:
+            counts[event] += 1
+    if not counts:
+        return []
+    return [f"leases: grants={counts.get('grant', 0)} "
+            f"done={counts.get('done', 0)} "
+            f"reclaims={counts.get('reclaim', 0)} "
+            f"splits={counts.get('split', 0)} "
+            f"fenced={counts.get('fenced', 0)}"]
 
 
 def load_metrics_file(path: str | Path) -> MetricsRegistry | None:
@@ -242,6 +312,8 @@ def monitor_campaign(journal_path: str | Path, *,
                      interval: float = 2.0,
                      follow: bool = True,
                      max_updates: int | None = None,
+                     target_width: float = 0.02,
+                     convergence: bool = True,
                      out=None,
                      clock=time.monotonic,
                      sleep=time.sleep) -> int:
@@ -279,6 +351,12 @@ def monitor_campaign(journal_path: str | Path, *,
             registry = load_metrics_file(metrics_path)
             if registry is not None:
                 metrics_lines = _interesting_metric_lines(registry)
+        metrics_lines.extend(lease_sidecar_lines(journal_path))
+        if convergence and progress.unit_outcomes:
+            tracker = ConvergenceTracker.from_counts(
+                progress.unit_outcomes, target_width=target_width)
+            metrics_lines.extend(
+                render_convergence(tracker, limit=4).splitlines())
         if not progress.header and not journal_path.exists():
             print(f"[monitor] waiting for journal {journal_path}", file=out)
         else:

@@ -29,21 +29,26 @@ from __future__ import annotations
 import selectors
 import socket
 import time
+from dataclasses import replace
 
+from repro.obs.fleet import FleetRegistry, FleetSpanPhase, pack_payload
 from repro.sfi.campaign import InjectionPlan
 from repro.sfi.service.backoff import DEFAULT_CAP
 from repro.sfi.service.leases import LeaseLog, LeaseManager
 from repro.sfi.service.messages import (
     PROTOCOL_VERSION,
     ExtraMessage,
+    FleetSnapshotMessage,
     HeartbeatMessage,
     HelloMessage,
     LeaseMessage,
     Message,
+    MonitorHelloMessage,
     RecordMessage,
     ShardDoneMessage,
     ShardErrorMessage,
     ShutdownMessage,
+    TelemetryMessage,
     WelcomeMessage,
     config_to_dict,
     decode_message,
@@ -80,6 +85,7 @@ class _WorkerConn:
         self.reader = FrameReader()
         self.name: str | None = None       # set by hello
         self.ready = False                 # hello/welcome done
+        self.monitor = False               # read-only fleet viewer
         self.last_seen = clock()
         self.outbox = b""                  # unsent bytes (non-blocking)
 
@@ -114,7 +120,10 @@ class SocketTransport(ShardTransport):
                  worker_wait: float | None = 10.0,
                  min_workers: int = 0,
                  metrics=None,
-                 lease_log: str | None = None) -> None:
+                 lease_log: str | None = None,
+                 telemetry_interval: float = 0.0,
+                 campaign: str = "",
+                 convergence=None) -> None:
         self.host = host
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_grace = heartbeat_grace
@@ -126,7 +135,20 @@ class SocketTransport(ShardTransport):
         self.min_workers = min_workers
         self._inst = (_ServiceInstruments(metrics)
                       if metrics is not None else None)
+        self._metrics = metrics
         self._lease_log_path = lease_log
+        # Fleet telemetry (all observational; 0.0 turns streaming off
+        # and the protocol degrades to exactly the PR 6 wire traffic).
+        self.telemetry_interval = telemetry_interval
+        self.campaign = campaign
+        self.fleet = (FleetRegistry(metrics)
+                      if telemetry_interval > 0 else None)
+        self.worker_spans: list = []       # rebased, re-parented spans
+        self._lease_spans: dict[int, str] = {}  # token -> lease span id
+        self._convergence = convergence
+        self._last_push = 0.0
+        self._trace = None
+        self._trace_root = None
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -159,10 +181,19 @@ class SocketTransport(ShardTransport):
             backoff_cap=self.backoff_cap, log=log)
         config_payload = config_to_dict(supervisor.config)
         self._config_payload = config_payload
+        # Coordinator-side spans share the supervisor's recorder (same
+        # thread, same monotonic domain); absent a trace, every span
+        # call below is a no-op.
+        self._trace = getattr(supervisor, "trace", None)
+        self._trace_root = getattr(supervisor, "trace_root", None)
         starved_since: float | None = None
         reissues_seen = 0
         fenced_seen = 0
         waiting_for_fleet = self.min_workers > 0
+        fleet_wait_span = None
+        if waiting_for_fleet and self._trace is not None:
+            fleet_wait_span = self._trace.begin(
+                FleetSpanPhase.WORKER_WAIT, parent_id=self._trace_root)
         try:
             while leases.outstanding():
                 if leases.poisoned and not leases.queued \
@@ -174,6 +205,9 @@ class SocketTransport(ShardTransport):
                 if waiting_for_fleet and \
                         self._ready_count() >= self.min_workers:
                     waiting_for_fleet = False
+                    if fleet_wait_span is not None:
+                        self._trace.finish(fleet_wait_span)
+                        fleet_wait_span = None
                 # Metrics: fold the managers' counters incrementally.
                 if self._inst is not None:
                     if leases.reissues > reissues_seen:
@@ -195,9 +229,19 @@ class SocketTransport(ShardTransport):
                         break
             # Revoke whatever is still issued before draining, so a
             # worker surfacing after the fallback cannot double-journal.
+            if fleet_wait_span is not None:
+                self._trace.finish(fleet_wait_span)
+                fleet_wait_span = None
+            drain_span = None
+            if self._trace is not None:
+                drain_span = self._trace.begin(
+                    FleetSpanPhase.DRAIN, parent_id=self._trace_root)
             for token in sorted(leases.active):
                 supervisor.raise_fence(token)
+                self._finish_lease_span(token)
             leftover = leases.drain()
+            if drain_span is not None:
+                self._trace.finish(drain_span)
             if self._inst is not None:
                 if leases.reissues > reissues_seen:
                     self._inst.lease_reissues.inc(
@@ -249,6 +293,7 @@ class SocketTransport(ShardTransport):
         self._check_heartbeats(supervisor, leases)
         if grant_ok:
             self._grant_ready(supervisor, leases, seed, config_payload)
+        self._push_monitors()
         self._update_write_interest()
 
     def _poll_timeout(self, leases: LeaseManager) -> float:
@@ -320,9 +365,29 @@ class SocketTransport(ShardTransport):
             conn.ready = True
             conn.queue(WelcomeMessage(
                 config=self._config_payload,
-                heartbeat_interval=self.heartbeat_interval))
+                heartbeat_interval=self.heartbeat_interval,
+                telemetry_interval=self.telemetry_interval,
+                campaign=self.campaign))
+        elif isinstance(message, MonitorHelloMessage):
+            if message.protocol != PROTOCOL_VERSION:
+                conn.queue(ShutdownMessage(
+                    reason=f"protocol {message.protocol} != "
+                           f"{PROTOCOL_VERSION}"))
+                self._flush(conn)
+                self._drop(conn.sock, notify=False)
+                return
+            # Monitors are read-only: never granted leases, never
+            # heartbeat-reaped (ready stays False), just pushed at.
+            conn.monitor = True
+            conn.queue(FleetSnapshotMessage(
+                snapshot=pack_payload(self._fleet_snapshot())))
         elif isinstance(message, HeartbeatMessage):
             pass  # last_seen already refreshed on read
+        elif isinstance(message, TelemetryMessage):
+            if self.fleet is not None and conn.name is not None:
+                frame = message.to_wire()
+                frame["worker"] = conn.name  # coordinator-side identity
+                self._absorb_worker_spans(self.fleet.absorb(frame))
         elif isinstance(message, RecordMessage):
             lease = leases.accept(message.token, message.pos)
             if lease is None:
@@ -331,6 +396,7 @@ class SocketTransport(ShardTransport):
                 record = _record_from_dict(message.record)
             except Exception as exc:  # noqa: BLE001 - corrupt payload
                 leases.reclaim(message.token, f"bad record: {exc}")
+                self._finish_lease_span(message.token)
                 self._lose(conn, supervisor, leases,
                            f"undecodable record: {exc}")
                 return
@@ -338,12 +404,17 @@ class SocketTransport(ShardTransport):
                 collect(message.pos, record, fence=message.token)
             except FencedAppendError:
                 pass  # journal-side fence agreed: drop silently
+            else:
+                if self._convergence is not None:
+                    self._convergence.fold(record.unit,
+                                           record.outcome.value)
         elif isinstance(message, ExtraMessage):
             lease = leases.active.get(message.token)
             if lease is not None and getattr(collect, "extra", None):
                 collect.extra(message.kind, message.pos, message.payload)
         elif isinstance(message, ShardDoneMessage):
             lease = leases.complete(message.token)
+            self._finish_lease_span(message.token)
             if lease is not None \
                     and not supervisor.population_bits \
                     and isinstance(message.population, int) \
@@ -358,11 +429,15 @@ class SocketTransport(ShardTransport):
                 supervisor.raise_fence(message.token)
                 leases.reclaim(message.token,
                                f"worker error: {message.message}")
+                self._finish_lease_span(message.token)
 
     def _lose(self, conn: _WorkerConn, supervisor, leases: LeaseManager,
               reason: str) -> None:
         """Connection-level loss: revoke the worker's issued tokens at
         the journal, reclaim its leases, drop the socket."""
+        if conn.monitor:
+            self._drop(conn.sock, notify=False)
+            return
         name = conn.name or f"{conn.address}"
         if conn.name is not None:
             tokens = [token for token, lease
@@ -374,6 +449,7 @@ class SocketTransport(ShardTransport):
                 # could still reach the journal.
                 supervisor.raise_fence(token)
                 leases.reclaim(token, reason)
+                self._finish_lease_span(token)
         self._drop(conn.sock, notify=False)
         supervisor.progress.on_shard_retry(
             -1, 0, f"worker {name!r} lost ({reason})", 0.0)
@@ -419,6 +495,15 @@ class SocketTransport(ShardTransport):
             lease = leases.grant(conn.name)
             if lease is None:
                 return
+            if self._trace is not None:
+                now = self._trace.clock()
+                self._trace.record(
+                    FleetSpanPhase.QUEUE_WAIT, lease.queued_at, now,
+                    parent_id=self._trace_root, shard_id=lease.shard_id)
+                self._lease_spans[lease.token] = self._trace.begin(
+                    FleetSpanPhase.LEASE_HELD, parent_id=self._trace_root,
+                    worker=conn.name or "", shard_id=lease.shard_id,
+                    token=lease.token)
             conn.queue(LeaseMessage(
                 token=lease.token, shard_id=lease.shard_id, seed=seed,
                 items=[plan_item_to_dict(item)
@@ -448,6 +533,55 @@ class SocketTransport(ShardTransport):
             if sent <= 0:
                 return
             conn.outbox = conn.outbox[sent:]
+
+    # -- fleet telemetry ----------------------------------------------
+
+    def _finish_lease_span(self, token: int) -> None:
+        span_id = self._lease_spans.get(token)
+        if span_id is not None and self._trace is not None:
+            self._trace.finish(span_id)
+
+    def _absorb_worker_spans(self, spans: list) -> None:
+        """Hang rebased worker spans off their lease-held span.
+
+        A worker's top-level (parentless) span carries the fencing
+        token of the lease it executed; the grant opened a lease-held
+        span under the campaign root for that token, which becomes the
+        parent — one merged tree across hosts."""
+        for span in spans:
+            if span.parent_id is None and span.token in self._lease_spans:
+                span = replace(span,
+                               parent_id=self._lease_spans[span.token])
+            self.worker_spans.append(span)
+
+    def _fleet_snapshot(self) -> dict:
+        """The live fleet view pushed at monitor connections."""
+        snapshot = {"campaign": self.campaign, "workers": {},
+                    "fleet": [], "service": [], "convergence": {}}
+        if self.fleet is not None:
+            for name in self.fleet.worker_names():
+                info = dict(self.fleet.worker_info(name))
+                info["snapshot"] = self.fleet.worker_snapshot(name)
+                snapshot["workers"][name] = info
+            snapshot["fleet"] = self.fleet.fleet.snapshot()
+        if self._metrics is not None:
+            snapshot["service"] = self._metrics.snapshot()
+        if self._convergence is not None:
+            snapshot["convergence"] = self._convergence.snapshot()
+        return snapshot
+
+    def _push_monitors(self) -> None:
+        monitors = [conn for conn in self._workers.values()
+                    if conn.monitor]
+        if not monitors:
+            return
+        now = time.monotonic()
+        if now - self._last_push < 1.0:
+            return
+        self._last_push = now
+        packed = pack_payload(self._fleet_snapshot())
+        for conn in monitors:
+            conn.queue(FleetSnapshotMessage(snapshot=packed))
 
     def _broadcast_shutdown(self) -> None:
         for conn in list(self._workers.values()):

@@ -39,6 +39,7 @@ class Lease:
     attempt: int = 0           # completed issue attempts so far
     worker: str | None = None  # holder of the current issue
     not_before: float = 0.0    # earliest re-grant time (backoff)
+    queued_at: float = 0.0     # when this issue (re)entered the queue
     accepted: set[int] = field(default_factory=set)
 
     def remaining(self) -> list[InjectionPlan]:
@@ -108,8 +109,10 @@ class LeaseManager:
         self._shard_ids = itertools.count()
         shards = partition_plan(plan, max(1, -(-len(plan) // lease_items))) \
             if plan else []
+        now = self._clock()
         self.queued: list[Lease] = [
-            Lease(shard_id=next(self._shard_ids), items=shard)
+            Lease(shard_id=next(self._shard_ids), items=shard,
+                  queued_at=now)
             for shard in shards]
         self.active: dict[int, Lease] = {}   # token -> lease
         self.poisoned: list[InjectionPlan] = []
@@ -235,14 +238,17 @@ class LeaseManager:
             delay = backoff_delay(self.backoff_base, lease.attempt,
                                   cap=self.backoff_cap, seed=self.seed,
                                   stream=lease.shard_id)
-            lease.not_before = self._clock() + delay
+            now = self._clock()
+            lease.not_before = now + delay
+            lease.queued_at = now
             self.queued.append(lease)
             return
         if len(remaining) > 1:
             half = len(remaining) // 2
             for piece in (remaining[:half], remaining[half:]):
                 self.queued.append(Lease(shard_id=next(self._shard_ids),
-                                         items=piece))
+                                         items=piece,
+                                         queued_at=self._clock()))
             if self.log is not None:
                 self.log.write("split", shard=lease.shard_id,
                                remaining=len(remaining))

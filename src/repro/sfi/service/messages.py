@@ -102,6 +102,30 @@ class ExtraMessage(Message):
 
 
 @dataclass(frozen=True)
+class TelemetryMessage(Message):
+    """Heartbeat-piggybacked telemetry frame.
+
+    Purely observational: carries the worker's *cumulative* metrics
+    snapshot (changed metrics only) and finished spans, both packed via
+    :func:`repro.obs.fleet.pack_payload`.  ``seq`` is per-incarnation
+    and strictly increasing so the coordinator can drop replays; ``pid``
+    changes mark a restarted worker (fresh cumulative baseline).
+    ``now`` is the sender's monotonic clock at frame build time — the
+    coordinator uses it to rebase span times into its own clock domain.
+    """
+
+    TYPE = "telemetry"
+
+    version: int = 1
+    worker: str = ""
+    pid: int = -1
+    seq: int = 0
+    now: float = 0.0
+    metrics: str = ""
+    spans: str = ""
+
+
+@dataclass(frozen=True)
 class ShardDoneMessage(Message):
     """A leased shard finished every item."""
 
@@ -132,6 +156,11 @@ class WelcomeMessage(Message):
     protocol: int = PROTOCOL_VERSION
     config: dict = field(default_factory=dict)
     heartbeat_interval: float = 1.0
+    # Telemetry contract (0.0 = the worker streams nothing, the PR 6
+    # behaviour).  Optional fields are wire-compatible both ways:
+    # ``from_wire`` drops unknown keys on old peers.
+    telemetry_interval: float = 0.0
+    campaign: str = ""
 
 
 @dataclass(frozen=True)
@@ -155,11 +184,38 @@ class ShutdownMessage(Message):
     reason: str = "campaign complete"
 
 
+# -- monitor connections ------------------------------------------------
+
+@dataclass(frozen=True)
+class MonitorHelloMessage(Message):
+    """First frame of a read-only monitor connection.
+
+    A monitor is never granted leases and never heartbeat-reaped; the
+    coordinator just pushes :class:`FleetSnapshotMessage` frames at it.
+    """
+
+    TYPE = "monitor"
+
+    protocol: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class FleetSnapshotMessage(Message):
+    """Coordinator -> monitor: the current fleet view, packed via
+    :func:`repro.obs.fleet.pack_payload` (campaign name, per-worker
+    cumulative snapshots, fleet totals, convergence summary)."""
+
+    TYPE = "fleet"
+
+    snapshot: str = ""
+
+
 _MESSAGE_TYPES: dict[str, type[Message]] = {
     cls.TYPE: cls for cls in (
         HelloMessage, HeartbeatMessage, RecordMessage, ExtraMessage,
-        ShardDoneMessage, ShardErrorMessage, WelcomeMessage, LeaseMessage,
-        ShutdownMessage,
+        TelemetryMessage, ShardDoneMessage, ShardErrorMessage,
+        WelcomeMessage, LeaseMessage, ShutdownMessage,
+        MonitorHelloMessage, FleetSnapshotMessage,
     )
 }
 

@@ -20,6 +20,8 @@ import socket
 import threading
 import time
 
+from repro.obs.fleet import FleetSpanPhase, SpanRecorder, TelemetryStream
+from repro.obs.metrics import MetricsRegistry
 from repro.sfi.service.backoff import DEFAULT_CAP, backoff_delay
 from repro.sfi.service.messages import (
     PROTOCOL_VERSION,
@@ -30,6 +32,7 @@ from repro.sfi.service.messages import (
     ShardDoneMessage,
     ShardErrorMessage,
     ShutdownMessage,
+    TelemetryMessage,
     WelcomeMessage,
     config_from_dict,
     decode_message,
@@ -39,6 +42,10 @@ from repro.sfi.service.wire import FrameError, recv_message, send_message
 from repro.sfi.storage import _record_to_dict
 from repro.sfi.supervisor import run_shard
 
+#: Trial spans per lease shipped upstream; beyond this the lease's
+#: remaining trials go unspanned (metrics still count every one).
+MAX_TRIAL_SPANS = 256
+
 
 class WorkerError(RuntimeError):
     """The worker cannot reach or speak to its coordinator."""
@@ -46,13 +53,21 @@ class WorkerError(RuntimeError):
 
 class _Heartbeat:
     """Background beacon: one HeartbeatMessage per interval while a
-    connection lives, sharing the socket behind a send lock."""
+    connection lives, sharing the socket behind a send lock.
+
+    When the coordinator asked for telemetry (welcome's
+    ``telemetry_interval`` > 0), the beacon also piggybacks a
+    :class:`TelemetryMessage` at that cadence — same thread, same send
+    lock, no extra connection."""
 
     def __init__(self, sock: socket.socket, lock: threading.Lock,
-                 interval: float) -> None:
+                 interval: float, *, telemetry: TelemetryStream | None = None,
+                 telemetry_interval: float = 0.0) -> None:
         self._sock = sock
         self._lock = lock
         self._interval = max(0.05, interval)
+        self._telemetry = telemetry
+        self._telemetry_interval = max(telemetry_interval, self._interval)
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self.token = -1  # current lease token, advisory only
@@ -65,13 +80,29 @@ class _Heartbeat:
         self._thread.join(timeout=2.0)
 
     def _run(self) -> None:
+        last_telemetry = time.monotonic()
         while not self._stop.wait(self._interval):
             try:
                 send_message(self._sock,
                              HeartbeatMessage(token=self.token).to_wire(),
                              lock=self._lock)
+                now = time.monotonic()
+                if self._telemetry is not None and \
+                        now - last_telemetry >= self._telemetry_interval:
+                    last_telemetry = now
+                    self.flush()
             except OSError:
                 return  # connection died; the main loop will notice
+
+    def flush(self) -> None:
+        """Send a telemetry frame now if anything changed (the lease
+        loop calls this after each shard so short campaigns stream)."""
+        if self._telemetry is None:
+            return
+        frame = self._telemetry.frame()
+        if frame is not None:
+            send_message(self._sock, TelemetryMessage(**frame).to_wire(),
+                         lock=self._lock)
 
 
 def run_worker(host: str, port: int, *, name: str = "",
@@ -92,6 +123,13 @@ def run_worker(host: str, port: int, *, name: str = "",
     """
     name = name or f"{socket.gethostname()}-{os_pid()}"
     say = progress or (lambda event, detail: None)
+    # Telemetry state outlives connections: the registry is cumulative
+    # for the process, and the stream's frame sequence stays strictly
+    # increasing per (name, pid) incarnation so the coordinator can
+    # drop replays after a reconnect.
+    telemetry = TelemetryStream(
+        MetricsRegistry(), SpanRecorder(source=f"{name}@{os_pid()}"),
+        worker=name, pid=os_pid())
     executed = 0
     campaigns = 0
     attempt = 0
@@ -114,7 +152,8 @@ def run_worker(host: str, port: int, *, name: str = "",
             continue
         attempt = 0  # a successful connect resets the backoff ladder
         try:
-            done, ran = _serve_connection(sock, name, runner, say)
+            done, ran = _serve_connection(sock, name, runner, say,
+                                          telemetry=telemetry)
         except (OSError, FrameError) as exc:
             say("disconnect", str(exc))
             done, ran = False, 0
@@ -132,8 +171,9 @@ def run_worker(host: str, port: int, *, name: str = "",
         # serving (our old lease is the coordinator's to reclaim).
 
 
-def _serve_connection(sock: socket.socket, name: str, runner,
-                      say) -> tuple[bool, int]:
+def _serve_connection(sock: socket.socket, name: str, runner, say, *,
+                      telemetry: TelemetryStream | None = None
+                      ) -> tuple[bool, int]:
     """Speak the protocol on one established connection.
 
     Returns ``(shutdown_seen, leases_executed)``; raises OSError /
@@ -155,7 +195,15 @@ def _serve_connection(sock: socket.socket, name: str, runner,
             f"coordinator speaks protocol {welcome.protocol}, "
             f"this worker speaks {PROTOCOL_VERSION}")
     config = config_from_dict(welcome.config)
-    heartbeat = _Heartbeat(sock, lock, welcome.heartbeat_interval)
+    streaming = telemetry if welcome.telemetry_interval > 0 else None
+    if streaming is not None:
+        # Resend the full cumulative snapshot on a fresh connection;
+        # the coordinator diffs against its per-incarnation baseline,
+        # so the resend can never double-count.
+        streaming.reset_connection()
+    heartbeat = _Heartbeat(sock, lock, welcome.heartbeat_interval,
+                           telemetry=streaming,
+                           telemetry_interval=welcome.telemetry_interval)
     heartbeat.start()
     ran = 0
     try:
@@ -175,7 +223,8 @@ def _serve_connection(sock: socket.socket, name: str, runner,
             say("lease", f"token {message.token}: "
                          f"{len(message.items)} items")
             _execute_lease(sock, lock, heartbeat, config, message,
-                           runner)
+                           runner, telemetry=streaming)
+            heartbeat.flush()
             ran += 1
     finally:
         heartbeat.stop()
@@ -183,13 +232,38 @@ def _serve_connection(sock: socket.socket, name: str, runner,
 
 def _execute_lease(sock: socket.socket, lock: threading.Lock,
                    heartbeat: _Heartbeat, config, lease: LeaseMessage,
-                   runner) -> None:
+                   runner, *,
+                   telemetry: TelemetryStream | None = None) -> None:
     """Run one leased shard, streaming records under its fencing token."""
     token = lease.token
     heartbeat.token = token
     items = [plan_item_from_dict(item) for item in lease.items]
+    recorder = telemetry.recorder if telemetry is not None else None
+    exec_id = warmup_id = None
+    # Trial spans are emit-to-emit intervals inside the execute span;
+    # ``last`` starts at lease receipt so the first interval is the
+    # warmup (experiment build / cache hit), recorded as its own phase.
+    trial = {"last": None, "count": 0}
+    if recorder is not None:
+        exec_id = recorder.begin(
+            FleetSpanPhase.WORKER_EXECUTE, worker=telemetry.worker,
+            shard_id=lease.shard_id, token=token)
+        warmup_id = recorder.begin(
+            FleetSpanPhase.WORKER_WARMUP, parent_id=exec_id,
+            worker=telemetry.worker, shard_id=lease.shard_id, token=token)
 
     def emit(pos, rec):
+        if recorder is not None:
+            now = recorder.clock()
+            if trial["last"] is None:
+                recorder.finish(warmup_id)
+            elif trial["count"] < MAX_TRIAL_SPANS:
+                recorder.record(
+                    FleetSpanPhase.TRIAL, trial["last"], now,
+                    parent_id=exec_id, worker=telemetry.worker,
+                    shard_id=lease.shard_id, token=token)
+                trial["count"] += 1
+            trial["last"] = now
         send_message(sock, RecordMessage(
             token=token, pos=pos,
             record=_record_to_dict(rec)).to_wire(), lock=lock)
@@ -202,6 +276,10 @@ def _execute_lease(sock: socket.socket, lock: threading.Lock,
                      lock=lock)
 
     emit.extra = extra
+    if telemetry is not None:
+        # The runner instruments the experiment from this attribute, so
+        # wave/peel/fast-path series accrue in the streamed registry.
+        emit.metrics = telemetry.registry
     try:
         population = runner(config, items, lease.seed, emit)
     except Exception as exc:  # noqa: BLE001 - report, let coordinator retry
@@ -211,6 +289,10 @@ def _execute_lease(sock: socket.socket, lock: threading.Lock,
         return
     finally:
         heartbeat.token = -1
+        if recorder is not None:
+            if trial["last"] is None:
+                recorder.finish(warmup_id)  # runner emitted nothing
+            recorder.finish(exec_id)
     send_message(sock, ShardDoneMessage(
         token=token,
         population=population if isinstance(population, int) else 0

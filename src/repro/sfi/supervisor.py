@@ -304,6 +304,12 @@ def run_shard(config: CampaignConfig, items: list[InjectionPlan], seed: int,
     record stream itself stays bit-identical to a hookless run.
     """
     experiment = _cached_experiment(config)
+    metrics = getattr(emit, "metrics", None)
+    if metrics is not None and experiment.metrics is not metrics:
+        # Remote workers run uninstrumented unless the coordinator asked
+        # for telemetry; then the streamed registry rides this attribute
+        # and wave/peel/fast-path series accrue worker-side.
+        experiment.instrument(metrics)
     extra = getattr(emit, "extra", None)
     # Cached experiments outlive one shard: always (re)set both hooks so
     # a sidecar-less caller never inherits a previous caller's sinks.
@@ -400,7 +406,8 @@ class CampaignSupervisor:
                  metrics=None,
                  mp_context: str = "spawn",
                  reference_cycles: list[int] | None = None,
-                 transport: ShardTransport | None = None) -> None:
+                 transport: ShardTransport | None = None,
+                 trace=None) -> None:
         self.config = config
         self.workers = workers if workers is not None \
             else min(4, os.cpu_count() or 1)
@@ -424,6 +431,12 @@ class CampaignSupervisor:
         #: to the pool.
         self.transport = transport if transport is not None \
             else PoolTransport()
+        #: Optional fleet span recorder (repro.obs.fleet.SpanRecorder).
+        #: Purely observational: the campaign root span opens in
+        #: run_plan, the transport hangs queue-wait/lease spans off it,
+        #: and merged worker spans land in ``transport.worker_spans``.
+        self.trace = trace
+        self.trace_root: str | None = None
         self._ids = itertools.count()
         self._degraded = False
         self._journal: CampaignJournal | None = None
@@ -446,6 +459,9 @@ class CampaignSupervisor:
         journal, records = self._open_journal(plan, seed)
         self._journal = journal
         inst = self._inst
+        if self.trace is not None:
+            from repro.obs.fleet import FleetSpanPhase
+            self.trace_root = self.trace.begin(FleetSpanPhase.CAMPAIGN)
         started = time.perf_counter()
         executed = 0
         report = self.provenance_report = (
@@ -531,6 +547,9 @@ class CampaignSupervisor:
             return result
         finally:
             self.transport.close()
+            if self.trace is not None and self.trace_root is not None:
+                self.trace.finish(self.trace_root)
+                self.trace.finish_all()  # no span outlives the campaign
             if inst is not None:
                 inst.campaign_seconds.set(time.perf_counter() - started)
                 inst.workers_running.set(0)
@@ -595,10 +614,19 @@ class CampaignSupervisor:
         the fallback for items a remote transport hands back."""
         if not items:
             return
-        if self.workers <= 1:
-            self._run_serial(items, seed, collect)
-        else:
-            self._run_supervised(items, seed, collect)
+        span = None
+        if self.trace is not None:
+            from repro.obs.fleet import FleetSpanPhase
+            span = self.trace.begin(FleetSpanPhase.POOL_EXECUTE,
+                                    parent_id=self.trace_root)
+        try:
+            if self.workers <= 1:
+                self._run_serial(items, seed, collect)
+            else:
+                self._run_supervised(items, seed, collect)
+        finally:
+            if span is not None:
+                self.trace.finish(span)
 
     def raise_fence(self, token: int) -> None:
         """Revoke a lease issue's fencing token at the journal (the

@@ -5,7 +5,9 @@ from repro.stats.confidence import (
     binomial_stdev_over_mean,
     normal_interval,
     required_sample_size,
+    required_trials_for_width,
     wilson_interval,
+    wilson_width,
 )
 from repro.stats.descriptive import mean_std, stdev_fraction_of_mean
 from repro.stats.sampling_theory import (
@@ -22,8 +24,10 @@ __all__ = [
     "mean_std",
     "normal_interval",
     "required_sample_size",
+    "required_trials_for_width",
     "stdev_fraction_of_mean",
     "stratified_estimate",
     "stratum_contributions",
     "wilson_interval",
+    "wilson_width",
 ]

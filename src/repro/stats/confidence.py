@@ -49,6 +49,55 @@ def wilson_interval(successes: int, n: int,
     return max(0.0, centre - half), min(1.0, centre + half)
 
 
+def wilson_width(successes: int, n: int,
+                 confidence: float = 0.95) -> float:
+    """Full width (high - low) of the Wilson interval.
+
+    The convergence criterion for a live campaign: a category has
+    converged once its interval is narrower than the analyst's target.
+    """
+    low, high = wilson_interval(successes, n, confidence=confidence)
+    return high - low
+
+
+def required_trials_for_width(successes: int, n: int, target_width: float,
+                              confidence: float = 0.95) -> int:
+    """Trials needed before the Wilson interval narrows to
+    ``target_width``, holding the observed proportion fixed.
+
+    Inverts :func:`wilson_width` by bisection — the width is monotone
+    decreasing in the trial count for a fixed proportion, so the search
+    is exact.  Returns the smallest total trial count (not the number of
+    *additional* trials); returns ``n`` when the interval is already
+    narrow enough.  Capped at 10**12 — a width target unreachable below
+    that is a planning error, not a campaign size.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 < target_width < 1:
+        raise ValueError("target_width must be in (0, 1)")
+    p = successes / n
+
+    def width_at(m: int) -> float:
+        return wilson_width(round(p * m), m, confidence=confidence)
+
+    if width_at(n) <= target_width:
+        return n
+    low, high = n, n
+    cap = 10 ** 12
+    while width_at(high) > target_width:
+        if high >= cap:
+            return cap
+        low, high = high, min(cap, high * 2)
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if width_at(mid) <= target_width:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
 def required_sample_size(p: float, relative_error: float,
                          confidence: float = 0.95) -> int:
     """Flips needed to estimate a category of true proportion ``p`` to

@@ -21,6 +21,8 @@ import html
 
 from repro.sfi.outcomes import OUTCOME_ORDER
 from repro.warehouse.queries import (
+    campaign_critical_path,
+    convergence,
     detection_latency_percentiles,
     fastpath_stats,
     lease_health,
@@ -379,6 +381,63 @@ def _lease_table(health: list[dict]) -> str:
             '</tr></thead><tbody>' + rows + "</tbody></table>")
 
 
+def _convergence_table(tracker) -> str:
+    rows_data = tracker.rows()
+    if not rows_data:
+        return '<p class="note">no records yet.</p>'
+    rows = "".join(
+        f'<tr><td class="name">{html.escape(row.unit)}</td>'
+        f'<td>{html.escape(row.outcome)}</td>'
+        f'<td class="num">{row.count:,}/{row.trials:,}</td>'
+        f'<td class="num">{_fmt(row.proportion)}</td>'
+        f'<td class="num">±{_fmt(row.width / 2)}</td>'
+        f'<td class="num">{"—" if row.converged else f"{row.trials_needed:,}"}'
+        f"</td></tr>"
+        for row in rows_data)
+    remaining = tracker.remaining_trials()
+    summary = ("every tracked estimate is inside the target interval"
+               if not remaining else
+               f"≈{remaining:,} more trials to bring every estimate "
+               f"inside ±{tracker.target_width / 2:.3f}")
+    return ('<table><thead><tr><th>unit</th><th>outcome</th>'
+            '<th class="num">count/trials</th><th class="num">p̂</th>'
+            '<th class="num">CI half-width</th>'
+            '<th class="num">trials needed</th></tr></thead><tbody>'
+            + rows + "</tbody></table>"
+            + f'<p class="note">{html.escape(summary)}.</p>')
+
+
+def _critical_path_sections(warehouse) -> str:
+    """Per-campaign wall-clock attribution from the stored span trees."""
+    sections = []
+    for campaign in warehouse.campaigns():
+        result = campaign_critical_path(warehouse,
+                                        campaign["campaign_id"])
+        if not result["total"]:
+            continue
+        body = "".join(
+            f'<tr><td class="name">{html.escape(phase)}</td>'
+            f'<td class="num">{seconds:.3f}s</td>'
+            f'<td class="num">{100 * seconds / result["total"]:.1f}%</td>'
+            f"</tr>"
+            for phase, seconds in sorted(result["phases"].items(),
+                                         key=lambda item: -item[1]))
+        sections.append(
+            f'<h3>[{campaign["campaign_id"]}] '
+            f'{html.escape(campaign["name"])} — '
+            f'{result["total"]:.3f}s, '
+            f'{100 * result["coverage"]:.1f}% attributed</h3>'
+            f'<table><thead><tr><th>phase</th>'
+            f'<th class="num">seconds</th><th class="num">share</th>'
+            f"</tr></thead><tbody>{body}</tbody></table>")
+    if not sections:
+        return ""
+    return ('<div class="card"><h2>Critical path</h2>'
+            '<p class="note">campaign wall-clock charged to the deepest '
+            'active fleet span (telemetry-enabled campaigns only).</p>'
+            + "".join(sections) + "</div>")
+
+
 def render_dashboard(warehouse, *, title: str = "SFI result warehouse") \
         -> str:
     """Render the whole store as one self-contained HTML page."""
@@ -387,6 +446,7 @@ def render_dashboard(warehouse, *, title: str = "SFI result warehouse") \
     latency = detection_latency_percentiles(warehouse)
     fastpath = fastpath_stats(warehouse)
     leases = lease_health(warehouse)
+    tracker = convergence(warehouse)
     records = sum(point["records"] for point in trend)
     sdc = sum(point["sdc"] for point in trend)
     outcome_order = [outcome.value for outcome in OUTCOME_ORDER]
@@ -426,7 +486,14 @@ def render_dashboard(warehouse, *, title: str = "SFI result warehouse") \
         "<h3>Drill-down</h3>"
         + (_unit_table(warehouse, breakdown) if breakdown else "")
         + "</div>",
+        '<div class="card"><h2>Statistical convergence</h2>'
+        '<p class="note">95% Wilson interval half-widths per '
+        '(unit, outcome) estimate, and the trials still needed to reach '
+        f'the ±{tracker.target_width / 2:.3f} target — the paper\'s '
+        'stopping criterion, fleet-wide.</p>'
+        + _convergence_table(tracker) + "</div>",
         _provenance_sections(warehouse, breakdown),
+        _critical_path_sections(warehouse),
         '<div class="card"><h2>Fast-path hit rates</h2>'
         + _fastpath_table(fastpath) + "</div>",
         '<div class="card"><h2>Lease / retry health</h2>'

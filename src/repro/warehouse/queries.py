@@ -18,12 +18,17 @@ from __future__ import annotations
 import json
 import math
 
+from repro.obs.convergence import ConvergenceTracker
+from repro.obs.fleet import Span, critical_path
 from repro.sfi.outcomes import OUTCOME_ORDER, Outcome
 from repro.stats import wilson_interval
 from repro.warehouse.store import Warehouse, WarehouseError
 
 __all__ = [
     "bounds_vs_measured",
+    "campaign_critical_path",
+    "campaign_spans",
+    "convergence",
     "detection_latency_percentiles",
     "fastpath_stats",
     "lease_health",
@@ -31,12 +36,15 @@ __all__ = [
     "query_plans",
     "render_bounds_vs_measured",
     "render_campaigns",
+    "render_critical_path",
     "render_fastpath",
     "render_latency",
     "render_leases",
     "render_ser_trend",
+    "render_span_phases",
     "render_unit_outcomes",
     "ser_trend",
+    "span_phases",
     "unit_outcomes",
 ]
 
@@ -200,6 +208,67 @@ def lease_health(warehouse: Warehouse) -> list[dict]:
     return health
 
 
+def convergence(warehouse: Warehouse, campaign=None, *,
+                target_width: float = 0.02,
+                confidence: float = 0.95) -> ConvergenceTracker:
+    """Statistical convergence of the stored trials (§3 of the paper).
+
+    Folds the (covering-index) per-unit outcome breakdown into a
+    :class:`ConvergenceTracker`: per-(unit, outcome) Wilson interval
+    widths and the trials still needed to reach ``target_width``.
+    Because the tracker is a pure fold over counts, this matches the
+    coordinator's live view exactly once the journal is fully ingested.
+    """
+    return ConvergenceTracker.from_counts(
+        unit_outcomes(warehouse, campaign),
+        target_width=target_width, confidence=confidence)
+
+
+def span_phases(warehouse: Warehouse, campaign=None) -> list[dict]:
+    """Per-phase span totals, answered from ``idx_spans_phase``.
+
+    Wall-clock seconds here sum *span durations*, so nested phases
+    overlap; :func:`campaign_critical_path` is the non-overlapping
+    attribution.
+    """
+    where, params = _campaign_clause(warehouse, campaign)
+    rows = warehouse.connection.execute(
+        f"SELECT phase, COUNT(*) AS n, SUM(t1 - t0) AS seconds "
+        f"FROM spans{where} GROUP BY phase ORDER BY seconds DESC", params)
+    return [{"phase": row["phase"], "spans": row["n"],
+             "seconds": row["seconds"] or 0.0} for row in rows]
+
+
+def campaign_spans(warehouse: Warehouse, campaign) -> list[Span]:
+    """One campaign's merged span tree, reconstructed from the store.
+
+    ``spans`` is WITHOUT ROWID keyed on ``(campaign_id, span_id)``, so
+    this is a primary-key range probe, never a full-table scan.
+    """
+    where, params = _campaign_clause(warehouse, campaign)
+    if not where:
+        raise WarehouseError("span trees are per-campaign; name one "
+                             "(--campaign)")
+    return [Span(span_id=row["span_id"], phase=row["phase"],
+                 start=row["t0"], end=row["t1"],
+                 parent_id=row["parent_id"], worker=row["worker"],
+                 shard_id=row["shard_id"], token=row["token"])
+            for row in warehouse.connection.execute(
+                f"SELECT * FROM spans{where}", params)]
+
+
+def campaign_critical_path(warehouse: Warehouse, campaign) -> dict:
+    """Critical-path attribution of one campaign's wall-clock.
+
+    Loads the stored span tree and charges each instant of the root
+    ``campaign`` span to the deepest active phase
+    (:func:`repro.obs.fleet.critical_path`); ``coverage`` is the
+    fraction attributed to a named non-root phase — the acceptance
+    bar keeps it at or above 0.95 for telemetry-enabled campaigns.
+    """
+    return critical_path(campaign_spans(warehouse, campaign))
+
+
 def bounds_vs_measured(warehouse: Warehouse, campaign=None) -> list[dict]:
     """Static per-unit masking bounds joined against measured derating.
 
@@ -266,6 +335,9 @@ _PLAN_QUERIES = {
     "latency_probe": (
         "SELECT detect_latency FROM records WHERE detect_latency IS NOT "
         "NULL ORDER BY detect_latency LIMIT 1 OFFSET 10", True),
+    "span_phases": (
+        "SELECT phase, COUNT(*), SUM(t1 - t0) FROM spans "
+        "WHERE campaign_id=1 GROUP BY phase", True),
 }
 
 
@@ -371,6 +443,34 @@ def render_bounds_vs_measured(rows: list[dict]) -> str:
             f"{row['structural_bound']:>7.3f} {measured:>9} "
             f"{row['trials']:>7}  "
             f"{'ok' if row['ok'] else 'BOUND EXCEEDS MEASUREMENT'}")
+    return "\n".join(lines)
+
+
+def render_span_phases(phases: list[dict]) -> str:
+    if not phases:
+        return ("no spans in the warehouse (campaign ran without "
+                "telemetry, or the .spans sidecar was not ingested)")
+    lines = ["span totals by phase (durations overlap across depth):",
+             f"{'phase':<16} {'spans':>7} {'seconds':>10}"]
+    for row in phases:
+        lines.append(f"{row['phase']:<16} {row['spans']:>7} "
+                     f"{row['seconds']:>10.3f}")
+    return "\n".join(lines)
+
+
+def render_critical_path(result: dict) -> str:
+    total = result.get("total", 0.0)
+    if not total:
+        return ("no campaign span tree stored for this campaign "
+                "(run it with --telemetry and re-ingest)")
+    lines = [f"critical path over {total:.3f}s wall-clock "
+             f"({100 * result['coverage']:.1f}% attributed to named "
+             f"phases):"]
+    for phase, seconds in sorted(result["phases"].items(),
+                                 key=lambda item: -item[1]):
+        lines.append(f"  {phase:<16} {seconds:>10.3f}s  "
+                     f"{100 * seconds / total:>5.1f}%")
+    lines.append(f"  ({len(result['segments'])} timeline segments)")
     return "\n".join(lines)
 
 

@@ -9,6 +9,12 @@ Version 2 adds the structural-analysis side: ``structural_sidecars`` /
 static masking bounds (joinable against measured outcomes), and
 campaigns carry the journal cursor's tail checksum (``journal_check``)
 so shrink-then-grow rewrites are detected across warehouse restarts.
+Version 3 adds the ``spans`` table for fleet telemetry (the merged
+cross-host span tree written to ``<journal>.spans``), with a covering
+index over ``(campaign_id, phase, t0, t1)`` so the critical-path and
+phase-total queries never touch the base table.  Span times are stored
+as ``t0``/``t1`` seconds in the coordinator's monotonic domain — only
+differences are meaningful, never absolute values.
 
 Versioning contract: ``SCHEMA_VERSION`` names the on-disk layout and is
 stored in ``warehouse_meta``; a store created by a different version is
@@ -29,7 +35,7 @@ __all__ = [
     "compute_fingerprint",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # One statement per entry, executed in order on an empty store.  The
 # ``records`` table carries the columns of
@@ -148,6 +154,24 @@ SCHEMA_DDL = (
     ) WITHOUT ROWID
     """,
     """
+    CREATE TABLE spans (
+        campaign_id INTEGER NOT NULL,
+        span_id     TEXT NOT NULL,
+        parent_id   TEXT,
+        phase       TEXT NOT NULL,
+        t0          REAL NOT NULL,
+        t1          REAL NOT NULL,
+        worker      TEXT NOT NULL DEFAULT '',
+        shard_id    INTEGER NOT NULL DEFAULT -1,
+        token       INTEGER NOT NULL DEFAULT -1,
+        PRIMARY KEY (campaign_id, span_id)
+    ) WITHOUT ROWID
+    """,
+    """
+    CREATE INDEX idx_spans_phase
+        ON spans (campaign_id, phase, t0, t1)
+    """,
+    """
     CREATE TABLE provenance (
         campaign_id       INTEGER NOT NULL,
         pos               INTEGER NOT NULL,
@@ -177,4 +201,4 @@ def compute_fingerprint(version: int = SCHEMA_VERSION,
 
 # Refreshing this constant is deliberate friction: REPRO-S01 fails when
 # it is stale, and the paired test asserts SCHEMA_VERSION moved with it.
-SCHEMA_FINGERPRINT = "sha256:49a271b5a9f2921b"
+SCHEMA_FINGERPRINT = "sha256:117bcb47ec18bf5c"

@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.fleet import read_span_log
 from repro.sfi.storage import (
     CampaignStorageError,
     JournalCursor,
@@ -67,6 +68,7 @@ class IngestStats:
     skipped: int = 0          # lines rejected this pass (verify-parity)
     lease_events: int = 0     # sidecar events newly inserted this pass
     provenance_rows: int = 0  # provenance payloads newly inserted
+    span_rows: int = 0        # fleet spans newly inserted this pass
     records: int = 0          # cumulative records now in the store
     total_sites: int = 0
     complete: bool = False
@@ -214,6 +216,10 @@ class Warehouse:
             if provenance is not None or sidecar.exists():
                 stats.provenance_rows = self._ingest_provenance(
                     sidecar, stats.campaign_id)
+            spans = journal.with_name(journal.name + ".spans")
+            if spans.exists():
+                stats.span_rows = self._ingest_spans(
+                    spans, stats.campaign_id)
             conn.execute("COMMIT")
         except BaseException:
             conn.execute("ROLLBACK")
@@ -231,7 +237,7 @@ class Warehouse:
         if row is not None and delta.rewound:
             # Torn-tail recovery rewrote the journal shorter: derived
             # rows may describe dropped bytes, so re-ingest from zero.
-            for table in ("records", "lease_events", "provenance"):
+            for table in ("records", "lease_events", "provenance", "spans"):
                 conn.execute(f"DELETE FROM {table} WHERE campaign_id=?",
                              (row["campaign_id"],))
             conn.execute(
@@ -327,6 +333,24 @@ class Warehouse:
         before = conn.total_changes
         conn.executemany(
             "INSERT OR IGNORE INTO lease_events VALUES (?, ?, ?, ?, ?, ?, ?)",
+            rows)
+        return conn.total_changes - before
+
+    def _ingest_spans(self, path: Path, campaign_id: int) -> int:
+        """Fold the ``.spans`` sidecar (merged fleet span tree) in,
+        idempotently by span id.
+
+        Written once post-campaign and at most a few thousand lines, so
+        it is re-read whole like the leases sidecar; torn or malformed
+        lines are skipped by the reader.
+        """
+        rows = [(campaign_id, span.span_id, span.parent_id, span.phase,
+                 span.start, span.end, span.worker, span.shard_id,
+                 span.token) for span in read_span_log(path)]
+        conn = self._conn
+        before = conn.total_changes
+        conn.executemany(
+            "INSERT OR IGNORE INTO spans VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
             rows)
         return conn.total_changes - before
 

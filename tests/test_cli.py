@@ -161,3 +161,92 @@ class TestObservabilityCli:
         captured = capsys.readouterr()
         assert code == 2
         assert "unreadable" in captured.err
+
+
+class TestFleetObservabilityCli:
+    def test_campaign_resume_summary_counts_recovered(self, capsys,
+                                                      tmp_path):
+        """The summary rate divides by injections this process ran, not
+        the journal total — a resumed campaign says so explicitly."""
+        journal = tmp_path / "resume.jsonl"
+        args = ("campaign", "--flips", "12", *BASE,
+                "--journal", str(journal))
+        code, out = run_cli(capsys, *args)
+        assert code == 0 and "recovered" not in out
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:7]) + "\n")  # keep 6 records
+        code, out = run_cli(capsys, *args, "--resume")
+        assert code == 0
+        assert "resuming: 6/12" in out
+        assert "; 6 recovered from journal)" in out
+
+    def test_status_journal_matches_offline_recount(self, capsys,
+                                                    tmp_path):
+        from repro.obs import read_journal_progress
+        from repro.obs.convergence import ConvergenceTracker
+        journal = tmp_path / "status.jsonl"
+        code, _ = run_cli(capsys, "campaign", "--flips", "10", *BASE,
+                          "--journal", str(journal))
+        assert code == 0
+        code, out = run_cli(capsys, "status", "--journal", str(journal))
+        assert code == 0
+        assert "10/10" in out and "(complete)" in out
+        assert "convergence toward" in out
+        code, out = run_cli(capsys, "status", "--journal", str(journal),
+                            "--json")
+        payload = json.loads(out)
+        offline = ConvergenceTracker.from_counts(
+            read_journal_progress(journal).unit_outcomes)
+        assert payload["convergence"] == offline.snapshot()
+        assert payload["done"] == payload["total"] == 10
+
+    def test_status_journal_unreadable_is_error(self, capsys, tmp_path):
+        code = cli.main(["status", "--journal",
+                         str(tmp_path / "nope.jsonl")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no readable journal" in captured.err
+
+    def test_monitor_requires_journal_or_connect(self, capsys):
+        code = cli.main(["monitor"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--journal" in captured.err and "--connect" in captured.err
+
+    def test_monitor_connect_unreachable(self, capsys):
+        code = cli.main(["monitor", "--connect", "127.0.0.1:1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot reach coordinator" in captured.err
+
+    def test_ingest_and_query_spans_and_convergence(self, capsys,
+                                                    tmp_path):
+        from repro.obs.fleet import Span, write_span_log
+        from repro.warehouse import write_fixture_journal
+        journal = write_fixture_journal(tmp_path / "c.jsonl", seed=9,
+                                        records=8)
+        write_span_log(
+            str(journal) + ".spans",
+            [Span("r", "campaign", 0.0, 5.0),
+             Span("l", "lease-held", 0.5, 4.5, parent_id="r")],
+            campaign=journal.name)
+        db = tmp_path / "wh.sqlite"
+        code, out = run_cli(capsys, "ingest", str(journal),
+                            "--db", str(db), "--name", "camp")
+        assert code == 0
+        assert "2 span(s)" in out
+        code, out = run_cli(capsys, "query", "convergence",
+                            "--db", str(db))
+        assert code == 0
+        assert "convergence toward" in out
+        code, out = run_cli(capsys, "query", "spans", "--db", str(db))
+        assert code == 0
+        assert "lease-held" in out
+        code, out = run_cli(capsys, "query", "spans", "--db", str(db),
+                            "--campaign", "camp")
+        assert code == 0
+        assert "critical path" in out.lower()
+        code, out = run_cli(capsys, "query", "convergence",
+                            "--db", str(db), "--json")
+        payload = json.loads(out)
+        assert payload["total"] == 8

@@ -7,6 +7,7 @@ from repro.obs import (
     MetricsRegistry,
     advance_journal_progress,
     format_duration,
+    lease_sidecar_lines,
     load_metrics_file,
     monitor_campaign,
     read_journal_progress,
@@ -209,3 +210,101 @@ class TestRenderStats:
         assert "'outcome': 'Vanished'" in text and "5" in text
         assert "count=3" in text
         assert "p50<=1" in text and "p99<=+Inf" in text
+
+
+class TestFleetMonitorLines:
+    """Hot lines added for distributed campaigns: wave throughput,
+    occupancy, lease health from the journal's ``.leases`` sidecar, and
+    the live convergence table."""
+
+    def _wave_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("sfi_waves_total", "planes executed").inc(7)
+        registry.counter("sfi_lease_reissues_total", "reclaims").inc(2)
+        registry.counter("sfi_fenced_records_total", "stale writes").inc(1)
+        occupancy = registry.histogram("sfi_wave_occupancy_lanes", "lanes",
+                                       buckets=(16.0, 32.0, 64.0))
+        for lanes in (40, 56, 63):
+            occupancy.observe(lanes)
+        return registry
+
+    def test_wave_and_lease_counters_shown(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        journal.write_text("\n".join(_journal_lines(total=2, done=2)) + "\n")
+        metrics = tmp_path / "metrics.jsonl"
+        write_jsonl(self._wave_registry(), metrics)
+        out = io.StringIO()
+        monitor_campaign(journal, metrics_path=metrics, follow=False, out=out)
+        text = out.getvalue()
+        assert "sfi_waves_total = 7" in text
+        assert "sfi_lease_reissues_total = 2" in text
+        assert "sfi_fenced_records_total = 1" in text
+        assert "sfi_wave_occupancy_lanes mean = 53.00" in text
+
+    def test_occupancy_mean_survives_prometheus_round_trip(self, tmp_path):
+        """The text exporter flattens histograms into _sum/_count series;
+        the mean line must come out the same either way."""
+        journal = tmp_path / "camp.jsonl"
+        journal.write_text("\n".join(_journal_lines(total=2, done=2)) + "\n")
+        metrics = tmp_path / "metrics.prom"
+        write_prometheus(self._wave_registry(), metrics)
+        out = io.StringIO()
+        monitor_campaign(journal, metrics_path=metrics, follow=False, out=out)
+        assert "sfi_wave_occupancy_lanes mean = 53.00" in out.getvalue()
+
+    def test_lease_sidecar_summary_line(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        journal.write_text("\n".join(_journal_lines(total=4, done=4)) + "\n")
+        sidecar = journal.with_name(journal.name + ".leases")
+        events = (["grant"] * 3 + ["done"] * 2 + ["reclaim", "split",
+                                                  "fenced"])
+        lines = [json.dumps({"event": event, "worker": "w1"})
+                 for event in events]
+        lines.append('{"event": "gra')  # torn tail of a live writer
+        sidecar.write_text("\n".join(lines) + "\n")
+        assert lease_sidecar_lines(journal) == [
+            "leases: grants=3 done=2 reclaims=1 splits=1 fenced=1"]
+        out = io.StringIO()
+        monitor_campaign(journal, follow=False, out=out)
+        assert "leases: grants=3" in out.getvalue()
+
+    def test_no_sidecar_adds_nothing(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        journal.write_text("\n".join(_journal_lines(total=2, done=2)) + "\n")
+        assert lease_sidecar_lines(journal) == []
+        out = io.StringIO()
+        monitor_campaign(journal, follow=False, out=out)
+        assert "leases:" not in out.getvalue()
+
+    def _unit_journal(self, path):
+        lines = [json.dumps({"format": 1, "kind": "sfi-journal", "seed": 1,
+                             "total_sites": 4})]
+        for position, unit in enumerate(("IFU", "IFU", "LSU", "LSU")):
+            lines.append(json.dumps(
+                {"pos": position,
+                 "record": {"outcome": "Vanished", "unit": unit}}))
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_convergence_lines_from_unit_outcomes(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        self._unit_journal(journal)
+        out = io.StringIO()
+        monitor_campaign(journal, follow=False, out=out, target_width=0.05)
+        text = out.getvalue()
+        assert "convergence toward" in text
+        assert "IFU" in text and "LSU" in text
+        assert "estimated additional trials to target" in text
+
+    def test_convergence_suppressed_on_request(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        self._unit_journal(journal)
+        out = io.StringIO()
+        monitor_campaign(journal, follow=False, out=out, convergence=False)
+        assert "convergence" not in out.getvalue()
+
+    def test_records_without_units_show_no_convergence(self, tmp_path):
+        journal = tmp_path / "camp.jsonl"
+        journal.write_text("\n".join(_journal_lines(total=2, done=2)) + "\n")
+        out = io.StringIO()
+        monitor_campaign(journal, follow=False, out=out)
+        assert "convergence" not in out.getvalue()
